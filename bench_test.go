@@ -1,0 +1,122 @@
+// Benchmarks regenerating the paper's evaluation figures.
+//
+// Figures 2-4 ("hello world", §4.1.3): the five counter operations —
+// Get, Set, Create, Destroy, Notify — on both stacks, co-located and
+// distributed, under the figure's security mode:
+//
+//	Figure 2: no security        → BenchmarkFig2
+//	Figure 3: HTTPS              → BenchmarkFig3
+//	Figure 4: X.509 signing      → BenchmarkFig4
+//
+// Figure 6 (Grid-in-a-Box, §4.2.3): the six grid operations on both
+// stacks → BenchmarkFig6.
+//
+// Absolute numbers will not match a 2005 Opteron/Xindice testbed; the
+// reproduction targets the figures' shape (see DESIGN.md §3). The
+// database runs the XindiceProfile cost model so the paper's dominant
+// effect — "both counter implementations' performance is dominated by
+// Xindice" — holds here too.
+//
+// Run: go test -bench=. -benchmem
+package altstacks_test
+
+import (
+	"testing"
+
+	"altstacks/internal/container"
+	"altstacks/internal/core"
+	"altstacks/internal/experiments"
+	"altstacks/internal/xmldb"
+)
+
+func benchHello(b *testing.B, sec container.SecurityMode) {
+	for _, sc := range core.Scenarios() {
+		if sc.Sec != sec {
+			continue
+		}
+		sc := sc
+		b.Run(sc.Link.Name, func(b *testing.B) {
+			for _, stack := range []core.Stack{core.StackWST, core.StackWSRF} {
+				stack := stack
+				b.Run(stackLabel(stack), func(b *testing.B) {
+					h, err := experiments.NewHello(sc, stack, xmldb.XindiceProfile)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer h.Close()
+					for _, op := range h.Ops {
+						op := op
+						b.Run(op.Name, func(b *testing.B) {
+							runOp(b, op)
+						})
+					}
+				})
+			}
+		})
+	}
+}
+
+func runOp(b *testing.B, op experiments.Op) {
+	b.Helper()
+	// One untimed warmup pass.
+	if op.Prep != nil {
+		if err := op.Prep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := op.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if op.Prep != nil {
+			b.StopTimer()
+			if err := op.Prep(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if err := op.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func stackLabel(s core.Stack) string {
+	if s == core.StackWSRF {
+		return "WSRF-WSN"
+	}
+	return "WST-WSE"
+}
+
+// BenchmarkFig2 regenerates Figure 2: "hello world" with no security.
+func BenchmarkFig2(b *testing.B) { benchHello(b, container.SecurityNone) }
+
+// BenchmarkFig3 regenerates Figure 3: "hello world" over HTTPS.
+func BenchmarkFig3(b *testing.B) { benchHello(b, container.SecurityTLS) }
+
+// BenchmarkFig4 regenerates Figure 4: "hello world" with X.509 signing
+// of request and response.
+func BenchmarkFig4(b *testing.B) { benchHello(b, container.SecuritySign) }
+
+// BenchmarkFig6 regenerates Figure 6: the Grid-in-a-Box performance
+// comparison (X.509-signed, co-located VO — the paper's deployment).
+func BenchmarkFig6(b *testing.B) {
+	sc := core.Scenario{Index: 2, Sec: container.SecuritySign}
+	for _, stack := range []core.Stack{core.StackWST, core.StackWSRF} {
+		stack := stack
+		b.Run(stackLabel(stack), func(b *testing.B) {
+			g, err := experiments.NewGrid(sc, stack, xmldb.XindiceProfile, b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Close()
+			for _, op := range g.Ops {
+				op := op
+				b.Run(op.Name, func(b *testing.B) {
+					runOp(b, op)
+				})
+			}
+		})
+	}
+}

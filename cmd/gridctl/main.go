@@ -1,0 +1,255 @@
+// Command gridctl is the Grid-in-a-Box command-line client — the
+// paper's "two clients (grid user and admin client)" (§4.2.2) folded
+// into one binary. It speaks to a running gridboxd on either software
+// stack.
+//
+// Usage:
+//
+//	gridctl -base http://host:port -stack wsrf|wst -user DN <command> [args]
+//
+// Commands:
+//
+//	account-add DN [priv ...]   register a user account (admin)
+//	account-exists DN           probe VO membership
+//	account-remove DN           remove an account (admin)
+//	site-add HOST APP[,APP...]  register a computing site (admin)
+//	resources APP               list available sites for an application
+//	reserve HOST                make a reservation
+//	unreserve HOST              release a reservation (wst stack only;
+//	                            release is automatic on wsrf)
+//	reserved-by HOST            who holds the reservation (wst stack)
+//	run APP                     full workflow: discover, reserve, stage,
+//	                            execute, await completion, fetch output
+//	  -duration D   simulated job runtime (default 200ms)
+//	  -exit N       exit code to produce
+//	  -in  N=V      stage input file N with content V (repeatable)
+//	  -out N=V      job writes output file N with content V (repeatable)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"altstacks/internal/container"
+	"altstacks/internal/gridbox"
+)
+
+func main() {
+	base := flag.String("base", "", "VO base URL (required)")
+	stack := flag.String("stack", "wsrf", "software stack the VO runs: wsrf or wst")
+	user := flag.String("user", "CN=alice,O=UVA", "caller DN for unauthenticated deployments")
+	flag.Parse()
+	if *base == "" || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	client := container.NewClient(container.ClientConfig{})
+	var g grid
+	switch *stack {
+	case "wsrf":
+		g = &wsrfGrid{c: &gridbox.WSRFGridClient{C: client, Base: *base, UserDN: *user}}
+	case "wst":
+		g = &wstGrid{c: gridbox.NewWSTGridClient(client, *base, *user)}
+	default:
+		fatal("unknown stack %q", *stack)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if err := dispatch(g, cmd, args); err != nil {
+		fatal("%s: %v", cmd, err)
+	}
+}
+
+// grid is the stack-neutral slice of the two clients the CLI needs.
+type grid interface {
+	AccountAdd(dn string, privs []string) error
+	AccountExists(dn string) (bool, error)
+	AccountRemove(dn string) error
+	SiteAdd(site gridbox.Site) error
+	Resources(app string) ([]gridbox.Site, error)
+	Reserve(host string) error
+	Unreserve(host string) error
+	ReservedBy(host string) (string, error)
+	Run(spec gridbox.JobSpec, stageIn map[string]string, timeout time.Duration) (gridbox.RunJobResult, error)
+	Fetch(res gridbox.RunJobResult, name string) (string, error)
+}
+
+func dispatch(g grid, cmd string, args []string) error {
+	switch cmd {
+	case "account-add":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: account-add DN [priv ...]")
+		}
+		return g.AccountAdd(args[0], args[1:])
+	case "account-exists":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: account-exists DN")
+		}
+		ok, err := g.AccountExists(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Println(ok)
+		return nil
+	case "account-remove":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: account-remove DN")
+		}
+		return g.AccountRemove(args[0])
+	case "site-add":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: site-add HOST APP[,APP...]")
+		}
+		return g.SiteAdd(gridbox.Site{Host: args[0], Applications: strings.Split(args[1], ",")})
+	case "resources":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: resources APP")
+		}
+		sites, err := g.Resources(args[0])
+		if err != nil {
+			return err
+		}
+		if len(sites) == 0 {
+			fmt.Println("(no available sites)")
+		}
+		for _, s := range sites {
+			fmt.Printf("%s\t%s\n", s.Host, strings.Join(s.Applications, ","))
+		}
+		return nil
+	case "reserve":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: reserve HOST")
+		}
+		return g.Reserve(args[0])
+	case "unreserve":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: unreserve HOST")
+		}
+		return g.Unreserve(args[0])
+	case "reserved-by":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: reserved-by HOST")
+		}
+		dn, err := g.ReservedBy(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Println(dn)
+		return nil
+	case "run":
+		return runJob(g, args)
+	default:
+		return fmt.Errorf("unknown command (want account-add, account-exists, account-remove, site-add, resources, reserve, unreserve, reserved-by, run)")
+	}
+}
+
+func runJob(g grid, args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	duration := fs.Duration("duration", 200*time.Millisecond, "simulated runtime")
+	exit := fs.Int("exit", 0, "exit code")
+	timeout := fs.Duration("timeout", 30*time.Second, "completion timeout")
+	var ins, outs kvList
+	fs.Var(&ins, "in", "stage-in file NAME=CONTENT (repeatable)")
+	fs.Var(&outs, "out", "output file NAME=CONTENT (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: run [flags] APP")
+	}
+	spec := gridbox.JobSpec{
+		Application: fs.Arg(0),
+		Duration:    *duration,
+		ExitCode:    *exit,
+		OutputFiles: outs.m,
+	}
+	res, err := g.Run(spec, ins.m, *timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s: exit=%d runtime=%v\n", res.Status.State, res.Status.ExitCode, res.Status.RunTime)
+	for _, name := range res.OutputFiles {
+		content, err := g.Fetch(res, name)
+		if err != nil {
+			return fmt.Errorf("fetch %s: %w", name, err)
+		}
+		fmt.Printf("-- %s (%d bytes)\n%s\n", name, len(content), content)
+	}
+	return nil
+}
+
+// kvList collects repeated NAME=VALUE flags.
+type kvList struct{ m map[string]string }
+
+func (k *kvList) String() string { return fmt.Sprint(k.m) }
+func (k *kvList) Set(s string) error {
+	name, value, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want NAME=CONTENT, got %q", s)
+	}
+	if k.m == nil {
+		k.m = map[string]string{}
+	}
+	k.m[name] = value
+	return nil
+}
+
+// ---- stack adapters ----
+
+type wsrfGrid struct{ c *gridbox.WSRFGridClient }
+
+func (g *wsrfGrid) AccountAdd(dn string, privs []string) error { return g.c.AddAccount(dn, privs...) }
+func (g *wsrfGrid) AccountExists(dn string) (bool, error)      { return g.c.AccountExists(dn) }
+func (g *wsrfGrid) AccountRemove(dn string) error              { return g.c.RemoveAccount(dn) }
+func (g *wsrfGrid) SiteAdd(site gridbox.Site) error            { return g.c.RegisterSite(site) }
+func (g *wsrfGrid) Resources(app string) ([]gridbox.Site, error) {
+	return g.c.GetAvailableResources(app)
+}
+func (g *wsrfGrid) Reserve(host string) error {
+	_, err := g.c.MakeReservation(host)
+	return err
+}
+func (g *wsrfGrid) Unreserve(string) error {
+	return fmt.Errorf("release is automatic on the WSRF stack (resource lifetime)")
+}
+func (g *wsrfGrid) ReservedBy(string) (string, error) {
+	return "", fmt.Errorf("per-site reservation lookup is a WS-Transfer-stack EPR mode")
+}
+func (g *wsrfGrid) Run(spec gridbox.JobSpec, in map[string]string, timeout time.Duration) (gridbox.RunJobResult, error) {
+	return g.c.RunJob(spec, in, timeout)
+}
+func (g *wsrfGrid) Fetch(res gridbox.RunJobResult, name string) (string, error) {
+	return g.c.DownloadFile(res.Dir, name)
+}
+
+type wstGrid struct{ c *gridbox.WSTGridClient }
+
+func (g *wstGrid) AccountAdd(dn string, privs []string) error {
+	_, err := g.c.CreateAccount(dn, privs...)
+	return err
+}
+func (g *wstGrid) AccountExists(dn string) (bool, error) { return g.c.AccountExists(dn) }
+func (g *wstGrid) AccountRemove(dn string) error         { return g.c.DeleteAccount(dn) }
+func (g *wstGrid) SiteAdd(site gridbox.Site) error {
+	_, err := g.c.RegisterSite(site)
+	return err
+}
+func (g *wstGrid) Resources(app string) ([]gridbox.Site, error) {
+	return g.c.GetAvailableResources(app)
+}
+func (g *wstGrid) Reserve(host string) error              { return g.c.MakeReservation(host) }
+func (g *wstGrid) Unreserve(host string) error            { return g.c.UnreserveResource(host) }
+func (g *wstGrid) ReservedBy(host string) (string, error) { return g.c.ReservedBy(host) }
+func (g *wstGrid) Run(spec gridbox.JobSpec, in map[string]string, timeout time.Duration) (gridbox.RunJobResult, error) {
+	return g.c.RunJob(spec, in, timeout)
+}
+func (g *wstGrid) Fetch(_ gridbox.RunJobResult, name string) (string, error) {
+	return g.c.DownloadFile(name)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "gridctl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package altstacks is a from-scratch Go reproduction of "Alternative
+// Software Stacks for OGSA-based Grids" (Humphrey, Wasson, Kiryakov,
+// Park, Del Vecchio, Beekwilder, Gray — Supercomputing 2005): two
+// complete OGSA software stacks — WSRF/WS-Notification and
+// WS-Transfer/WS-Eventing — built on a shared resource-aware SOAP
+// container, evaluated head-to-head on the paper's "hello world"
+// counter service and "Grid-in-a-Box" remote job execution scenario.
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The benchmarks in bench_test.go and the
+// cmd/figures binary regenerate every figure in the paper's
+// evaluation section.
+package altstacks

@@ -1,0 +1,189 @@
+// Monitoring: the paper's aside that "WSRF and WS-Transfer at their
+// core expose a simple get/set interface to resource state (and appear
+// to be an excellent replacement for SNMP)" (§1), built out: a host
+// monitoring service where each monitored node is a WS-Resource whose
+// metrics are resource properties.
+//
+// The example exercises the WSRF machinery the counter leaves unused:
+// GetMultipleResourceProperties, QueryResourceProperties with XPath
+// predicates, a WS-ServiceGroup tracking the monitored fleet, and a
+// WS-Notification subscription whose ProducerProperties filter
+// suppresses alerts while the fleet is in a maintenance window.
+//
+// Run: go run ./examples/monitoring
+package main
+
+import (
+	"encoding/xml"
+	"fmt"
+	"log"
+	"strconv"
+	"time"
+
+	"altstacks/internal/container"
+	"altstacks/internal/wsa"
+	"altstacks/internal/wsn"
+	"altstacks/internal/wsrf"
+	"altstacks/internal/wsrf/rp"
+	"altstacks/internal/wsrf/sg"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+const ns = "urn:example:monitor"
+
+func main() {
+	c := container.New(container.SecurityNone)
+	client := container.NewClient(container.ClientConfig{})
+	db := xmldb.NewMemory(xmldb.CostModel{})
+
+	maintenance := false
+
+	// Each monitored host is a WS-Resource; its state holds raw
+	// samples, its properties expose both raw and computed views.
+	hosts := &wsrf.Home{
+		DB: db, Collection: "hosts",
+		RefSpace: ns, RefLocal: "HostID",
+		Endpoint: func() string { return c.BaseURL() + "/monitor" },
+	}
+	hosts.DefineProperty(wsrf.StateChildProperty(ns, "CPU"))
+	hosts.DefineProperty(wsrf.StateChildProperty(ns, "MemFree"))
+	hosts.DefineProperty(wsrf.PropertyDef{
+		// A computed property, like the paper's DoubleValue example.
+		Name: xml.Name{Space: ns, Local: "Healthy"},
+		Get: func(r *wsrf.Resource) []*xmlutil.Element {
+			cpu, _ := strconv.Atoi(r.State.ChildText(ns, "CPU"))
+			mem, _ := strconv.Atoi(r.State.ChildText(ns, "MemFree"))
+			return []*xmlutil.Element{xmlutil.NewText(ns, "Healthy",
+				strconv.FormatBool(cpu < 90 && mem > 256))}
+		},
+	})
+
+	// Alerts flow through a notification producer whose
+	// ProducerProperties document reflects the maintenance switch.
+	producer := wsn.NewProducer(db, "monitor-subs",
+		func() string { return c.BaseURL() + "/monitor-mgr" }, client)
+	producer.ProducerProperties = func() *xmlutil.Element {
+		return xmlutil.New(ns, "MonitorState").Add(
+			xmlutil.NewText(ns, "Maintenance", strconv.FormatBool(maintenance)))
+	}
+
+	// The fleet group: one ServiceGroup entry per monitored host.
+	groups := &wsrf.Home{
+		DB: db, Collection: "fleets",
+		RefSpace: ns, RefLocal: "FleetID",
+		Endpoint: func() string { return c.BaseURL() + "/fleet" },
+	}
+
+	monitorSvc := &container.Service{Path: "/monitor"}
+	wsrf.Aggregate(monitorSvc, &rp.PortType{Home: hosts}, producer.ProducerPortType())
+	c.Register(monitorSvc)
+	c.Register(producer.ManagerService("/monitor-mgr"))
+	fleetSvc := &container.Service{Path: "/fleet"}
+	wsrf.Aggregate(fleetSvc, &sg.PortType{Home: groups, ContentRule: []string{"Role"}})
+	c.Register(fleetSvc)
+
+	if _, err := c.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Provision three hosts and the fleet group.
+	fleet, err := groups.Create(sg.NewGroupState())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sgc := sg.Client{C: client}
+	sample := func(cpu, mem int) *xmlutil.Element {
+		return xmlutil.New(ns, "Host").Add(
+			xmlutil.NewText(ns, "CPU", strconv.Itoa(cpu)),
+			xmlutil.NewText(ns, "MemFree", strconv.Itoa(mem)),
+		)
+	}
+	eprs := map[string]wsa.EPR{}
+	for name, s := range map[string]*xmlutil.Element{
+		"web-1": sample(35, 2048),
+		"web-2": sample(95, 1024), // hot CPU
+		"db-1":  sample(60, 128),  // low memory
+	} {
+		epr, err := hosts.CreateWithID(name, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eprs[name] = epr
+		if _, err := sgc.Add(fleet, epr, xmlutil.NewText(ns, "Role", "production")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fleetRes, _ := groups.Load(mustProp(fleet, ns, "FleetID"))
+	entries, _ := sg.Entries(fleetRes)
+	fmt.Printf("fleet registered: %d hosts in the service group\n", len(entries))
+
+	// SNMP-style polling: several properties in one exchange.
+	rpc := rp.Client{C: client}
+	vals, err := rpc.GetMultiple(eprs["web-1"], "CPU", "MemFree", "Healthy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("web-1 poll: CPU=%s MemFree=%s Healthy=%s\n",
+		vals[0].TrimText(), vals[1].TrimText(), vals[2].TrimText())
+
+	// Declarative health checks: XPath over the property document.
+	for _, name := range []string{"web-1", "web-2", "db-1"} {
+		hits, err := rpc.Query(eprs[name], "/Properties/Healthy[.='false']")
+		if err != nil {
+			log.Fatal(err)
+		}
+		state := "healthy"
+		if len(hits) > 0 {
+			state = "UNHEALTHY"
+		}
+		fmt.Printf("query %-6s → %s\n", name, state)
+	}
+
+	// Alerting: subscribe to threshold breaches, but only outside
+	// maintenance windows (a ProducerProperties filter).
+	cons, err := wsn.NewConsumer(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cons.Close()
+	if _, err := wsn.Subscribe(client, c.EPR("/monitor"), cons.EPR(), wsn.SubscribeOptions{
+		Topic:              wsn.Concrete("alerts/cpu"),
+		MessageContent:     "/Alert[CPU>90]",
+		ProducerProperties: "/MonitorState[Maintenance='false']",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	alert := func(host string, cpu int) int {
+		n, err := producer.Notify("alerts/cpu", xmlutil.New(ns, "Alert").Add(
+			xmlutil.NewText(ns, "Host", host),
+			xmlutil.NewText(ns, "CPU", strconv.Itoa(cpu)),
+		))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n
+	}
+	fmt.Printf("alert web-2 cpu=95 → delivered to %d operator(s)\n", alert("web-2", 95))
+	fmt.Printf("alert web-1 cpu=35 → delivered to %d (below threshold)\n", alert("web-1", 35))
+	maintenance = true
+	fmt.Printf("maintenance window on; alert web-2 cpu=97 → delivered to %d (suppressed)\n", alert("web-2", 97))
+	maintenance = false
+
+	select {
+	case ev := <-cons.Ch:
+		fmt.Printf("operator received: host=%s cpu=%s\n",
+			ev.Message.ChildText(ns, "Host"), ev.Message.ChildText(ns, "CPU"))
+	case <-time.After(5 * time.Second):
+		log.Fatal("the one real alert never arrived")
+	}
+}
+
+func mustProp(e wsa.EPR, space, local string) string {
+	v, ok := e.Property(space, local)
+	if !ok {
+		log.Fatalf("EPR lacks %s", local)
+	}
+	return v
+}

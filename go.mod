@@ -1,0 +1,3 @@
+module altstacks
+
+go 1.22

@@ -1,0 +1,253 @@
+// Whole-system integration tests: both software stacks, all three
+// security modes, multiple concurrent users — the configurations the
+// paper's evaluation spans, exercised end to end through real SOAP
+// exchanges.
+package altstacks_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"altstacks/internal/container"
+	"altstacks/internal/core"
+	"altstacks/internal/counter"
+	"altstacks/internal/experiments"
+	"altstacks/internal/gridbox"
+	"altstacks/internal/wsa"
+	"altstacks/internal/wse"
+	"altstacks/internal/xmldb"
+)
+
+// TestCounterAllScenarios drives the counter's full verb set through
+// every (security × locality × stack) combination — the paper's 6
+// scenarios × 2 stacks = 12 deployments.
+func TestCounterAllScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12 deployments with PKI")
+	}
+	for _, sc := range core.Scenarios() {
+		for _, stack := range []core.Stack{core.StackWSRF, core.StackWST} {
+			sc, stack := sc, stack
+			t.Run(fmt.Sprintf("%d-%s-%s", sc.Index, sc.Sec, stack), func(t *testing.T) {
+				h, err := experiments.NewHello(sc, stack, xmldb.CostModel{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer h.Close()
+				for _, op := range h.Ops {
+					if op.Prep != nil {
+						if err := op.Prep(); err != nil {
+							t.Fatalf("%s prep: %v", op.Name, err)
+						}
+					}
+					if err := op.Run(); err != nil {
+						t.Fatalf("%s: %v", op.Name, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBothVOsConcurrently runs the WSRF and WS-Transfer Grid-in-a-Box
+// deployments side by side with three users submitting jobs in
+// parallel on each — the multi-tenant condition a VO actually faces.
+func TestBothVOsConcurrently(t *testing.T) {
+	client := container.NewClient(container.ClientConfig{})
+
+	// WSRF VO with three sites.
+	wsrfC := container.New(container.SecurityNone)
+	if _, err := gridbox.InstallWSRFVO(wsrfC, gridbox.WSRFVOConfig{
+		DB: xmldb.NewMemory(xmldb.CostModel{}), DataRoot: t.TempDir(),
+		Local: client, ReservationDelta: time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wsrfC.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer wsrfC.Close()
+
+	// WS-Transfer VO with three sites.
+	wstC := container.New(container.SecurityNone)
+	if _, err := gridbox.InstallWSTVO(wstC, gridbox.WSTVOConfig{
+		DB: xmldb.NewMemory(xmldb.CostModel{}), DataRoot: t.TempDir(), Local: client,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wstC.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer wstC.Close()
+
+	users := []string{"CN=u1", "CN=u2", "CN=u3"}
+	admin := &gridbox.WSRFGridClient{C: client, Base: wsrfC.BaseURL(), UserDN: "CN=admin"}
+	wstAdmin := gridbox.NewWSTGridClient(client, wstC.BaseURL(), "CN=admin")
+	for i, u := range users {
+		if err := admin.AddAccount(u); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wstAdmin.CreateAccount(u); err != nil {
+			t.Fatal(err)
+		}
+		site := gridbox.Site{Host: fmt.Sprintf("node-%d", i), Applications: []string{"blast"}}
+		if err := admin.RegisterSite(site); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wstAdmin.RegisterSite(site); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	spec := gridbox.JobSpec{
+		Application: "blast",
+		Duration:    40 * time.Millisecond,
+		OutputFiles: map[string]string{"out.dat": "ok"},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(users)*2)
+	for i, u := range users {
+		wg.Add(2)
+		// Pin each user to their own site so parallel reservations
+		// don't contend (discovery races are exercised elsewhere).
+		host := fmt.Sprintf("node-%d", i)
+		go func(u string) {
+			defer wg.Done()
+			g := &gridbox.WSRFGridClient{C: client, Base: wsrfC.BaseURL(), UserDN: u}
+			res, err := g.MakeReservation(host)
+			if err != nil {
+				errs <- fmt.Errorf("wsrf %s reserve: %w", u, err)
+				return
+			}
+			dir, err := g.CreateDirectory()
+			if err != nil {
+				errs <- fmt.Errorf("wsrf %s dir: %w", u, err)
+				return
+			}
+			job, err := g.InstantiateJob(spec, res, dir)
+			if err != nil {
+				errs <- fmt.Errorf("wsrf %s job: %w", u, err)
+				return
+			}
+			if err := waitDone(func() (gridbox.JobStatus, error) { return g.JobStatus(job) }); err != nil {
+				errs <- fmt.Errorf("wsrf %s: %w", u, err)
+			}
+		}(u)
+		go func(u string) {
+			defer wg.Done()
+			g := gridbox.NewWSTGridClient(client, wstC.BaseURL(), u)
+			if err := g.MakeReservation(host); err != nil {
+				errs <- fmt.Errorf("wst %s reserve: %w", u, err)
+				return
+			}
+			job, err := g.InstantiateJob(spec, host)
+			if err != nil {
+				errs <- fmt.Errorf("wst %s job: %w", u, err)
+				return
+			}
+			if err := waitDone(func() (gridbox.JobStatus, error) { return g.JobStatus(job) }); err != nil {
+				errs <- fmt.Errorf("wst %s: %w", u, err)
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func waitDone(status func() (gridbox.JobStatus, error)) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := status()
+		if err != nil {
+			return err
+		}
+		if st.Done() {
+			if st.ExitCode != 0 {
+				return fmt.Errorf("exit code %d", st.ExitCode)
+			}
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("job never completed")
+}
+
+// TestStackNeutralWorkloadParity runs one workload routine against
+// both stacks and requires identical observable behavior — the §5
+// switching-cost claim as an executable assertion.
+func TestStackNeutralWorkloadParity(t *testing.T) {
+	workload := func(cl counter.Client) (int, error) {
+		epr, err := cl.Create(counter.Representation(100))
+		if err != nil {
+			return 0, err
+		}
+		stream, err := cl.SubscribeValueChanged(epr)
+		if err != nil {
+			return 0, err
+		}
+		defer stream.Cancel() //nolint:errcheck
+		for i := 0; i < 3; i++ {
+			if err := cl.Set(epr, counter.Representation(101+i)); err != nil {
+				return 0, err
+			}
+			select {
+			case <-stream.Events():
+			case <-time.After(5 * time.Second):
+				return 0, fmt.Errorf("notification %d missing", i)
+			}
+		}
+		rep, err := cl.Get(epr)
+		if err != nil {
+			return 0, err
+		}
+		v, err := counter.Value(rep)
+		if err != nil {
+			return 0, err
+		}
+		return v, cl.Destroy(epr)
+	}
+
+	results := map[core.Stack]int{}
+	for _, stack := range []core.Stack{core.StackWSRF, core.StackWST} {
+		c := container.New(container.SecurityNone)
+		client := container.NewClient(container.ClientConfig{})
+		var cl counter.Client
+		switch stack {
+		case core.StackWSRF:
+			counter.InstallWSRF(c, xmldb.NewMemory(xmldb.CostModel{}), client)
+		case core.StackWST:
+			store, err := wse.NewStore("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			counter.InstallWST(c, xmldb.NewMemory(xmldb.CostModel{}), store, client)
+		}
+		base, err := c.Start()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch stack {
+		case core.StackWSRF:
+			cl = &counter.WSRFClient{C: client, Service: wsa.NewEPR(base + "/counter")}
+		case core.StackWST:
+			cl = counter.NewWSTClient(client, base)
+		}
+		v, err := workload(cl)
+		c.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", stack, err)
+		}
+		results[stack] = v
+	}
+	if results[core.StackWSRF] != results[core.StackWST] {
+		t.Fatalf("workload results diverge: %v", results)
+	}
+	if results[core.StackWSRF] != 103 {
+		t.Fatalf("final value = %d, want 103", results[core.StackWSRF])
+	}
+}

@@ -1,0 +1,128 @@
+// Package certs is the reproduction's PKI: a self-signed certificate
+// authority that issues X.509 identities for services and clients.
+//
+// The paper's security scenarios need exactly two artifacts — X.509
+// signing identities (Figures 4 and 6: "X.509-based signing of request
+// and response") and HTTPS server credentials (Figure 3). In the
+// paper these came from the testbed's Windows certificate stores; here
+// a throwaway CA is generated per process.
+package certs
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// KeyBits is the RSA modulus size for all generated keys. 2048 matches
+// contemporary deployment practice; the paper's observation that "the
+// overhead of the security processing is so large that the performance
+// differences between the two underlying systems tend to fade" needs
+// realistic key sizes to reproduce.
+const KeyBits = 2048
+
+// Identity is an X.509 certificate plus its private key.
+type Identity struct {
+	Cert    *x509.Certificate
+	CertDER []byte
+	Key     *rsa.PrivateKey
+}
+
+// DN returns the subject distinguished name string, the user identity
+// Grid-in-a-Box accounts are keyed by (paper §4.2.2 — "the EPR
+// containing the X509 DN of the user").
+func (id *Identity) DN() string { return id.Cert.Subject.String() }
+
+// TLSCertificate adapts the identity for crypto/tls.
+func (id *Identity) TLSCertificate() tls.Certificate {
+	return tls.Certificate{Certificate: [][]byte{id.CertDER}, PrivateKey: id.Key}
+}
+
+// Authority is a self-signed CA.
+type Authority struct {
+	Identity
+	serial int64
+}
+
+// NewAuthority generates a fresh CA.
+func NewAuthority() (*Authority, error) {
+	key, err := rsa.GenerateKey(rand.Reader, KeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("certs: generate CA key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "altstacks test CA", Organization: []string{"UVA Grid Repro"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * 365 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("certs: self-sign CA: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("certs: reparse CA: %w", err)
+	}
+	return &Authority{Identity: Identity{Cert: cert, CertDER: der, Key: key}, serial: 1}, nil
+}
+
+// Issue creates an identity signed by the CA. hosts lists DNS names or
+// IP addresses for server certificates; client identities pass none.
+func (a *Authority) Issue(commonName string, hosts ...string) (*Identity, error) {
+	key, err := rsa.GenerateKey(rand.Reader, KeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("certs: generate key for %s: %w", commonName, err)
+	}
+	a.serial++
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(a.serial),
+		Subject:      pkix.Name{CommonName: commonName, Organization: []string{"UVA Grid Repro"}},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * 365 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.Cert, &key.PublicKey, a.Key)
+	if err != nil {
+		return nil, fmt.Errorf("certs: sign %s: %w", commonName, err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("certs: reparse %s: %w", commonName, err)
+	}
+	return &Identity{Cert: cert, CertDER: der, Key: key}, nil
+}
+
+// Pool returns a certificate pool trusting only this CA.
+func (a *Authority) Pool() *x509.CertPool {
+	p := x509.NewCertPool()
+	p.AddCert(a.Cert)
+	return p
+}
+
+// ServerTLS builds a TLS config for an HTTPS endpoint presenting id.
+func (a *Authority) ServerTLS(id *Identity) *tls.Config {
+	return &tls.Config{Certificates: []tls.Certificate{id.TLSCertificate()}}
+}
+
+// ClientTLS builds a TLS config that trusts the CA's servers.
+func (a *Authority) ClientTLS() *tls.Config {
+	return &tls.Config{RootCAs: a.Pool()}
+}

@@ -1,0 +1,137 @@
+package certs
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One CA per test binary: keygen is expensive.
+var (
+	once sync.Once
+	auth *Authority
+)
+
+func authority(t *testing.T) *Authority {
+	t.Helper()
+	once.Do(func() {
+		var err error
+		auth, err = NewAuthority()
+		if err != nil {
+			panic(err)
+		}
+	})
+	return auth
+}
+
+func TestAuthoritySelfSigned(t *testing.T) {
+	a := authority(t)
+	if !a.Cert.IsCA {
+		t.Fatal("CA certificate lacks IsCA")
+	}
+	if err := a.Cert.CheckSignatureFrom(a.Cert); err != nil {
+		t.Fatalf("CA not self-signed: %v", err)
+	}
+}
+
+func TestIssueChainsToCA(t *testing.T) {
+	a := authority(t)
+	id, err := a.Issue("svc-x", "127.0.0.1", "svc.example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := id.Cert.Verify(x509.VerifyOptions{Roots: a.Pool()}); err != nil {
+		t.Fatalf("issued cert does not chain: %v", err)
+	}
+	if id.Cert.Subject.CommonName != "svc-x" {
+		t.Fatalf("CN = %q", id.Cert.Subject.CommonName)
+	}
+	if len(id.Cert.IPAddresses) != 1 || len(id.Cert.DNSNames) != 1 {
+		t.Fatalf("SANs = %v %v", id.Cert.IPAddresses, id.Cert.DNSNames)
+	}
+}
+
+func TestDN(t *testing.T) {
+	a := authority(t)
+	id, err := a.Issue("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn := id.DN()
+	if !strings.Contains(dn, "CN=alice") || !strings.Contains(dn, "O=UVA Grid Repro") {
+		t.Fatalf("DN = %q", dn)
+	}
+}
+
+func TestSerialsDistinct(t *testing.T) {
+	a := authority(t)
+	id1, err := a.Issue("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := a.Issue("s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1.Cert.SerialNumber.Cmp(id2.Cert.SerialNumber) == 0 {
+		t.Fatal("issued certificates share a serial number")
+	}
+}
+
+func TestForeignCARejected(t *testing.T) {
+	a := authority(t)
+	other, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := other.Issue("intruder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := id.Cert.Verify(x509.VerifyOptions{Roots: a.Pool()}); err == nil {
+		t.Fatal("foreign certificate verified against our CA")
+	}
+}
+
+func TestTLSEndToEnd(t *testing.T) {
+	a := authority(t)
+	server, err := a.Issue("tls-server", "127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", a.ServerTLS(server))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		io.WriteString(conn, "hello over tls") //nolint:errcheck
+		conn.Close()
+	}()
+	conn, err := tls.Dial("tcp", ln.Addr().String(), a.ClientTLS())
+	if err != nil {
+		t.Fatalf("trusted client handshake failed: %v", err)
+	}
+	data, _ := io.ReadAll(conn)
+	conn.Close()
+	if string(data) != "hello over tls" {
+		t.Fatalf("payload = %q", data)
+	}
+	// An untrusting client must refuse the server certificate.
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	if _, err := tls.Dial("tcp", ln.Addr().String(), &tls.Config{}); err == nil {
+		t.Fatal("untrusting client completed the handshake")
+	}
+}

@@ -1,0 +1,159 @@
+package container
+
+import (
+	"bytes"
+	"crypto/tls"
+	"fmt"
+	"io"
+	"net/http"
+
+	"altstacks/internal/netlat"
+	"altstacks/internal/soap"
+	"altstacks/internal/wsa"
+	"altstacks/internal/wssec"
+	"altstacks/internal/xmlutil"
+)
+
+// Client is the proxy through which both stacks' clients invoke
+// services: it stamps WS-Addressing headers (including the target
+// EPR's reference properties), applies the configured security mode,
+// performs the HTTP exchange, and unwraps the SOAP response.
+//
+// The paper observes that "from a client perspective, engaging either
+// counter service is similar to invoking web methods on any other Web
+// service — via a Web service proxy object" (§4.1.3); Client is that
+// proxy object, shared by both stacks.
+type Client struct {
+	// HTTP performs the exchanges; connections are pooled, which is
+	// what makes the HTTPS scenario fast ("due to socket caching,
+	// HTTPS performance is much faster", §4.1.3).
+	HTTP *http.Client
+	// Signer signs requests (X.509 scenarios); nil otherwise.
+	Signer *wssec.Signer
+	// Verifier verifies signed responses; nil skips verification.
+	Verifier *wssec.Verifier
+}
+
+// ClientConfig assembles a Client for one experimental scenario.
+type ClientConfig struct {
+	Mode SecurityMode
+	// Link models the network between client and service.
+	Link netlat.Profile
+	// TLS is required for SecurityTLS (trusting the container's CA).
+	TLS *tls.Config
+	// Signer/Verifier are required for SecuritySign.
+	Signer   *wssec.Signer
+	Verifier *wssec.Verifier
+}
+
+// NewClient builds a client for the scenario.
+func NewClient(cfg ClientConfig) *Client {
+	base := &http.Transport{TLSClientConfig: cfg.TLS, MaxIdleConnsPerHost: 16}
+	c := &Client{HTTP: &http.Client{Transport: cfg.Link.Transport(base)}}
+	if cfg.Mode == SecuritySign {
+		c.Signer = cfg.Signer
+		c.Verifier = cfg.Verifier
+	}
+	return c
+}
+
+// Call invokes action on the endpoint, sending body and returning the
+// response body element. SOAP faults come back as *soap.Fault errors.
+func (c *Client) Call(epr wsa.EPR, action string, body *xmlutil.Element) (*xmlutil.Element, error) {
+	env, err := c.CallEnvelope(epr, action, body)
+	if err != nil {
+		return nil, err
+	}
+	return env.Body, nil
+}
+
+// CallWithHeaders is Call with extra application header blocks (for
+// example the wse:Topic header on event deliveries).
+func (c *Client) CallWithHeaders(epr wsa.EPR, action string, headers []*xmlutil.Element, body *xmlutil.Element) (*xmlutil.Element, error) {
+	env, err := c.callEnvelope(epr, action, headers, body)
+	if err != nil {
+		return nil, err
+	}
+	return env.Body, nil
+}
+
+// CallEnvelope is Call but returns the whole response envelope, for
+// callers that need response headers.
+func (c *Client) CallEnvelope(epr wsa.EPR, action string, body *xmlutil.Element) (*soap.Envelope, error) {
+	return c.callEnvelope(epr, action, nil, body)
+}
+
+func (c *Client) callEnvelope(epr wsa.EPR, action string, headers []*xmlutil.Element, body *xmlutil.Element) (*soap.Envelope, error) {
+	if epr.Address == "" {
+		return nil, fmt.Errorf("container: call to empty EPR address")
+	}
+	env := soap.New(body)
+	env.AddHeader(headers...)
+	wsa.Stamp(env, epr, action)
+	if c.Signer != nil {
+		if err := c.Signer.Sign(env); err != nil {
+			return nil, err
+		}
+	}
+	data := env.Marshal()
+	req, err := http.NewRequest(http.MethodPost, epr.Address, bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("container: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	req.Header.Set("SOAPAction", action)
+	req.ContentLength = int64(len(data))
+	httpResp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("container: %s: %w", action, err)
+	}
+	defer httpResp.Body.Close()
+	respData, err := io.ReadAll(io.LimitReader(httpResp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("container: read response: %w", err)
+	}
+	respEnv, err := soap.Parse(respData)
+	if err != nil {
+		return nil, fmt.Errorf("container: response (HTTP %d): %w", httpResp.StatusCode, err)
+	}
+	if respEnv.IsFault() {
+		return nil, respEnv.Fault
+	}
+	if c.Verifier != nil {
+		if _, err := c.Verifier.Verify(respEnv); err != nil {
+			return nil, fmt.Errorf("container: response verification: %w", err)
+		}
+	}
+	return respEnv, nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// WithoutKeepAlives returns a client that closes its connection after
+// every exchange. This models the 2005 notification-consumer HTTP
+// path: WSRF.NET's "custom HTTP server that clients include" accepts
+// one-shot connections, so every WS-Notification delivery pays
+// connection setup — the "TCP vs. HTTP issue" behind the paper's
+// Notify results (§4.1.3), in contrast to the Plumbwork SoapReceiver's
+// persistent raw-TCP channel.
+func (c *Client) WithoutKeepAlives() *Client {
+	base := c.httpClient().Transport
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	cp := *c
+	cp.HTTP = &http.Client{Transport: closingTransport{base}}
+	return &cp
+}
+
+type closingTransport struct{ base http.RoundTripper }
+
+func (t closingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	req.Close = true
+	return t.base.RoundTrip(req)
+}

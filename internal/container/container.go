@@ -1,0 +1,295 @@
+// Package container is the "resource-aware container" of paper
+// Figure 1, shared by both software stacks: requests enter, the
+// Dispatch mechanism routes them to the correct service by URL path
+// and WS-Addressing Action, the Security/Policy Handler authenticates
+// the client and verifies message signatures, the service code runs
+// against its storage, and the response flows back out through the
+// security handler (which signs it when message-level security is on).
+//
+// The paper built this on ASP.NET/IIS with WSE; here the same
+// architecture sits on net/http. Lifetime management and the
+// notification/eventing producer are "independent activities within
+// the container" (paper §3) and live in the wsrf/rl, wsn, and wse
+// packages, which register themselves as services and background
+// tasks here.
+package container
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"altstacks/internal/soap"
+	"altstacks/internal/wsa"
+	"altstacks/internal/wssec"
+	"altstacks/internal/xmlutil"
+)
+
+// SecurityMode selects the paper's three security scenarios.
+type SecurityMode int
+
+const (
+	// SecurityNone: plain HTTP, unauthenticated (Figure 2).
+	SecurityNone SecurityMode = iota
+	// SecurityTLS: HTTPS transport security (Figure 3).
+	SecurityTLS
+	// SecuritySign: X.509 message-level signing of request and
+	// response (Figure 4).
+	SecuritySign
+)
+
+// String names the mode as the figures caption it.
+func (m SecurityMode) String() string {
+	switch m {
+	case SecurityTLS:
+		return "https"
+	case SecuritySign:
+		return "x509-signing"
+	default:
+		return "no-security"
+	}
+}
+
+// Ctx carries one request through a service action.
+type Ctx struct {
+	// Envelope is the parsed request.
+	Envelope *soap.Envelope
+	// Info holds the WS-Addressing message information headers.
+	Info wsa.Info
+	// Peer is the verified signer certificate under SecuritySign, nil
+	// otherwise. Services authorize against Peer.Subject (the X.509 DN
+	// Grid-in-a-Box accounts are keyed by).
+	Peer *x509.Certificate
+}
+
+// PeerDN returns the authenticated subject DN or "" when anonymous.
+func (c *Ctx) PeerDN() string {
+	if c.Peer == nil {
+		return ""
+	}
+	return c.Peer.Subject.String()
+}
+
+// ActionFunc handles one WS-Addressing action, returning the response
+// body element. Returning a *soap.Fault (possibly wrapped) produces a
+// SOAP fault response; other errors become Server faults.
+type ActionFunc func(*Ctx) (*xmlutil.Element, error)
+
+// Service is one endpoint: a URL path and its action table.
+type Service struct {
+	// Path is the container-relative endpoint path, e.g. "/counter".
+	Path string
+	// Actions maps WS-Addressing Action URIs to handlers.
+	Actions map[string]ActionFunc
+	// Understood lists extra header names ("namespace local") the
+	// service understands for soap:mustUnderstand accounting.
+	Understood map[string]bool
+}
+
+// Container hosts services over HTTP or HTTPS.
+type Container struct {
+	Mode SecurityMode
+	// Signer signs responses under SecuritySign.
+	Signer *wssec.Signer
+	// Verifier authenticates requests under SecuritySign.
+	Verifier *wssec.Verifier
+	// TLS carries the server credentials under SecurityTLS.
+	TLS *tls.Config
+
+	mu       sync.Mutex
+	services map[string]*Service
+	server   *http.Server
+	listener net.Listener
+	baseURL  string
+	closers  []func()
+}
+
+// New returns an empty container in the given security mode.
+func New(mode SecurityMode) *Container {
+	return &Container{Mode: mode, services: map[string]*Service{}}
+}
+
+// Register adds a service endpoint. It panics on duplicate paths —
+// registration is a wiring-time programming error, not a runtime
+// condition.
+func (c *Container) Register(svc *Service) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if svc.Path == "" || svc.Path[0] != '/' {
+		panic(fmt.Sprintf("container: bad service path %q", svc.Path))
+	}
+	if _, dup := c.services[svc.Path]; dup {
+		panic(fmt.Sprintf("container: duplicate service path %q", svc.Path))
+	}
+	c.services[svc.Path] = svc
+}
+
+// OnClose registers a shutdown hook (lifetime sweepers, notification
+// dispatchers) run by Close.
+func (c *Container) OnClose(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closers = append(c.closers, fn)
+}
+
+// Start begins serving on a fresh loopback port and returns the base
+// URL (http://127.0.0.1:port or https://...).
+func (c *Container) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("container: listen: %w", err)
+	}
+	scheme := "http"
+	if c.Mode == SecurityTLS {
+		if c.TLS == nil {
+			ln.Close()
+			return "", fmt.Errorf("container: SecurityTLS requires a TLS config")
+		}
+		ln = tls.NewListener(ln, c.TLS)
+		scheme = "https"
+	}
+	c.listener = ln
+	c.baseURL = fmt.Sprintf("%s://%s", scheme, ln.Addr().String())
+	c.server = &http.Server{
+		Handler:           http.HandlerFunc(c.serveHTTP),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Handshake failures from deliberately-untrusting benchmark
+		// clients would otherwise spam stderr.
+		ErrorLog: log.New(io.Discard, "", 0),
+	}
+	go c.server.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return c.baseURL, nil
+}
+
+// BaseURL returns the serving address ("" before Start).
+func (c *Container) BaseURL() string { return c.baseURL }
+
+// EPR returns a bare endpoint reference for a registered service path.
+func (c *Container) EPR(path string) wsa.EPR { return wsa.NewEPR(c.baseURL + path) }
+
+// Close stops the listener and runs shutdown hooks.
+func (c *Container) Close() {
+	if c.server != nil {
+		c.server.Close()
+	}
+	c.mu.Lock()
+	hooks := c.closers
+	c.closers = nil
+	c.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+func (c *Container) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	svc := c.services[r.URL.Path]
+	c.mu.Unlock()
+	if svc == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "SOAP endpoints accept POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	env, err := soap.Parse(body)
+	if err != nil {
+		c.writeFault(w, "", faultOf(err))
+		return
+	}
+	info := wsa.Extract(env)
+	resp, fault := c.dispatch(svc, env, info)
+	if fault != nil {
+		c.writeFault(w, info.MessageID, fault)
+		return
+	}
+	c.writeResponse(w, http.StatusOK, resp)
+}
+
+// dispatch runs the security handler and the action handler, mirroring
+// the Figure 1 pipeline.
+func (c *Container) dispatch(svc *Service, env *soap.Envelope, info wsa.Info) (*soap.Envelope, *soap.Fault) {
+	ctx := &Ctx{Envelope: env, Info: info}
+	// Security/Policy Handler.
+	if c.Mode == SecuritySign {
+		if c.Verifier == nil {
+			return nil, soap.Faultf(soap.FaultServer, "container misconfigured: no verifier")
+		}
+		cert, err := c.Verifier.Verify(env)
+		if err != nil {
+			return nil, soap.Faultf(soap.FaultClient, "security: %v", err)
+		}
+		ctx.Peer = cert
+	}
+	// mustUnderstand accounting: addressing headers, the security
+	// header, EPR reference properties (never flagged), and anything
+	// the service declares.
+	understood := map[string]bool{wssec.SecurityHeaderName: true}
+	for name := range svc.Understood {
+		understood[name] = true
+	}
+	if err := env.CheckMustUnderstand(understood); err != nil {
+		return nil, faultOf(err)
+	}
+	handler, ok := svc.Actions[info.Action]
+	if !ok {
+		return nil, soap.Faultf(soap.FaultClient, "service %s does not support action %q", svc.Path, info.Action)
+	}
+	respBody, err := handler(ctx)
+	if err != nil {
+		return nil, faultOf(err)
+	}
+	resp := soap.New(respBody)
+	wsa.StampReply(resp, info.MessageID, info.Action+"Response")
+	if c.Mode == SecuritySign {
+		if err := c.Signer.Sign(resp); err != nil {
+			return nil, soap.Faultf(soap.FaultServer, "response signing: %v", err)
+		}
+	}
+	return resp, nil
+}
+
+func (c *Container) writeFault(w http.ResponseWriter, relatesTo string, f *soap.Fault) {
+	env := &soap.Envelope{Fault: f}
+	wsa.StampReply(env, relatesTo, wsa.NS+"/fault")
+	if c.Mode == SecuritySign && c.Signer != nil {
+		// Sign faults too: the paper's X.509 scenarios sign "request and
+		// response" uniformly.
+		if err := c.Signer.Sign(env); err != nil {
+			env = &soap.Envelope{Fault: soap.Faultf(soap.FaultServer, "fault signing failed")}
+		}
+	}
+	status := http.StatusInternalServerError
+	if f.Code == soap.FaultClient {
+		status = http.StatusBadRequest
+	}
+	c.writeResponse(w, status, env)
+}
+
+func (c *Container) writeResponse(w http.ResponseWriter, status int, env *soap.Envelope) {
+	data := env.Marshal()
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	w.WriteHeader(status)
+	w.Write(data) //nolint:errcheck // client disconnects are benign
+}
+
+// faultOf coerces an error into a SOAP fault, preserving explicit faults.
+func faultOf(err error) *soap.Fault {
+	if f, ok := err.(*soap.Fault); ok {
+		return f
+	}
+	return soap.Faultf(soap.FaultServer, "%v", err)
+}

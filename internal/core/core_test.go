@@ -1,0 +1,148 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"altstacks/internal/container"
+	"altstacks/internal/netlat"
+	"altstacks/internal/soap"
+	"altstacks/internal/xmlutil"
+)
+
+var (
+	fixOnce sync.Once
+	signFix *Fixture
+)
+
+func signedFixture(t *testing.T) *Fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		var err error
+		signFix, err = NewFixture(container.SecuritySign, netlat.CoLocated)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return signFix
+}
+
+func echo() *container.Service {
+	return &container.Service{
+		Path: "/echo",
+		Actions: map[string]container.ActionFunc{
+			"urn:e/Echo": func(ctx *container.Ctx) (*xmlutil.Element, error) {
+				return xmlutil.NewText("urn:e", "Peer", ctx.PeerDN()), nil
+			},
+		},
+	}
+}
+
+func TestScenariosShape(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) != 6 {
+		t.Fatalf("scenarios = %d", len(scs))
+	}
+	seen := map[string]bool{}
+	for i, sc := range scs {
+		if sc.Index != i+1 {
+			t.Fatalf("scenario %d has index %d", i, sc.Index)
+		}
+		if seen[sc.Name()] {
+			t.Fatalf("duplicate scenario name %q", sc.Name())
+		}
+		seen[sc.Name()] = true
+	}
+	// The paper's ordering: 1 none, 2 signing, 3 https (co-located),
+	// then the distributed counterparts.
+	if scs[0].Sec != container.SecurityNone || scs[1].Sec != container.SecuritySign || scs[2].Sec != container.SecurityTLS {
+		t.Fatalf("co-located order wrong: %v %v %v", scs[0].Sec, scs[1].Sec, scs[2].Sec)
+	}
+	for i := 0; i < 3; i++ {
+		if scs[i].Link.Distributed() || !scs[i+3].Link.Distributed() {
+			t.Fatalf("locality split wrong at %d", i)
+		}
+	}
+}
+
+func TestFixtureSignedRoundTrip(t *testing.T) {
+	fix := signedFixture(t)
+	c := fix.NewContainer()
+	c.Register(echo())
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := fix.NewClient().Call(c.EPR("/echo"), "urn:e/Echo", xmlutil.New("urn:e", "Echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.TrimText(); got != fix.ClientID.DN() {
+		t.Fatalf("peer = %q, want client DN %q", got, fix.ClientID.DN())
+	}
+}
+
+func TestFixtureLocalClientSignsAsServer(t *testing.T) {
+	fix := signedFixture(t)
+	c := fix.NewContainer()
+	c.Register(echo())
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := fix.NewLocalClient().Call(c.EPR("/echo"), "urn:e/Echo", xmlutil.New("urn:e", "Echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.TrimText(); got != fix.ServerID.DN() {
+		t.Fatalf("peer = %q, want server DN %q", got, fix.ServerID.DN())
+	}
+}
+
+func TestFixtureUnsignedClientRejected(t *testing.T) {
+	fix := signedFixture(t)
+	c := fix.NewContainer()
+	c.Register(echo())
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	anon := container.NewClient(container.ClientConfig{})
+	_, err := anon.Call(c.EPR("/echo"), "urn:e/Echo", xmlutil.New("urn:e", "Echo"))
+	f, ok := err.(*soap.Fault)
+	if !ok || !strings.Contains(f.Reason, "security") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFixtureTLS(t *testing.T) {
+	fix, err := NewFixture(container.SecurityTLS, netlat.CoLocated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fix.NewContainer()
+	c.Register(echo())
+	url, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !strings.HasPrefix(url, "https://") {
+		t.Fatalf("url = %q", url)
+	}
+	if _, err := fix.NewClient().Call(c.EPR("/echo"), "urn:e/Echo", xmlutil.New("urn:e", "Echo")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackConstantsDistinct(t *testing.T) {
+	if StackWSRF == StackWST {
+		t.Fatal("stack constants collide")
+	}
+	for _, s := range []Stack{StackWSRF, StackWST} {
+		if string(s) == "" {
+			t.Fatal("empty stack name")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package counter is the paper's "hello world" evaluation service
+// (§4.1): "the counter service that keeps track of some integer
+// counter … optionally delivers an asynchronous notification to a
+// consumer when the value of the counter is changed". It is built
+// twice — once per software stack — behind one stack-neutral client
+// interface, which is what makes the Figure 2-4 comparisons
+// apples-to-apples.
+package counter
+
+import (
+	"fmt"
+	"strconv"
+
+	"altstacks/internal/core"
+	"altstacks/internal/wsa"
+	"altstacks/internal/xmlutil"
+)
+
+// NS is the counter application namespace.
+const NS = "urn:altstacks:counter"
+
+// TopicValueChanged is the notification topic for counter updates.
+const TopicValueChanged = "CounterValueChanged"
+
+// Representation builds the canonical wire representation of a counter
+// value — the document a WS-Transfer Create presents and a Get returns,
+// and the shape the WSRF client synthesizes from resource properties.
+func Representation(value int) *xmlutil.Element {
+	return xmlutil.New(NS, "Counter").Add(
+		xmlutil.NewText(NS, "Value", strconv.Itoa(value)))
+}
+
+// Value extracts the integer from a counter representation.
+func Value(rep *xmlutil.Element) (int, error) {
+	if rep == nil {
+		return 0, fmt.Errorf("counter: nil representation")
+	}
+	v := rep.ChildText(NS, "Value")
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("counter: bad value %q", v)
+	}
+	return n, nil
+}
+
+// changeMessage is the notification payload for a value change.
+func changeMessage(counterID string, value int) *xmlutil.Element {
+	return xmlutil.New(NS, TopicValueChanged).Add(
+		xmlutil.NewText(NS, "CounterID", counterID),
+		xmlutil.NewText(NS, "Value", strconv.Itoa(value)),
+	)
+}
+
+// Client is the stack-neutral counter client: the four state verbs
+// plus the value-change subscription. Both stack implementations
+// satisfy it, so every experiment and example can swap stacks by
+// swapping constructors (§5's switching question).
+type Client interface {
+	core.ResourceClient
+	// SubscribeValueChanged delivers an event each time the identified
+	// counter's value changes.
+	SubscribeValueChanged(resource wsa.EPR) (core.EventStream, error)
+}

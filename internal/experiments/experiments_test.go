@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"testing"
+
+	"altstacks/internal/container"
+	"altstacks/internal/core"
+	"altstacks/internal/netlat"
+	"altstacks/internal/xmldb"
+)
+
+// smoke runs every op of a deployment once (prep + run).
+func smoke(t *testing.T, ops []Op) {
+	t.Helper()
+	for _, op := range ops {
+		if op.Prep != nil {
+			if err := op.Prep(); err != nil {
+				t.Fatalf("%s prep: %v", op.Name, err)
+			}
+		}
+		if err := op.Run(); err != nil {
+			t.Fatalf("%s run: %v", op.Name, err)
+		}
+		// Second iteration exercises the prep/run cycle reuse.
+		if op.Prep != nil {
+			if err := op.Prep(); err != nil {
+				t.Fatalf("%s re-prep: %v", op.Name, err)
+			}
+		}
+		if err := op.Run(); err != nil {
+			t.Fatalf("%s re-run: %v", op.Name, err)
+		}
+	}
+}
+
+func scenario() core.Scenario {
+	return core.Scenario{Index: 1, Sec: container.SecurityNone, Link: netlat.CoLocated}
+}
+
+func TestHelloOpsBothStacks(t *testing.T) {
+	for _, stack := range []core.Stack{core.StackWSRF, core.StackWST} {
+		t.Run(string(stack), func(t *testing.T) {
+			h, err := NewHello(scenario(), stack, xmldb.CostModel{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			if len(h.Ops) != 5 {
+				t.Fatalf("ops = %d, want 5 (Get/Set/Create/Destroy/Notify)", len(h.Ops))
+			}
+			smoke(t, h.Ops)
+		})
+	}
+}
+
+func TestGridOpsBothStacks(t *testing.T) {
+	for _, stack := range []core.Stack{core.StackWSRF, core.StackWST} {
+		t.Run(string(stack), func(t *testing.T) {
+			g, err := NewGrid(scenario(), stack, xmldb.CostModel{}, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Close()
+			if len(g.Ops) != 6 {
+				t.Fatalf("ops = %d, want 6 (the Figure 6 rows)", len(g.Ops))
+			}
+			smoke(t, g.Ops)
+			if (stack == core.StackWSRF) != g.UnreserveAutomatic {
+				t.Fatalf("UnreserveAutomatic = %v for %s", g.UnreserveAutomatic, stack)
+			}
+		})
+	}
+}
+
+func TestSignedScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RSA-heavy")
+	}
+	sc := core.Scenario{Index: 2, Sec: container.SecuritySign, Link: netlat.CoLocated}
+	for _, stack := range []core.Stack{core.StackWSRF, core.StackWST} {
+		h, err := NewHello(sc, stack, xmldb.CostModel{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smoke(t, h.Ops[:2]) // Get + Set under signing suffices as a gate
+		h.Close()
+	}
+}
+
+func TestScenarioListMatchesPaper(t *testing.T) {
+	scs := core.Scenarios()
+	if len(scs) != 6 {
+		t.Fatalf("scenarios = %d, want the paper's 6", len(scs))
+	}
+	co, dist := 0, 0
+	for _, sc := range scs {
+		if sc.Link.Distributed() {
+			dist++
+		} else {
+			co++
+		}
+	}
+	if co != 3 || dist != 3 {
+		t.Fatalf("co-located = %d, distributed = %d", co, dist)
+	}
+}

@@ -1,0 +1,169 @@
+package gridbox
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"altstacks/internal/container"
+	"altstacks/internal/core"
+	"altstacks/internal/netlat"
+	"altstacks/internal/xmldb"
+)
+
+// Administrative authorization under X.509 message security: "Create()
+// and Delete() are administrative functions and can be called only
+// from the administrative client" (§4.2.2). The admin is identified by
+// signed certificate subject, not by self-asserted DN.
+
+var (
+	secOnce sync.Once
+	secFix  *core.Fixture
+	// adminFix signs as the VO's service identity, which doubles as the
+	// administrative identity in these tests.
+)
+
+func signedFixture(t *testing.T) *core.Fixture {
+	t.Helper()
+	secOnce.Do(func() {
+		var err error
+		secFix, err = core.NewFixture(container.SecuritySign, netlat.CoLocated)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return secFix
+}
+
+func TestWSRFAdminEnforcement(t *testing.T) {
+	fix := signedFixture(t)
+	c := fix.NewContainer()
+	adminDN := fix.ServerID.DN()
+	if _, err := InstallWSRFVO(c, WSRFVOConfig{
+		DB: xmldb.NewMemory(xmldb.CostModel{}), DataRoot: t.TempDir(),
+		AdminDN: adminDN, Local: fix.NewLocalClient(), ReservationDelta: time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The admin client signs with the server identity (the AdminDN).
+	admin := &WSRFGridClient{C: fix.NewLocalClient(), Base: c.BaseURL()}
+	if err := admin.AddAccount(fix.ClientID.DN(), "run-jobs"); err != nil {
+		t.Fatalf("admin AddAccount: %v", err)
+	}
+	if err := admin.RegisterSite(Site{Host: "node-a", Applications: []string{"blast"}}); err != nil {
+		t.Fatalf("admin RegisterSite: %v", err)
+	}
+
+	// A regular signed user must be refused the administrative ops…
+	user := &WSRFGridClient{C: fix.NewClient(), Base: c.BaseURL()}
+	if err := user.AddAccount("CN=mallory"); err == nil {
+		t.Fatal("non-admin created an account")
+	} else if !strings.Contains(err.Error(), "administrator") {
+		t.Fatalf("wrong refusal: %v", err)
+	}
+	if err := user.RegisterSite(Site{Host: "evil", Applications: []string{"x"}}); err == nil {
+		t.Fatal("non-admin registered a site")
+	}
+	if err := user.RemoveAccount(fix.ClientID.DN()); err == nil {
+		t.Fatal("non-admin removed an account")
+	}
+	// …but may use the grid normally under their signed identity.
+	sites, err := user.GetAvailableResources("blast")
+	if err != nil || len(sites) != 1 {
+		t.Fatalf("user discovery: %v %v", sites, err)
+	}
+	if _, err := user.MakeReservation("node-a"); err != nil {
+		t.Fatalf("user reservation: %v", err)
+	}
+}
+
+func TestWSTAdminEnforcement(t *testing.T) {
+	fix := signedFixture(t)
+	c := fix.NewContainer()
+	adminDN := fix.ServerID.DN()
+	if _, err := InstallWSTVO(c, WSTVOConfig{
+		DB: xmldb.NewMemory(xmldb.CostModel{}), DataRoot: t.TempDir(),
+		AdminDN: adminDN, Local: fix.NewLocalClient(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	admin := NewWSTGridClient(fix.NewLocalClient(), c.BaseURL(), "")
+	if _, err := admin.CreateAccount(fix.ClientID.DN(), "run-jobs"); err != nil {
+		t.Fatalf("admin CreateAccount: %v", err)
+	}
+	if _, err := admin.RegisterSite(Site{Host: "node-a", Applications: []string{"blast"}}); err != nil {
+		t.Fatalf("admin RegisterSite: %v", err)
+	}
+
+	user := NewWSTGridClient(fix.NewClient(), c.BaseURL(), "")
+	if _, err := user.CreateAccount("CN=mallory"); err == nil {
+		t.Fatal("non-admin created an account resource")
+	}
+	if err := user.DeleteAccount(fix.ClientID.DN()); err == nil {
+		t.Fatal("non-admin deleted an account resource")
+	}
+	if _, err := user.RegisterSite(Site{Host: "evil"}); err == nil {
+		t.Fatal("non-admin created a site resource")
+	}
+	if err := user.RemoveSite("node-a"); err == nil {
+		t.Fatal("non-admin deleted a site resource")
+	}
+	// The signed user's identity comes from the certificate: they can
+	// reserve and their reservation is recorded under their DN.
+	if err := user.MakeReservation("node-a"); err != nil {
+		t.Fatalf("user reservation: %v", err)
+	}
+	owner, err := user.ReservedBy("node-a")
+	if err != nil || owner != fix.ClientID.DN() {
+		t.Fatalf("reserved by %q, want signed DN %q (%v)", owner, fix.ClientID.DN(), err)
+	}
+}
+
+// TestSelfAssertedDNIgnoredWhenSigned verifies the identity ordering:
+// under message security the signed certificate subject wins over any
+// self-asserted UserDN the request carries.
+func TestSelfAssertedDNIgnoredWhenSigned(t *testing.T) {
+	fix := signedFixture(t)
+	c := fix.NewContainer()
+	if _, err := InstallWSTVO(c, WSTVOConfig{
+		DB: xmldb.NewMemory(xmldb.CostModel{}), DataRoot: t.TempDir(),
+		AdminDN: fix.ServerID.DN(), Local: fix.NewLocalClient(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	admin := NewWSTGridClient(fix.NewLocalClient(), c.BaseURL(), "")
+	if _, err := admin.CreateAccount(fix.ClientID.DN()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.RegisterSite(Site{Host: "node-a", Applications: []string{"blast"}}); err != nil {
+		t.Fatal(err)
+	}
+	// The user claims to be the admin via UserDN; the signature says
+	// otherwise, and the signature must win.
+	masquerade := NewWSTGridClient(fix.NewClient(), c.BaseURL(), fix.ServerID.DN())
+	if err := masquerade.MakeReservation("node-a"); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := masquerade.ReservedBy("node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != fix.ClientID.DN() {
+		t.Fatalf("reservation owned by %q: self-asserted DN overrode the signature", owner)
+	}
+}

@@ -1,0 +1,155 @@
+// Package gridbox implements "Grid-in-a-Box", the paper's full remote
+// job execution scenario (§4.2): "a set of Web services that provide
+// remote job execution capabilities in a grid environment", inspired
+// by the OMII 1.0 services. A deployment represents a single virtual
+// organization (VO) with account management, resource allocation,
+// reservation, data staging, and job execution.
+//
+// Two complete implementations live here, one per software stack, and
+// — matching the paper — they are deliberately not isomorphic: "each
+// Grid-in-a-Box implementation retains something of a unique
+// character, on purpose" (§4.2.3). The WSRF flavor (wsrf_vo.go) models
+// reservations, data directories, and jobs as WS-Resources with
+// resource properties and lifetime management; accounts and available
+// resources are plain service state. The WS-Transfer flavor
+// (wst_vo.go) is "entirely resource driven; everything from accounts
+// to files are presented as resources and all interactions … map to
+// one of the Create, Retrieve, Update, Delete operations".
+package gridbox
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"altstacks/internal/xmlutil"
+)
+
+// NS is the Grid-in-a-Box application namespace.
+const NS = "urn:altstacks:gridbox"
+
+// DefaultReservationDelta is the administrator-specified initial
+// reservation lifetime ("the current time plus an administrator
+// specified delta (e.g. 4 hours)", §4.2.1). Scaled down for tests and
+// benchmarks; configurable per VO.
+const DefaultReservationDelta = 4 * time.Hour
+
+// JobSpec declares a job submission.
+type JobSpec struct {
+	// Application names the installed application to run.
+	Application string
+	// Args are recorded with the process.
+	Args []string
+	// Duration is the simulated runtime.
+	Duration time.Duration
+	// ExitCode is the exit code the job produces.
+	ExitCode int
+	// OutputFiles maps output file names to contents, written into the
+	// job's data directory on completion.
+	OutputFiles map[string]string
+}
+
+// Element encodes the spec for transmission.
+func (j JobSpec) Element() *xmlutil.Element {
+	el := xmlutil.New(NS, "JobSpec")
+	el.Add(xmlutil.NewText(NS, "Application", j.Application))
+	for _, a := range j.Args {
+		el.Add(xmlutil.NewText(NS, "Arg", a))
+	}
+	el.Add(xmlutil.NewText(NS, "DurationMS", strconv.FormatInt(j.Duration.Milliseconds(), 10)))
+	el.Add(xmlutil.NewText(NS, "ExitCode", strconv.Itoa(j.ExitCode)))
+	for name, content := range j.OutputFiles {
+		el.Add(xmlutil.NewText(NS, "Output", content).SetAttr("", "name", name))
+	}
+	return el
+}
+
+// ParseJobSpec decodes a JobSpec element.
+func ParseJobSpec(el *xmlutil.Element) (JobSpec, error) {
+	if el == nil || el.Name.Local != "JobSpec" {
+		return JobSpec{}, fmt.Errorf("gridbox: not a JobSpec element")
+	}
+	j := JobSpec{Application: el.ChildText(NS, "Application")}
+	if j.Application == "" {
+		return JobSpec{}, fmt.Errorf("gridbox: JobSpec names no application")
+	}
+	for _, a := range el.ChildrenNamed(NS, "Arg") {
+		j.Args = append(j.Args, a.TrimText())
+	}
+	if d := el.ChildText(NS, "DurationMS"); d != "" {
+		ms, err := strconv.ParseInt(d, 10, 64)
+		if err != nil {
+			return JobSpec{}, fmt.Errorf("gridbox: bad DurationMS %q", d)
+		}
+		j.Duration = time.Duration(ms) * time.Millisecond
+	}
+	if c := el.ChildText(NS, "ExitCode"); c != "" {
+		code, err := strconv.Atoi(c)
+		if err != nil {
+			return JobSpec{}, fmt.Errorf("gridbox: bad ExitCode %q", c)
+		}
+		j.ExitCode = code
+	}
+	for _, o := range el.ChildrenNamed(NS, "Output") {
+		if j.OutputFiles == nil {
+			j.OutputFiles = map[string]string{}
+		}
+		j.OutputFiles[o.AttrValue("", "name")] = o.Text
+	}
+	return j, nil
+}
+
+// Site is one computing site in the VO: a host with an ExecService and
+// co-located DataService and a set of installed applications.
+type Site struct {
+	Host         string
+	Applications []string
+}
+
+// Element encodes the site for registration and queries.
+func (s Site) Element() *xmlutil.Element {
+	el := xmlutil.New(NS, "Site")
+	el.Add(xmlutil.NewText(NS, "Host", s.Host))
+	for _, a := range s.Applications {
+		el.Add(xmlutil.NewText(NS, "Application", a))
+	}
+	return el
+}
+
+// ParseSite decodes a Site element.
+func ParseSite(el *xmlutil.Element) (Site, error) {
+	if el == nil {
+		return Site{}, fmt.Errorf("gridbox: nil site element")
+	}
+	s := Site{Host: el.ChildText(NS, "Host")}
+	if s.Host == "" {
+		return Site{}, fmt.Errorf("gridbox: site has no host")
+	}
+	for _, a := range el.ChildrenNamed(NS, "Application") {
+		s.Applications = append(s.Applications, a.TrimText())
+	}
+	return s, nil
+}
+
+// HasApplication reports whether the site has the application installed.
+func (s Site) HasApplication(app string) bool {
+	for _, a := range s.Applications {
+		if a == app {
+			return true
+		}
+	}
+	return false
+}
+
+// JobStatus is the stack-neutral view of a job's state that both
+// clients surface (the properties of §4.2.1: "whether the job is
+// currently running, how long it has been running, when it exited and
+// the exit code").
+type JobStatus struct {
+	State    string
+	ExitCode int
+	RunTime  time.Duration
+}
+
+// Done reports whether the job has reached a terminal state.
+func (s JobStatus) Done() bool { return s.State == "exited" || s.State == "killed" }

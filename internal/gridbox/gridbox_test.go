@@ -1,0 +1,667 @@
+package gridbox
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"altstacks/internal/container"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+const (
+	testUser  = "CN=alice,O=UVA"
+	testUser2 = "CN=bob,O=UVA"
+)
+
+// wsrfWorld is a running WSRF-flavor VO with accounts and sites set up.
+type wsrfWorld struct {
+	vo     *WSRFVO
+	client *WSRFGridClient
+	db     *xmldb.DB
+}
+
+func startWSRFWorld(t *testing.T) *wsrfWorld {
+	t.Helper()
+	c := container.New(container.SecurityNone)
+	local := container.NewClient(container.ClientConfig{})
+	db := xmldb.NewMemory(xmldb.CostModel{})
+	vo, err := InstallWSRFVO(c, WSRFVOConfig{
+		DB: db, DataRoot: t.TempDir(), Local: local,
+		ReservationDelta: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	g := &WSRFGridClient{C: container.NewClient(container.ClientConfig{}), Base: c.BaseURL(), UserDN: testUser}
+	if err := g.AddAccount(testUser, "run-jobs"); err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range []Site{
+		{Host: "node-a", Applications: []string{"blast", "render"}},
+		{Host: "node-b", Applications: []string{"blast"}},
+	} {
+		if err := g.RegisterSite(site); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &wsrfWorld{vo: vo, client: g, db: db}
+}
+
+// wstWorld is a running WS-Transfer-flavor VO with the same setup.
+type wstWorld struct {
+	vo     *WSTVO
+	client *WSTGridClient
+	db     *xmldb.DB
+}
+
+func startWSTWorld(t *testing.T) *wstWorld {
+	t.Helper()
+	c := container.New(container.SecurityNone)
+	local := container.NewClient(container.ClientConfig{})
+	db := xmldb.NewMemory(xmldb.CostModel{})
+	vo, err := InstallWSTVO(c, WSTVOConfig{DB: db, DataRoot: t.TempDir(), Local: local})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	g := NewWSTGridClient(container.NewClient(container.ClientConfig{}), c.BaseURL(), testUser)
+	if _, err := g.CreateAccount(testUser, "run-jobs"); err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range []Site{
+		{Host: "node-a", Applications: []string{"blast", "render"}},
+		{Host: "node-b", Applications: []string{"blast"}},
+	} {
+		if _, err := g.RegisterSite(site); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &wstWorld{vo: vo, client: g, db: db}
+}
+
+func testSpec() JobSpec {
+	return JobSpec{
+		Application: "blast",
+		Args:        []string{"-db", "nr"},
+		Duration:    30 * time.Millisecond,
+		ExitCode:    0,
+		OutputFiles: map[string]string{"result.out": "hits=42"},
+	}
+}
+
+// ---- Full Figure 5 workflow, both stacks ----
+
+func TestWSRFFullWorkflow(t *testing.T) {
+	w := startWSRFWorld(t)
+	res, err := w.client.RunJob(testSpec(), map[string]string{"input.dat": "sequence"}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.Done() || res.Status.ExitCode != 0 {
+		t.Fatalf("status = %+v", res.Status)
+	}
+	// Output surveyable through the directory resource property.
+	found := map[string]bool{}
+	for _, f := range res.OutputFiles {
+		found[f] = true
+	}
+	if !found["input.dat"] || !found["result.out"] {
+		t.Fatalf("output files = %v", res.OutputFiles)
+	}
+	content, err := w.client.DownloadFile(res.Dir, "result.out")
+	if err != nil || content != "hits=42" {
+		t.Fatalf("download: %q, %v", content, err)
+	}
+	// Cleanup via Destroy.
+	if err := w.client.DestroyJob(res.Job); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.DestroyDirectory(res.Dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.JobStatus(res.Job); err == nil {
+		t.Fatal("job resource survived Destroy")
+	}
+}
+
+func TestWSTFullWorkflow(t *testing.T) {
+	w := startWSTWorld(t)
+	res, err := w.client.RunJob(testSpec(), map[string]string{"input.dat": "sequence"}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.Done() || res.Status.ExitCode != 0 {
+		t.Fatalf("status = %+v", res.Status)
+	}
+	found := map[string]bool{}
+	for _, f := range res.OutputFiles {
+		found[f] = true
+	}
+	if !found["input.dat"] || !found["result.out"] {
+		t.Fatalf("output files = %v", res.OutputFiles)
+	}
+	content, err := w.client.DownloadFile("result.out")
+	if err != nil || content != "hits=42" {
+		t.Fatalf("download: %q, %v", content, err)
+	}
+	if err := w.client.DeleteJob(res.Job); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.JobStatus(res.Job); err == nil {
+		t.Fatal("job representation survived Delete")
+	}
+	// After RunJob the reservation was manually released: node-a is
+	// available again.
+	sites, err := w.client.GetAvailableResources("blast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 2 {
+		t.Fatalf("available after unreserve = %v", sites)
+	}
+}
+
+// ---- Account semantics ----
+
+func TestWSRFAccountLifecycle(t *testing.T) {
+	w := startWSRFWorld(t)
+	ok, err := w.client.AccountExists(testUser)
+	if err != nil || !ok {
+		t.Fatalf("exists(alice) = %v, %v", ok, err)
+	}
+	ok, _ = w.client.AccountExists(testUser2)
+	if ok {
+		t.Fatal("bob should not exist")
+	}
+	if err := w.client.RemoveAccount(testUser); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ = w.client.AccountExists(testUser)
+	if ok {
+		t.Fatal("alice survived removal")
+	}
+	// Without an account, discovery is refused (Fig 5 account check).
+	if _, err := w.client.GetAvailableResources("blast"); err == nil {
+		t.Fatal("accountless discovery succeeded")
+	}
+}
+
+func TestWSTAccountLifecycle(t *testing.T) {
+	w := startWSTWorld(t)
+	ok, _ := w.client.AccountExists(testUser)
+	if !ok {
+		t.Fatal("alice should exist")
+	}
+	if err := w.client.DeleteAccount(testUser); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ = w.client.AccountExists(testUser)
+	if ok {
+		t.Fatal("alice survived delete")
+	}
+	if _, err := w.client.GetAvailableResources("blast"); err == nil {
+		t.Fatal("accountless discovery succeeded")
+	}
+}
+
+// ---- Reservation semantics ----
+
+func TestReservationExcludesSiteFromDiscovery(t *testing.T) {
+	t.Run("wsrf", func(t *testing.T) {
+		w := startWSRFWorld(t)
+		sites, _ := w.client.GetAvailableResources("blast")
+		if len(sites) != 2 {
+			t.Fatalf("initial sites = %v", sites)
+		}
+		if _, err := w.client.MakeReservation("node-a"); err != nil {
+			t.Fatal(err)
+		}
+		sites, _ = w.client.GetAvailableResources("blast")
+		if len(sites) != 1 || sites[0].Host != "node-b" {
+			t.Fatalf("after reservation = %v", sites)
+		}
+		// Double-reservation refused.
+		if _, err := w.client.MakeReservation("node-a"); err == nil {
+			t.Fatal("double reservation succeeded")
+		}
+	})
+	t.Run("wst", func(t *testing.T) {
+		w := startWSTWorld(t)
+		if err := w.client.MakeReservation("node-a"); err != nil {
+			t.Fatal(err)
+		}
+		sites, _ := w.client.GetAvailableResources("blast")
+		if len(sites) != 1 || sites[0].Host != "node-b" {
+			t.Fatalf("after reservation = %v", sites)
+		}
+		if err := w.client.MakeReservation("node-a"); err == nil {
+			t.Fatal("double reservation succeeded")
+		}
+		// Manual unreserve restores availability.
+		if err := w.client.UnreserveResource("node-a"); err != nil {
+			t.Fatal(err)
+		}
+		sites, _ = w.client.GetAvailableResources("blast")
+		if len(sites) != 2 {
+			t.Fatalf("after unreserve = %v", sites)
+		}
+	})
+}
+
+func TestWSRFUnclaimedReservationExpires(t *testing.T) {
+	// "When a client initially makes a reservation, the termination
+	// time … is set to the current time plus an administrator specified
+	// delta" (§4.2.1); the sweeper reclaims unclaimed reservations.
+	c := container.New(container.SecurityNone)
+	local := container.NewClient(container.ClientConfig{})
+	vo, err := InstallWSRFVO(c, WSRFVOConfig{
+		DB: xmldb.NewMemory(xmldb.CostModel{}), DataRoot: t.TempDir(), Local: local,
+		ReservationDelta: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g := &WSRFGridClient{C: local, Base: c.BaseURL(), UserDN: testUser}
+	if err := g.AddAccount(testUser); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RegisterSite(Site{Host: "node-a", Applications: []string{"blast"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.MakeReservation("node-a"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ids, _ := vo.Reservations.IDs()
+		if len(ids) == 0 {
+			return // swept
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("expired reservation never swept")
+}
+
+func TestWSRFClaimedReservationSurvivesSweeperAndAutoUnreserves(t *testing.T) {
+	c := container.New(container.SecurityNone)
+	local := container.NewClient(container.ClientConfig{})
+	vo, err := InstallWSRFVO(c, WSRFVOConfig{
+		DB: xmldb.NewMemory(xmldb.CostModel{}), DataRoot: t.TempDir(), Local: local,
+		ReservationDelta: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g := &WSRFGridClient{C: local, Base: c.BaseURL(), UserDN: testUser}
+	if err := g.AddAccount(testUser); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RegisterSite(Site{Host: "node-a", Applications: []string{"blast"}}); err != nil {
+		t.Fatal(err)
+	}
+	resEPR, err := g.MakeReservation("node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := g.CreateDirectory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job runs well past the reservation delta: the claim (termination
+	// = infinity) must keep the reservation alive while running.
+	spec := testSpec()
+	spec.Duration = 600 * time.Millisecond
+	job, err := g.InstantiateJob(spec, resEPR, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond) // past the delta, job still running
+	ids, _ := vo.Reservations.IDs()
+	if len(ids) != 1 {
+		t.Fatal("claimed reservation was swept while the job ran")
+	}
+	// After completion, the automatic unreserve destroys it.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ids, _ := vo.Reservations.IDs()
+		if len(ids) == 0 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	ids, _ = vo.Reservations.IDs()
+	if len(ids) != 0 {
+		t.Fatal("reservation not auto-destroyed after job exit")
+	}
+	_ = job
+}
+
+// ---- Data semantics ----
+
+func TestWSTFileOperations(t *testing.T) {
+	w := startWSTWorld(t)
+	if err := w.client.MakeReservation("node-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.UploadFile("node-a", "data.txt", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.client.DownloadFile("data.txt")
+	if err != nil || got != "v1" {
+		t.Fatalf("download = %q, %v", got, err)
+	}
+	// Put overwrites.
+	if err := w.client.OverwriteFile("data.txt", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = w.client.DownloadFile("data.txt")
+	if got != "v2" {
+		t.Fatalf("after overwrite = %q", got)
+	}
+	// Trailing-"/" listing mode.
+	files, err := w.client.ListFiles()
+	if err != nil || len(files) != 1 || files[0] != "data.txt" {
+		t.Fatalf("listing = %v, %v", files, err)
+	}
+	// Delete removes permanently.
+	if err := w.client.DeleteFile("data.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.DownloadFile("data.txt"); err == nil {
+		t.Fatal("download after delete succeeded")
+	}
+	if err := w.client.DeleteFile("data.txt"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestWSTUploadRequiresReservation(t *testing.T) {
+	w := startWSTWorld(t)
+	if _, err := w.client.UploadFile("node-a", "x.txt", "data"); err == nil {
+		t.Fatal("upload without reservation succeeded")
+	}
+	// Another user's reservation does not authorize alice's upload.
+	bob := NewWSTGridClient(w.client.T.C, w.client.Base, testUser2)
+	if _, err := bob.CreateAccount(testUser2); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.MakeReservation("node-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.UploadFile("node-a", "x.txt", "data"); err == nil {
+		t.Fatal("upload against bob's reservation succeeded")
+	}
+}
+
+func TestWSRFDirectoryResourceLifecycle(t *testing.T) {
+	w := startWSRFWorld(t)
+	dir, err := w.client.CreateDirectory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.UploadFile(dir, "a.txt", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.UploadFile(dir, "b.txt", "B"); err != nil {
+		t.Fatal(err)
+	}
+	files, err := w.client.ListFiles(dir)
+	if err != nil || len(files) != 2 {
+		t.Fatalf("files = %v, %v", files, err)
+	}
+	if err := w.client.DestroyDirectory(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.ListFiles(dir); err == nil {
+		t.Fatal("directory resource survived Destroy")
+	}
+}
+
+// ---- Job semantics ----
+
+func TestJobStatusProgression(t *testing.T) {
+	w := startWSRFWorld(t)
+	resEPR, err := w.client.MakeReservation("node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := w.client.CreateDirectory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	spec.Duration = 300 * time.Millisecond
+	job, err := w.client.InstantiateJob(spec, resEPR, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := w.client.JobStatus(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "running" {
+		t.Fatalf("early state = %q", st.State)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, _ = w.client.JobStatus(job)
+		if st.Done() {
+			break
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	if st.State != "exited" || st.ExitCode != 0 {
+		t.Fatalf("final = %+v", st)
+	}
+}
+
+func TestWSRFDestroyKillsRunningJob(t *testing.T) {
+	w := startWSRFWorld(t)
+	resEPR, _ := w.client.MakeReservation("node-a")
+	dir, _ := w.client.CreateDirectory()
+	spec := testSpec()
+	spec.Duration = time.Hour
+	job, err := w.client.InstantiateJob(spec, resEPR, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.DestroyJob(job); err != nil {
+		t.Fatal(err)
+	}
+	if ids := w.vo.Procs.IDs(); len(ids) != 0 {
+		t.Fatalf("process table still holds %v", ids)
+	}
+}
+
+func TestWSTDeleteKillsRunningJob(t *testing.T) {
+	w := startWSTWorld(t)
+	if err := w.client.MakeReservation("node-a"); err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	spec.Duration = time.Hour
+	job, err := w.client.InstantiateJob(spec, "node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.DeleteJob(job); err != nil {
+		t.Fatal(err)
+	}
+	if ids := w.vo.Procs.IDs(); len(ids) != 0 {
+		t.Fatalf("process table still holds %v", ids)
+	}
+}
+
+func TestInstantiateJobRequiresOwnReservation(t *testing.T) {
+	t.Run("wsrf", func(t *testing.T) {
+		w := startWSRFWorld(t)
+		if err := w.client.AddAccount(testUser2); err != nil {
+			t.Fatal(err)
+		}
+		bob := &WSRFGridClient{C: w.client.C, Base: w.client.Base, UserDN: testUser2}
+		resEPR, err := bob.MakeReservation("node-a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir, err := w.client.CreateDirectory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.client.InstantiateJob(testSpec(), resEPR, dir); err == nil {
+			t.Fatal("alice started a job on bob's reservation")
+		}
+	})
+	t.Run("wst", func(t *testing.T) {
+		w := startWSTWorld(t)
+		bob := NewWSTGridClient(w.client.T.C, w.client.Base, testUser2)
+		if _, err := bob.CreateAccount(testUser2); err != nil {
+			t.Fatal(err)
+		}
+		if err := bob.MakeReservation("node-a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.client.InstantiateJob(testSpec(), "node-a"); err == nil {
+			t.Fatal("alice started a job on bob's reservation")
+		}
+	})
+}
+
+// ---- Design-difference assertions (§4.2.3) ----
+
+// TestOutcallCounts pins the structural cause of Figure 6's Instantiate
+// Job gap: the WSRF flavor makes three inter-service outcalls per job
+// start (verify + claim + resolve directory), the WS-Transfer flavor
+// one (reservation check).
+func TestOutcallCounts(t *testing.T) {
+	countJobStart := func(t *testing.T, start func() int64) int64 {
+		t.Helper()
+		return start()
+	}
+	t.Run("wsrf=3", func(t *testing.T) {
+		w := startWSRFWorld(t)
+		resEPR, _ := w.client.MakeReservation("node-a")
+		dir, _ := w.client.CreateDirectory()
+		n := countJobStart(t, func() int64 {
+			before := w.db.CollectionStats(colReservations).Reads +
+				w.db.CollectionStats(colReservations).Updates +
+				w.db.CollectionStats(colDirs).Reads
+			if _, err := w.client.InstantiateJob(testSpec(), resEPR, dir); err != nil {
+				t.Fatal(err)
+			}
+			after := w.db.CollectionStats(colReservations).Reads +
+				w.db.CollectionStats(colReservations).Updates +
+				w.db.CollectionStats(colDirs).Reads
+			return after - before
+		})
+		if n < 3 {
+			t.Fatalf("WSRF job start touched backing collections %d times, want ≥3 (verify+claim+dir)", n)
+		}
+	})
+	t.Run("wst=1", func(t *testing.T) {
+		w := startWSTWorld(t)
+		if err := w.client.MakeReservation("node-a"); err != nil {
+			t.Fatal(err)
+		}
+		before := w.db.CollectionStats(colWSTReservations).Reads
+		if _, err := w.client.InstantiateJob(testSpec(), "node-a"); err != nil {
+			t.Fatal(err)
+		}
+		delta := w.db.CollectionStats(colWSTReservations).Reads - before
+		if delta != 1 {
+			t.Fatalf("WST job start read reservations %d times, want 1", delta)
+		}
+	})
+}
+
+func TestWSTRetimeReservation(t *testing.T) {
+	w := startWSTWorld(t)
+	if err := w.client.MakeReservation("node-a"); err != nil {
+		t.Fatal(err)
+	}
+	until := time.Now().Add(30 * time.Minute)
+	if err := w.client.RetimeReservation("node-a", until); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := w.client.ReservedBy("node-a")
+	if err != nil || owner != testUser {
+		t.Fatalf("reserved by %q, %v", owner, err)
+	}
+	// Re-timing an unreserved site faults.
+	if err := w.client.RetimeReservation("node-b", until); err == nil {
+		t.Fatal("re-timed an unreserved site")
+	}
+}
+
+func TestJobSpecRoundTrip(t *testing.T) {
+	spec := testSpec()
+	got, err := ParseJobSpec(spec.Element())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Application != spec.Application || got.Duration != spec.Duration ||
+		got.ExitCode != spec.ExitCode || len(got.Args) != 2 ||
+		got.OutputFiles["result.out"] != "hits=42" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := ParseJobSpec(nil); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+	if _, err := ParseJobSpec(xmlutil.New(NS, "JobSpec")); err == nil {
+		t.Fatal("application-less spec accepted")
+	}
+}
+
+func TestSiteRoundTrip(t *testing.T) {
+	s := Site{Host: "node-z", Applications: []string{"a", "b"}}
+	got, err := ParseSite(s.Element())
+	if err != nil || got.Host != "node-z" || !got.HasApplication("b") || got.HasApplication("c") {
+		t.Fatalf("round trip = %+v, %v", got, err)
+	}
+	if _, err := ParseSite(nil); err == nil {
+		t.Fatal("nil site accepted")
+	}
+}
+
+func TestWSTJobEventCarriesJobEPR(t *testing.T) {
+	w := startWSTWorld(t)
+	if err := w.client.MakeReservation("node-a"); err != nil {
+		t.Fatal(err)
+	}
+	job, err := w.client.InstantiateJob(testSpec(), "node-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := w.client.SubscribeJobExited(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Cancel() //nolint:errcheck
+	select {
+	case ev := <-stream.Events():
+		if ev.Message.Child(NS, "JobEPR") == nil {
+			t.Fatalf("event lacks JobEPR: %s", ev.Message)
+		}
+		if !strings.Contains(ev.Topic, "/exited") {
+			t.Fatalf("topic = %q", ev.Topic)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no job-exited event")
+	}
+}

@@ -1,0 +1,166 @@
+// Package metrics is the figure-regeneration harness: it times
+// repeated operations the way the paper's evaluation does ("all
+// numbers are in milliseconds for a single request", §4.1.3) and
+// prints paper-vs-measured tables for each figure.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is the timing summary of one measured operation.
+type Sample struct {
+	Name string
+	N    int
+	Mean time.Duration
+	P50  time.Duration
+	P95  time.Duration
+	Min  time.Duration
+	Max  time.Duration
+}
+
+// Measure runs op n times (after warmup unmeasured runs) and
+// summarizes per-operation latency.
+func Measure(name string, warmup, n int, op func() error) (Sample, error) {
+	for i := 0; i < warmup; i++ {
+		if err := op(); err != nil {
+			return Sample{}, fmt.Errorf("metrics: %s warmup: %w", name, err)
+		}
+	}
+	durs := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := op(); err != nil {
+			return Sample{}, fmt.Errorf("metrics: %s iteration %d: %w", name, i, err)
+		}
+		durs = append(durs, time.Since(t0))
+	}
+	return summarize(name, durs), nil
+}
+
+func summarize(name string, durs []time.Duration) Sample {
+	s := Sample{Name: name, N: len(durs)}
+	if len(durs) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	s.Mean = total / time.Duration(len(sorted))
+	s.P50 = sorted[len(sorted)/2]
+	s.P95 = sorted[(len(sorted)*95)/100]
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
+
+// MS renders a duration as milliseconds with one decimal, the unit the
+// paper's figures use.
+func MS(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000.0)
+}
+
+// Table is one figure's output: rows are operations, columns are the
+// measured series (for example the four bars of Figures 2-4), with an
+// optional paper-reference column set for shape comparison.
+type Table struct {
+	Title   string
+	Caption string
+	// Columns are the measured series names.
+	Columns []string
+	rows    []row
+}
+
+type row struct {
+	label    string
+	measured []string
+	note     string
+}
+
+// AddRow appends a measured row; values must match Columns.
+func (t *Table) AddRow(label string, values []string, note string) {
+	t.rows = append(t.rows, row{label: label, measured: values, note: note})
+}
+
+// Render prints the table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n%s\n", t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(w, "%s\n", t.Caption)
+	}
+	widths := make([]int, len(t.Columns)+2)
+	widths[0] = len("operation")
+	for _, r := range t.rows {
+		if len(r.label) > widths[0] {
+			widths[0] = len(r.label)
+		}
+		for i, v := range r.measured {
+			if len(v) > widths[i+1] {
+				widths[i+1] = len(v)
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		if len(c) > widths[i+1] {
+			widths[i+1] = len(c)
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	header := append([]string{"operation"}, t.Columns...)
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		cells := append([]string{r.label}, r.measured...)
+		if r.note != "" {
+			cells = append(cells, "# "+r.note)
+		}
+		line(cells)
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// Check is one shape assertion over measured samples (who wins, by
+// what factor) — the reproduction target is the figure's shape, not
+// its absolute 2005 numbers.
+type Check struct {
+	Name string
+	OK   bool
+	Got  string
+}
+
+// RenderChecks prints shape-assertion outcomes.
+func RenderChecks(w io.Writer, checks []Check) {
+	for _, c := range checks {
+		status := "PASS"
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %-60s %s\n", status, c.Name, c.Got)
+	}
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureSummarizes(t *testing.T) {
+	calls := 0
+	s, err := Measure("op", 2, 10, func() error {
+		calls++
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 12 {
+		t.Fatalf("calls = %d, want 12 (2 warmup + 10)", calls)
+	}
+	if s.N != 10 || s.Mean < time.Millisecond || s.P50 < time.Millisecond {
+		t.Fatalf("sample = %+v", s)
+	}
+	if s.Min > s.P50 || s.P50 > s.P95 || s.P95 > s.Max {
+		t.Fatalf("ordering violated: %+v", s)
+	}
+}
+
+func TestMeasurePropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := Measure("op", 0, 3, func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Measure("op", 1, 3, func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("warmup err = %v", err)
+	}
+}
+
+func TestMS(t *testing.T) {
+	if got := MS(1500 * time.Microsecond); got != "1.5" {
+		t.Fatalf("MS = %q", got)
+	}
+	if got := MS(0); got != "0.0" {
+		t.Fatalf("MS(0) = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "Figure 2: Testing Hello World with no security",
+		Caption: "elapsed ms per request",
+		Columns: []string{"co-wst", "co-wsrf"},
+	}
+	tab.AddRow("Get", []string{"1.2", "0.9"}, "")
+	tab.AddRow("Notify", []string{"2.0", "3.1"}, "TCP vs HTTP")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 2", "operation", "co-wsrf", "Get", "Notify", "# TCP vs HTTP"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderChecks(t *testing.T) {
+	var buf bytes.Buffer
+	RenderChecks(&buf, []Check{
+		{Name: "create slowest", OK: true, Got: "create=6ms read=1ms"},
+		{Name: "wsrf set faster", OK: false, Got: "equal"},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "[PASS] create slowest") || !strings.Contains(out, "[FAIL] wsrf set faster") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,158 @@
+package netlat
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfileDistributed(t *testing.T) {
+	if CoLocated.Distributed() {
+		t.Fatal("CoLocated reports distributed")
+	}
+	if !LAN.Distributed() {
+		t.Fatal("LAN reports co-located")
+	}
+	if !(Profile{RTT: time.Millisecond}).Distributed() {
+		t.Fatal("RTT-only profile reports co-located")
+	}
+	if !(Profile{BandwidthBps: 1}).Distributed() {
+		t.Fatal("bandwidth-only profile reports co-located")
+	}
+}
+
+func TestTxDelay(t *testing.T) {
+	p := Profile{BandwidthBps: 1_000_000} // 1 MB/s
+	if d := p.txDelay(1_000_000); d != time.Second {
+		t.Fatalf("1MB at 1MB/s = %v, want 1s", d)
+	}
+	if d := p.txDelay(0); d != 0 {
+		t.Fatalf("0 bytes = %v", d)
+	}
+	if d := (Profile{}).txDelay(1 << 30); d != 0 {
+		t.Fatalf("infinite bandwidth = %v", d)
+	}
+}
+
+func TestCoLocatedTransportPassthrough(t *testing.T) {
+	base := http.DefaultTransport
+	if got := CoLocated.Transport(base); got != base {
+		t.Fatal("co-located profile should not wrap the transport")
+	}
+	if got := CoLocated.Transport(nil); got != http.DefaultTransport {
+		t.Fatal("nil base should default")
+	}
+}
+
+func TestTransportAddsRTT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok") //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	fast := &http.Client{}
+	slow := &http.Client{Transport: Profile{RTT: 40 * time.Millisecond}.Transport(nil)}
+
+	measure := func(c *http.Client) time.Duration {
+		t0 := time.Now()
+		resp, err := c.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return time.Since(t0)
+	}
+	measure(fast) // warm
+	measure(slow)
+	fd := measure(fast)
+	sd := measure(slow)
+	if sd < fd+35*time.Millisecond {
+		t.Fatalf("slow=%v fast=%v: RTT not applied", sd, fd)
+	}
+}
+
+func TestTransportAddsBandwidthDelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		io.WriteString(w, "ok")     //nolint:errcheck
+	}))
+	defer srv.Close()
+	// 100 KB at 1 MB/s each way ≈ 100 ms on the request path.
+	p := Profile{BandwidthBps: 1_000_000}
+	c := &http.Client{Transport: p.Transport(nil)}
+	body := strings.NewReader(strings.Repeat("x", 100_000))
+	t0 := time.Now()
+	resp, err := c.Post(srv.URL, "text/plain", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(t0); d < 80*time.Millisecond {
+		t.Fatalf("100KB at 1MB/s took %v, want ≥80ms", d)
+	}
+}
+
+func TestConnWrapping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, conn) //nolint:errcheck
+		conn.Close()
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Profile{RTT: 40 * time.Millisecond}
+	wrapped := p.Conn(raw)
+	t0 := time.Now()
+	if _, err := wrapped.Write([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	first := time.Since(t0)
+	t0 = time.Now()
+	if _, err := wrapped.Write([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	second := time.Since(t0)
+	if first < 15*time.Millisecond {
+		t.Fatalf("first write %v: half-RTT not applied", first)
+	}
+	if second > first {
+		t.Fatalf("second write %v slower than first %v: RTT charged repeatedly", second, first)
+	}
+	wrapped.Close()
+	<-done
+}
+
+func TestConnPassthroughCoLocated(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if got := CoLocated.Conn(c1); got != c1 {
+		t.Fatal("co-located profile should not wrap connections")
+	}
+}

@@ -1,0 +1,277 @@
+// Package procsim is the job-execution substrate under Grid-in-a-Box's
+// ExecService — the "Proc Spawn Win Service" of paper Figure 5.
+//
+// The paper ran real Windows processes; this reproduction simulates
+// them: a process is a goroutine with a declared runtime, an exit code,
+// and output files it writes into its working directory (the directory
+// resource staged by the DataService). Everything the ExecService's
+// resource properties report — "whether the job is currently running,
+// how long it has been running, when it exited and the exit code"
+// (paper §4.2.1) — is observable, and Destroy-kills-the-job semantics
+// are preserved. Job lifecycle, not OS specifics, is what the paper's
+// evaluation exercises.
+package procsim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"altstacks/internal/uuid"
+)
+
+// State is a process's lifecycle phase.
+type State int
+
+const (
+	// StatePending: accepted, not yet started.
+	StatePending State = iota
+	// StateRunning: executing.
+	StateRunning
+	// StateExited: ran to completion (see ExitCode).
+	StateExited
+	// StateKilled: terminated by Kill before completion.
+	StateKilled
+)
+
+// String names the state for resource property documents.
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateRunning:
+		return "running"
+	case StateExited:
+		return "exited"
+	case StateKilled:
+		return "killed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Spec declares a job.
+type Spec struct {
+	// Command and Args are recorded verbatim (simulated execution).
+	Command string
+	Args    []string
+	// WorkingDir is where output files are written — the DataService
+	// directory resource associated with the job.
+	WorkingDir string
+	// Duration is the simulated runtime.
+	Duration time.Duration
+	// ExitCode is the code the process exits with.
+	ExitCode int
+	// OutputFiles maps file names to contents written to WorkingDir
+	// when the process completes (job output the client later surveys
+	// through the DataService).
+	OutputFiles map[string]string
+}
+
+// Status is a point-in-time snapshot of a process.
+type Status struct {
+	ID       string
+	Spec     Spec
+	State    State
+	Started  time.Time
+	Exited   time.Time
+	ExitCode int
+}
+
+// Running reports whether the job is still executing.
+func (st Status) Running() bool { return st.State == StateRunning || st.State == StatePending }
+
+// RunTime is how long the job has run (so far, or in total).
+func (st Status) RunTime(now time.Time) time.Duration {
+	if st.Started.IsZero() {
+		return 0
+	}
+	end := st.Exited
+	if end.IsZero() {
+		end = now
+	}
+	return end.Sub(st.Started)
+}
+
+type process struct {
+	status Status
+	kill   chan struct{}
+	done   chan struct{}
+}
+
+// Table is the process table.
+type Table struct {
+	// OnExit, when set, runs (in the process goroutine) after a job
+	// reaches a terminal state — the hook the ExecService uses to send
+	// job-completion notifications.
+	OnExit func(Status)
+
+	mu    sync.Mutex
+	procs map[string]*process
+}
+
+// NewTable returns an empty process table.
+func NewTable() *Table { return &Table{procs: map[string]*process{}} }
+
+// Spawn starts a job and returns its process id.
+func (t *Table) Spawn(spec Spec) (string, error) {
+	return t.SpawnWithID(uuid.NewString(), spec)
+}
+
+// SpawnWithID starts a job under a caller-chosen id, letting services
+// register bookkeeping (job resources) under the id before the process
+// can reach a terminal state.
+func (t *Table) SpawnWithID(id string, spec Spec) (string, error) {
+	if spec.Command == "" {
+		return "", fmt.Errorf("procsim: empty command")
+	}
+	if id == "" {
+		return "", fmt.Errorf("procsim: empty process id")
+	}
+	p := &process{
+		status: Status{ID: id, Spec: spec, State: StateRunning, Started: time.Now()},
+		kill:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	t.mu.Lock()
+	if _, dup := t.procs[id]; dup {
+		t.mu.Unlock()
+		return "", fmt.Errorf("procsim: duplicate process id %s", id)
+	}
+	t.procs[id] = p
+	t.mu.Unlock()
+	go t.run(p)
+	return id, nil
+}
+
+func (t *Table) run(p *process) {
+	defer close(p.done)
+	timer := time.NewTimer(p.status.Spec.Duration)
+	defer timer.Stop()
+	killed := false
+	select {
+	case <-timer.C:
+	case <-p.kill:
+		killed = true
+	}
+	t.mu.Lock()
+	p.status.Exited = time.Now()
+	if killed {
+		p.status.State = StateKilled
+		p.status.ExitCode = -1
+	} else {
+		p.status.State = StateExited
+		p.status.ExitCode = p.status.Spec.ExitCode
+	}
+	st := p.status
+	t.mu.Unlock()
+	if !killed {
+		writeOutputs(st.Spec)
+	}
+	if t.OnExit != nil {
+		t.OnExit(st)
+	}
+}
+
+func writeOutputs(spec Spec) {
+	if spec.WorkingDir == "" || len(spec.OutputFiles) == 0 {
+		return
+	}
+	names := make([]string, 0, len(spec.OutputFiles))
+	for name := range spec.OutputFiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(spec.WorkingDir, filepath.Base(name))
+		// Output failures are job-visible only through missing files,
+		// as with a real process writing to a full disk.
+		_ = os.WriteFile(path, []byte(spec.OutputFiles[name]), 0o644)
+	}
+}
+
+// Get returns a snapshot of the process.
+func (t *Table) Get(id string) (Status, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return p.status, true
+}
+
+// Kill terminates a running job. Killing an already-finished job is a
+// no-op (the paper's Destroy "will kill a job if it is running").
+func (t *Table) Kill(id string) error {
+	t.mu.Lock()
+	p, ok := t.procs[id]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("procsim: no process %s", id)
+	}
+	select {
+	case <-p.done:
+		return nil // already terminal
+	default:
+	}
+	select {
+	case <-p.kill:
+	default:
+		close(p.kill)
+	}
+	<-p.done
+	return nil
+}
+
+// Wait blocks until the job reaches a terminal state or the timeout
+// elapses, returning the final status.
+func (t *Table) Wait(id string, timeout time.Duration) (Status, error) {
+	t.mu.Lock()
+	p, ok := t.procs[id]
+	t.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("procsim: no process %s", id)
+	}
+	select {
+	case <-p.done:
+	case <-time.After(timeout):
+		return Status{}, fmt.Errorf("procsim: process %s still running after %v", id, timeout)
+	}
+	st, _ := t.Get(id)
+	return st, nil
+}
+
+// Remove forgets a terminal process ("cleanup the information about
+// the process' exit state", paper §4.2.1). Removing a running process
+// is an error; kill it first.
+func (t *Table) Remove(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[id]
+	if !ok {
+		return fmt.Errorf("procsim: no process %s", id)
+	}
+	select {
+	case <-p.done:
+	default:
+		return fmt.Errorf("procsim: process %s still running", id)
+	}
+	delete(t.procs, id)
+	return nil
+}
+
+// IDs lists known process ids, sorted.
+func (t *Table) IDs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]string, 0, len(t.procs))
+	for id := range t.procs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

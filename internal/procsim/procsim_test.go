@@ -1,0 +1,170 @@
+package procsim
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpawnRunExit(t *testing.T) {
+	tb := NewTable()
+	id, err := tb.Spawn(Spec{Command: "render", Duration: 20 * time.Millisecond, ExitCode: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := tb.Get(id)
+	if !ok || !st.Running() {
+		t.Fatalf("status right after spawn = %+v", st)
+	}
+	final, err := tb.Wait(id, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateExited || final.ExitCode != 3 {
+		t.Fatalf("final = %+v", final)
+	}
+	if final.RunTime(time.Now()) < 20*time.Millisecond {
+		t.Fatalf("runtime = %v", final.RunTime(time.Now()))
+	}
+}
+
+func TestOutputFilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	tb := NewTable()
+	id, err := tb.Spawn(Spec{
+		Command:     "blast",
+		WorkingDir:  dir,
+		Duration:    time.Millisecond,
+		OutputFiles: map[string]string{"result.out": "hits=42", "log.txt": "ok"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Wait(id, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "result.out"))
+	if err != nil || string(data) != "hits=42" {
+		t.Fatalf("result.out = %q, %v", data, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "log.txt")); err != nil {
+		t.Fatal("log.txt missing")
+	}
+}
+
+func TestKillRunningJob(t *testing.T) {
+	dir := t.TempDir()
+	tb := NewTable()
+	id, _ := tb.Spawn(Spec{
+		Command:     "forever",
+		WorkingDir:  dir,
+		Duration:    time.Hour,
+		OutputFiles: map[string]string{"never.out": "x"},
+	})
+	if err := tb.Kill(id); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := tb.Get(id)
+	if st.State != StateKilled || st.ExitCode != -1 {
+		t.Fatalf("after kill: %+v", st)
+	}
+	// Killed jobs must not write their outputs.
+	if _, err := os.Stat(filepath.Join(dir, "never.out")); !os.IsNotExist(err) {
+		t.Fatal("killed job wrote output")
+	}
+}
+
+func TestKillFinishedJobIsNoop(t *testing.T) {
+	tb := NewTable()
+	id, _ := tb.Spawn(Spec{Command: "quick", Duration: time.Millisecond})
+	if _, err := tb.Wait(id, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Kill(id); err != nil {
+		t.Fatalf("kill after exit: %v", err)
+	}
+	st, _ := tb.Get(id)
+	if st.State != StateExited {
+		t.Fatalf("state flipped to %v", st.State)
+	}
+}
+
+func TestOnExitCallback(t *testing.T) {
+	tb := NewTable()
+	done := make(chan Status, 1)
+	tb.OnExit = func(st Status) { done <- st }
+	id, _ := tb.Spawn(Spec{Command: "cb", Duration: time.Millisecond, ExitCode: 7})
+	select {
+	case st := <-done:
+		if st.ID != id || st.ExitCode != 7 {
+			t.Fatalf("callback status = %+v", st)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnExit never fired")
+	}
+}
+
+func TestRemoveSemantics(t *testing.T) {
+	tb := NewTable()
+	id, _ := tb.Spawn(Spec{Command: "x", Duration: time.Hour})
+	if err := tb.Remove(id); err == nil {
+		t.Fatal("removed a running process")
+	}
+	if err := tb.Kill(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.Get(id); ok {
+		t.Fatal("process still visible after remove")
+	}
+	if err := tb.Remove(id); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestSpawnValidation(t *testing.T) {
+	tb := NewTable()
+	if _, err := tb.Spawn(Spec{}); err == nil {
+		t.Fatal("empty command accepted")
+	}
+}
+
+func TestConcurrentJobs(t *testing.T) {
+	tb := NewTable()
+	var exits sync.Map
+	tb.OnExit = func(st Status) { exits.Store(st.ID, st.State) }
+	var ids []string
+	for i := 0; i < 20; i++ {
+		id, err := tb.Spawn(Spec{Command: "n", Duration: time.Duration(i) * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if _, err := tb.Wait(id, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(tb.IDs()); got != 20 {
+		t.Fatalf("IDs = %d", got)
+	}
+	count := 0
+	exits.Range(func(_, _ any) bool { count++; return true })
+	if count != 20 {
+		t.Fatalf("OnExit fired %d times", count)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	tb := NewTable()
+	id, _ := tb.Spawn(Spec{Command: "slow", Duration: time.Hour})
+	if _, err := tb.Wait(id, 10*time.Millisecond); err == nil {
+		t.Fatal("wait on running job returned early")
+	}
+	_ = tb.Kill(id)
+}

@@ -1,0 +1,129 @@
+package soap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"altstacks/internal/xmlutil"
+)
+
+// randomBody builds arbitrary well-formed message bodies.
+func randomBody(r *rand.Rand, depth int) *xmlutil.Element {
+	spaces := []string{"urn:a", "urn:b", "http://x/y"}
+	locals := []string{"Op", "Get", "Value", "Item", "Spec"}
+	e := xmlutil.New(spaces[r.Intn(len(spaces))], locals[r.Intn(len(locals))])
+	for i := 0; i < r.Intn(3); i++ {
+		e.SetAttr("", locals[r.Intn(len(locals))], randString(r))
+	}
+	if depth > 0 && r.Intn(2) == 0 {
+		for i := 0; i < 1+r.Intn(3); i++ {
+			e.Add(randomBody(r, depth-1))
+		}
+	} else {
+		e.Text = randString(r)
+	}
+	return e
+}
+
+func randString(r *rand.Rand) string {
+	const chars = "abcXYZ 0123<>&\"'"
+	n := r.Intn(10)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = chars[r.Intn(len(chars))]
+	}
+	return string(out)
+}
+
+// Property: any envelope with random headers and body survives a
+// marshal/parse round trip structurally intact.
+func TestPropertyEnvelopeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		env := New(randomBody(r, 3))
+		nHeaders := r.Intn(4)
+		for i := 0; i < nHeaders; i++ {
+			env.AddHeader(randomBody(r, 1))
+		}
+		parsed, err := Parse(env.Marshal())
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if parsed.IsFault() {
+			return false
+		}
+		if len(parsed.Headers) != nHeaders {
+			t.Logf("seed %d: headers %d != %d", seed, len(parsed.Headers), nHeaders)
+			return false
+		}
+		// Compare with whitespace-insensitive equality: envelope transit
+		// normalizes insignificant whitespace in container elements.
+		return equalModuloSpace(env.Body, parsed.Body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalModuloSpace(a, b *xmlutil.Element) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || a.TrimText() != b.TrimText() ||
+		len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for _, attr := range a.Attrs {
+		v, ok := b.Attr(attr.Name.Space, attr.Name.Local)
+		if !ok || v != attr.Value {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !equalModuloSpace(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: faults round trip with code, reason, and detail intact.
+func TestPropertyFaultRoundTrip(t *testing.T) {
+	codes := []string{FaultClient, FaultServer, FaultMustUnderstand}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		orig := &Fault{
+			Code:   codes[r.Intn(len(codes))],
+			Reason: randString(r),
+			Detail: randomBody(r, 1),
+		}
+		env := &Envelope{Fault: orig}
+		parsed, err := Parse(env.Marshal())
+		if err != nil || !parsed.IsFault() {
+			return false
+		}
+		got := parsed.Fault
+		if got.Code != orig.Code {
+			return false
+		}
+		// Reason is character data; XML transit trims edges.
+		if got.Reason != trimmed(orig.Reason) {
+			return false
+		}
+		return equalModuloSpace(orig.Detail, got.Detail)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func trimmed(s string) string {
+	e := xmlutil.NewText("", "x", s)
+	p, err := xmlutil.Parse(e.Marshal())
+	if err != nil {
+		return s
+	}
+	return p.TrimText()
+}

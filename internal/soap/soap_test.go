@@ -1,0 +1,137 @@
+package soap
+
+import (
+	"strings"
+	"testing"
+
+	"altstacks/internal/xmlutil"
+)
+
+func TestRoundTrip(t *testing.T) {
+	body := xmlutil.New("urn:counter", "Get").Add(xmlutil.NewText("urn:counter", "id", "7"))
+	env := New(body).AddHeader(xmlutil.NewText("urn:h", "Token", "abc"))
+	parsed, err := Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.IsFault() {
+		t.Fatal("unexpected fault")
+	}
+	if parsed.Body == nil || parsed.Body.Name.Local != "Get" {
+		t.Fatalf("body = %v", parsed.Body)
+	}
+	if parsed.Body.ChildText("urn:counter", "id") != "7" {
+		t.Fatalf("body content lost: %s", parsed.Body)
+	}
+	h := parsed.Header("urn:h", "Token")
+	if h == nil || h.TrimText() != "abc" {
+		t.Fatalf("header lost: %v", parsed.Headers)
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	env := &Envelope{Fault: &Fault{
+		Code:   FaultClient,
+		Reason: "no such resource",
+		Detail: xmlutil.NewText("urn:bf", "ResourceUnknown", "id-9"),
+	}}
+	parsed, err := Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.IsFault() {
+		t.Fatal("fault not detected")
+	}
+	f := parsed.Fault
+	if f.Code != FaultClient || f.Reason != "no such resource" {
+		t.Fatalf("fault = %+v", f)
+	}
+	if f.Detail == nil || f.Detail.Name.Local != "ResourceUnknown" || f.Detail.TrimText() != "id-9" {
+		t.Fatalf("detail = %v", f.Detail)
+	}
+}
+
+func TestFaultIsError(t *testing.T) {
+	var err error = Faultf(FaultServer, "backend %s down", "xmldb")
+	if !strings.Contains(err.Error(), "backend xmldb down") {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+}
+
+func TestParseRejectsNonEnvelope(t *testing.T) {
+	if _, err := Parse([]byte(`<NotAnEnvelope/>`)); err == nil {
+		t.Fatal("expected error for non-envelope root")
+	}
+}
+
+func TestParseVersionMismatch(t *testing.T) {
+	doc := `<e:Envelope xmlns:e="http://www.w3.org/2003/05/soap-envelope"><e:Body/></e:Envelope>`
+	_, err := Parse([]byte(doc))
+	f, ok := err.(*Fault)
+	if !ok || f.Code != FaultVersionMismatch {
+		t.Fatalf("err = %v, want VersionMismatch fault", err)
+	}
+}
+
+func TestParseRequiresBody(t *testing.T) {
+	doc := `<s:Envelope xmlns:s="` + NS + `"><s:Header/></s:Envelope>`
+	if _, err := Parse([]byte(doc)); err == nil {
+		t.Fatal("expected error for missing Body")
+	}
+}
+
+func TestEmptyBodyAllowed(t *testing.T) {
+	doc := `<s:Envelope xmlns:s="` + NS + `"><s:Body/></s:Envelope>`
+	env, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Body != nil || env.IsFault() {
+		t.Fatalf("env = %+v", env)
+	}
+}
+
+func TestMustUnderstand(t *testing.T) {
+	hdr := xmlutil.New("urn:sec", "Security").SetAttr(NS, "mustUnderstand", "1")
+	env := New(xmlutil.New("urn:x", "Op")).AddHeader(hdr)
+	names := env.MustUnderstandNames()
+	if len(names) != 1 || names[0] != "urn:sec Security" {
+		t.Fatalf("names = %v", names)
+	}
+	if err := env.CheckMustUnderstand(map[string]bool{}); err == nil {
+		t.Fatal("expected mustUnderstand fault")
+	} else if f, ok := err.(*Fault); !ok || f.Code != FaultMustUnderstand {
+		t.Fatalf("err = %v", err)
+	}
+	if err := env.CheckMustUnderstand(map[string]bool{"urn:sec Security": true}); err != nil {
+		t.Fatalf("understood header still faulted: %v", err)
+	}
+}
+
+func TestMustUnderstandSurvivesTransit(t *testing.T) {
+	hdr := xmlutil.New("urn:sec", "Security").SetAttr(NS, "mustUnderstand", "1")
+	env := New(xmlutil.New("urn:x", "Op")).AddHeader(hdr)
+	parsed, err := Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.MustUnderstandNames()) != 1 {
+		t.Fatalf("mustUnderstand flag lost in transit: %s", env.Marshal())
+	}
+}
+
+func TestHeaderCloningIsolation(t *testing.T) {
+	h := xmlutil.NewText("urn:h", "A", "1")
+	env := New(xmlutil.New("urn:x", "Op")).AddHeader(h)
+	_ = env.Marshal()
+	h.Text = "2"
+	// Element() clones, so earlier marshal output was built from a copy;
+	// the envelope still references the live header for later marshals.
+	parsed, err := Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Header("urn:h", "A").TrimText() != "2" {
+		t.Fatal("live header mutation not reflected on remarshal")
+	}
+}

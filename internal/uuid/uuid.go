@@ -1,0 +1,56 @@
+// Package uuid generates RFC 4122 version-4 (random) UUIDs.
+//
+// Both software stacks in the reproduction mint opaque identifiers:
+// WS-Transfer's Create() names new resources with a GUID by default
+// (paper §3.2), and WS-Addressing MessageID headers must be unique IRIs.
+package uuid
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// UUID is a 128-bit universally unique identifier.
+type UUID [16]byte
+
+// New returns a fresh random (version 4) UUID. It panics only if the
+// operating system's entropy source is broken, which is unrecoverable.
+func New() UUID {
+	var u UUID
+	if _, err := io.ReadFull(rand.Reader, u[:]); err != nil {
+		panic("uuid: entropy source failed: " + err.Error())
+	}
+	u[6] = (u[6] & 0x0f) | 0x40 // version 4
+	u[8] = (u[8] & 0x3f) | 0x80 // RFC 4122 variant
+	return u
+}
+
+// String renders the UUID in canonical 8-4-4-4-12 hexadecimal form.
+func (u UUID) String() string {
+	return fmt.Sprintf("%x-%x-%x-%x-%x", u[0:4], u[4:6], u[6:8], u[8:10], u[10:16])
+}
+
+// NewString is shorthand for New().String().
+func NewString() string { return New().String() }
+
+// URN renders the UUID as a urn:uuid IRI, the form used for
+// WS-Addressing MessageID headers.
+func (u UUID) URN() string { return "urn:uuid:" + u.String() }
+
+// Parse decodes a canonical-form UUID string (as produced by String).
+func Parse(s string) (UUID, error) {
+	var u UUID
+	if len(s) != 36 || s[8] != '-' || s[13] != '-' || s[18] != '-' || s[23] != '-' {
+		return u, fmt.Errorf("uuid: malformed %q", s)
+	}
+	raw := strings.ReplaceAll(s, "-", "")
+	b, err := hex.DecodeString(raw)
+	if err != nil || len(b) != 16 {
+		return u, fmt.Errorf("uuid: malformed %q", s)
+	}
+	copy(u[:], b)
+	return u, nil
+}

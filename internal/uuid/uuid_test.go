@@ -1,0 +1,86 @@
+package uuid
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVersionAndVariant(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		u := New()
+		if v := u[6] >> 4; v != 4 {
+			t.Fatalf("version nibble = %d, want 4 (uuid %s)", v, u)
+		}
+		if u[8]&0xc0 != 0x80 {
+			t.Fatalf("variant bits = %02x, want 10xxxxxx (uuid %s)", u[8], u)
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	u := New()
+	s := u.String()
+	if len(s) != 36 {
+		t.Fatalf("len(%q) = %d, want 36", s, len(s))
+	}
+	for _, i := range []int{8, 13, 18, 23} {
+		if s[i] != '-' {
+			t.Fatalf("%q: expected '-' at index %d", s, i)
+		}
+	}
+}
+
+func TestURN(t *testing.T) {
+	u := New()
+	urn := u.URN()
+	if !strings.HasPrefix(urn, "urn:uuid:") {
+		t.Fatalf("URN %q lacks urn:uuid: prefix", urn)
+	}
+	if urn[len("urn:uuid:"):] != u.String() {
+		t.Fatalf("URN body %q != String %q", urn[len("urn:uuid:"):], u.String())
+	}
+}
+
+func TestUniqueness(t *testing.T) {
+	seen := make(map[string]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		s := NewString()
+		if seen[s] {
+			t.Fatalf("duplicate uuid %s after %d draws", s, i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func() bool {
+		u := New()
+		got, err := Parse(u.String())
+		return err == nil && got == u
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(struct{}) bool { return f() }, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-uuid",
+		"123e4567e89b12d3a456426614174000",        // no dashes
+		"123e4567-e89b-12d3-a456-42661417400",     // short
+		"123e4567-e89b-12d3-a456-4266141740000",   // long
+		"123e4567+e89b-12d3-a456-426614174000",    // wrong separator
+		"g23e4567-e89b-12d3-a456-426614174000",    // non-hex
+		strings.Repeat("z", 36),                   // all junk
+		"123e4567-e89b-12d3-a456-42661417400\x00", // NUL tail
+		"123e4567-e89b-12d3-a45-6426614174000",    // shifted dash
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}

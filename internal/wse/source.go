@@ -1,0 +1,443 @@
+package wse
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"altstacks/internal/container"
+	"altstacks/internal/soap"
+	"altstacks/internal/uuid"
+	"altstacks/internal/wsa"
+	"altstacks/internal/xmlutil"
+	"altstacks/internal/xpathlite"
+)
+
+// DefaultExpiry is the lifetime granted when a Subscribe names none.
+const DefaultExpiry = time.Hour
+
+// Source is an Event Source Service plus its Subscription Manager.
+type Source struct {
+	// Store holds the subscription list (Plumbwork's flat XML file).
+	Store *Store
+	// ManagerEndpoint supplies the subscription manager's address; per
+	// the spec it "may be the same web service as the event source, or
+	// a separate service" (§2.2).
+	ManagerEndpoint func() string
+	// HTTP performs push-mode deliveries.
+	HTTP *container.Client
+	// TCP performs Plumbwork-style raw-TCP deliveries.
+	TCP *TCPDeliverer
+	// Now is the clock, overridable in tests.
+	Now func() time.Time
+
+	sent atomic.Int64
+}
+
+// NewSource builds an event source.
+func NewSource(store *Store, managerEndpoint func() string, httpClient *container.Client) *Source {
+	return &Source{
+		Store:           store,
+		ManagerEndpoint: managerEndpoint,
+		HTTP:            httpClient,
+		TCP:             NewTCPDeliverer(),
+	}
+}
+
+// MessagesSent reports events pushed, for the benchmark harness.
+func (s *Source) MessagesSent() int64 { return s.sent.Load() }
+
+func (s *Source) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
+}
+
+// SourceService exposes Subscribe at the given path.
+func (s *Source) SourceService(path string) *container.Service {
+	return &container.Service{
+		Path:    path,
+		Actions: map[string]container.ActionFunc{ActionSubscribe: s.subscribe},
+	}
+}
+
+// ManagerService exposes Renew, GetStatus, and Unsubscribe.
+func (s *Source) ManagerService(path string) *container.Service {
+	return &container.Service{
+		Path: path,
+		Actions: map[string]container.ActionFunc{
+			ActionRenew:       s.renew,
+			ActionGetStatus:   s.getStatus,
+			ActionUnsubscribe: s.unsubscribe,
+		},
+	}
+}
+
+func (s *Source) subscribe(ctx *container.Ctx) (*xmlutil.Element, error) {
+	body := ctx.Envelope.Body
+	delivery := body.Child(NS, "Delivery")
+	if delivery == nil {
+		return nil, soap.Faultf(soap.FaultClient, "Subscribe carries no Delivery")
+	}
+	mode := delivery.AttrValue("", "Mode")
+	if mode == "" {
+		mode = DeliveryModePush
+	}
+	if mode != DeliveryModePush && mode != DeliveryModeTCP {
+		// DeliveryModeRequestedUnavailable in the spec.
+		return nil, soap.Faultf(soap.FaultClient, "delivery mode %q unavailable", mode)
+	}
+	ntEl := delivery.Child(NS, "NotifyTo")
+	if ntEl == nil {
+		return nil, soap.Faultf(soap.FaultClient, "Delivery carries no NotifyTo")
+	}
+	notifyTo, err := wsa.ParseEPR(ntEl)
+	if err != nil {
+		return nil, soap.Faultf(soap.FaultClient, "bad NotifyTo: %v", err)
+	}
+	sub := &Subscription{
+		ID:       uuid.NewString(),
+		NotifyTo: notifyTo,
+		Mode:     mode,
+		Expires:  s.now().Add(DefaultExpiry),
+	}
+	if et := body.Child(NS, "EndTo"); et != nil {
+		if epr, err := wsa.ParseEPR(et); err == nil {
+			sub.EndTo = epr
+		}
+	}
+	if f := body.Child(NS, "Filter"); f != nil {
+		sub.Filter = Filter{Dialect: f.AttrValue("", "Dialect"), Expr: f.TrimText()}
+		if sub.Filter.Dialect == "" {
+			sub.Filter.Dialect = DialectXPath
+		}
+		if sub.Filter.Dialect == DialectXPath {
+			if _, err := xpathlite.Compile(sub.Filter.Expr); err != nil {
+				return nil, soap.Faultf(soap.FaultClient, "bad filter: %v", err)
+			}
+		} else if sub.Filter.Dialect != DialectTopic {
+			// FilteringRequestedUnavailable in the spec.
+			return nil, soap.Faultf(soap.FaultClient, "filter dialect %q unavailable", sub.Filter.Dialect)
+		}
+	}
+	if e := body.ChildText(NS, "Expires"); e != "" {
+		when, err := time.Parse(time.RFC3339Nano, e)
+		if err != nil {
+			return nil, soap.Faultf(soap.FaultClient, "bad Expires %q: %v", e, err)
+		}
+		sub.Expires = when
+	}
+	if err := s.Store.Put(sub); err != nil {
+		return nil, err
+	}
+	mgr := wsa.NewEPR(s.ManagerEndpoint()).WithParameter(NS, "Identifier", sub.ID)
+	return xmlutil.New(NS, "SubscribeResponse").Add(
+		mgr.Element(NS, "SubscriptionManager"),
+		xmlutil.NewText(NS, "Expires", sub.Expires.UTC().Format(time.RFC3339Nano)),
+	), nil
+}
+
+func (s *Source) lookup(ctx *container.Ctx) (*Subscription, error) {
+	id, ok := wsa.ResourceID(ctx.Envelope, NS, "Identifier")
+	if !ok || id == "" {
+		return nil, soap.Faultf(soap.FaultClient, "request carries no subscription Identifier")
+	}
+	sub := s.Store.Get(id)
+	if sub == nil {
+		return nil, soap.Faultf(soap.FaultClient, "unknown subscription %q", id)
+	}
+	return sub, nil
+}
+
+func (s *Source) renew(ctx *container.Ctx) (*xmlutil.Element, error) {
+	sub, err := s.lookup(ctx)
+	if err != nil {
+		return nil, err
+	}
+	e := ctx.Envelope.Body.ChildText(NS, "Expires")
+	when := s.now().Add(DefaultExpiry)
+	if e != "" {
+		when, err = time.Parse(time.RFC3339Nano, e)
+		if err != nil {
+			return nil, soap.Faultf(soap.FaultClient, "bad Expires %q: %v", e, err)
+		}
+	}
+	sub.Expires = when
+	if err := s.Store.Put(sub); err != nil {
+		return nil, err
+	}
+	return xmlutil.New(NS, "RenewResponse").Add(
+		xmlutil.NewText(NS, "Expires", when.UTC().Format(time.RFC3339Nano))), nil
+}
+
+func (s *Source) getStatus(ctx *container.Ctx) (*xmlutil.Element, error) {
+	sub, err := s.lookup(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return xmlutil.New(NS, "GetStatusResponse").Add(
+		xmlutil.NewText(NS, "Expires", sub.Expires.UTC().Format(time.RFC3339Nano))), nil
+}
+
+func (s *Source) unsubscribe(ctx *container.Ctx) (*xmlutil.Element, error) {
+	sub, err := s.lookup(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Store.Delete(sub.ID); err != nil {
+		return nil, err
+	}
+	return xmlutil.New(NS, "UnsubscribeResponse"), nil
+}
+
+// Publish pushes an event to every live subscription whose filter
+// matches, returning the delivery count. A subscription whose delivery
+// fails is cancelled and, when it named an EndTo, sent a
+// SubscriptionEnd with StatusDeliveryFailure.
+func (s *Source) Publish(topic string, message *xmlutil.Element) (int, error) {
+	now := s.now()
+	delivered := 0
+	var firstErr error
+	for _, sub := range s.Store.All() {
+		if sub.Expired(now) {
+			continue
+		}
+		ok, err := s.filterMatches(sub.Filter, topic, message)
+		if err != nil || !ok {
+			continue
+		}
+		if err := s.deliver(sub, topic, message); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			s.cancel(sub, StatusDeliveryFailure, err.Error())
+			continue
+		}
+		delivered++
+	}
+	return delivered, firstErr
+}
+
+func (s *Source) filterMatches(f Filter, topic string, message *xmlutil.Element) (bool, error) {
+	if f.IsZero() {
+		return true, nil
+	}
+	switch f.Dialect {
+	case DialectTopic:
+		return matchTopic(f.Expr, topic), nil
+	case DialectXPath:
+		return xpathlite.Matches(message, f.Expr)
+	default:
+		return false, fmt.Errorf("wse: unknown filter dialect %q", f.Dialect)
+	}
+}
+
+func (s *Source) deliver(sub *Subscription, topic string, message *xmlutil.Element) error {
+	s.sent.Add(1)
+	env := soap.New(message.Clone())
+	env.AddHeader(
+		xmlutil.NewText(NS, "Topic", topic),
+		xmlutil.NewText(wsa.NS, "Action", ActionEvent),
+	)
+	switch sub.Mode {
+	case DeliveryModeTCP:
+		return s.TCP.Deliver(sub.NotifyTo.Address, env)
+	default:
+		// Push over HTTP: a normal one-way SOAP POST to the sink, with
+		// the topic riding in a header block.
+		_, err := s.HTTP.CallWithHeaders(sub.NotifyTo, ActionEvent,
+			[]*xmlutil.Element{xmlutil.NewText(NS, "Topic", topic)}, message.Clone())
+		return err
+	}
+}
+
+// cancel removes a subscription and notifies its EndTo endpoint.
+func (s *Source) cancel(sub *Subscription, status, reason string) {
+	_, _ = s.Store.Delete(sub.ID)
+	s.sendEnd(sub, status, reason)
+}
+
+func (s *Source) sendEnd(sub *Subscription, status, reason string) {
+	if sub.EndTo.IsZero() {
+		return
+	}
+	end := xmlutil.New(NS, "SubscriptionEnd").Add(
+		xmlutil.NewText(NS, "Status", status),
+		xmlutil.NewText(NS, "Reason", reason),
+	)
+	_, _ = s.HTTP.Call(sub.EndTo, ActionSubscriptionEnd, end)
+}
+
+// Shutdown cancels every live subscription with SourceShuttingDown.
+func (s *Source) Shutdown() {
+	for _, sub := range s.Store.All() {
+		s.cancel(sub, StatusSourceShuttingDown, "event source shutting down")
+	}
+	s.TCP.Close()
+}
+
+// SweepExpired drops lapsed subscriptions (no SubscriptionEnd: expiry
+// is the consumer's own deadline). It returns the number removed.
+func (s *Source) SweepExpired() int {
+	n := 0
+	for _, sub := range s.Store.Expired(s.now()) {
+		if ok, _ := s.Store.Delete(sub.ID); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// NotificationManager is the Plumbwork-specific trigger facade: "a
+// convenient tool for an event source to trigger notifications by
+// using operations implemented in it" (paper §3.2).
+type NotificationManager struct {
+	Source *Source
+}
+
+// Trigger publishes an event through the source.
+func (nm *NotificationManager) Trigger(topic string, message *xmlutil.Element) (int, error) {
+	return nm.Source.Publish(topic, message)
+}
+
+// SubscribeOptions parameterizes a client-side Subscribe.
+type SubscribeOptions struct {
+	// NotifyTo is where events are delivered (an HTTP EPR for push
+	// mode, a tcp:// EPR for TCP mode).
+	NotifyTo wsa.EPR
+	// EndTo optionally receives SubscriptionEnd messages.
+	EndTo  wsa.EPR
+	Mode   string
+	Filter Filter
+	// Expires requests an absolute expiry; zero asks the source to pick.
+	Expires time.Time
+}
+
+// SubscribeResult is the outcome of a Subscribe call.
+type SubscribeResult struct {
+	// Manager addresses the subscription at the Subscription Manager
+	// Service (carrying the wse:Identifier reference parameter).
+	Manager wsa.EPR
+	Expires time.Time
+}
+
+// Subscribe registers a subscription with the event source.
+func Subscribe(c *container.Client, source wsa.EPR, opts SubscribeOptions) (SubscribeResult, error) {
+	body := xmlutil.New(NS, "Subscribe")
+	if !opts.EndTo.IsZero() {
+		body.Add(opts.EndTo.Element(NS, "EndTo"))
+	}
+	mode := opts.Mode
+	if mode == "" {
+		mode = DeliveryModePush
+	}
+	body.Add(xmlutil.New(NS, "Delivery").SetAttr("", "Mode", mode).
+		Add(opts.NotifyTo.Element(NS, "NotifyTo")))
+	if !opts.Filter.IsZero() {
+		body.Add(xmlutil.NewText(NS, "Filter", opts.Filter.Expr).
+			SetAttr("", "Dialect", opts.Filter.Dialect))
+	}
+	if !opts.Expires.IsZero() {
+		body.Add(xmlutil.NewText(NS, "Expires", opts.Expires.UTC().Format(time.RFC3339Nano)))
+	}
+	resp, err := c.Call(source, ActionSubscribe, body)
+	if err != nil {
+		return SubscribeResult{}, err
+	}
+	mgrEl := resp.Child(NS, "SubscriptionManager")
+	if mgrEl == nil {
+		return SubscribeResult{}, fmt.Errorf("wse: SubscribeResponse carries no SubscriptionManager")
+	}
+	mgr, err := wsa.ParseEPR(mgrEl)
+	if err != nil {
+		return SubscribeResult{}, err
+	}
+	res := SubscribeResult{Manager: mgr}
+	if e := resp.ChildText(NS, "Expires"); e != "" {
+		if t, err := time.Parse(time.RFC3339Nano, e); err == nil {
+			res.Expires = t
+		}
+	}
+	return res, nil
+}
+
+// Renew extends a subscription via its manager EPR and returns the new
+// expiry.
+func Renew(c *container.Client, manager wsa.EPR, expires time.Time) (time.Time, error) {
+	body := xmlutil.New(NS, "Renew")
+	if !expires.IsZero() {
+		body.Add(xmlutil.NewText(NS, "Expires", expires.UTC().Format(time.RFC3339Nano)))
+	}
+	resp, err := c.Call(manager, ActionRenew, body)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Parse(time.RFC3339Nano, resp.ChildText(NS, "Expires"))
+}
+
+// GetStatus retrieves the subscription's current expiry.
+func GetStatus(c *container.Client, manager wsa.EPR) (time.Time, error) {
+	resp, err := c.Call(manager, ActionGetStatus, xmlutil.New(NS, "GetStatus"))
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Parse(time.RFC3339Nano, resp.ChildText(NS, "Expires"))
+}
+
+// Unsubscribe removes the subscription.
+func Unsubscribe(c *container.Client, manager wsa.EPR) error {
+	_, err := c.Call(manager, ActionUnsubscribe, xmlutil.New(NS, "Unsubscribe"))
+	return err
+}
+
+// HTTPSink is a push-mode consumer endpoint: a minimal container
+// service that surfaces delivered events (and SubscriptionEnd
+// messages) on a channel.
+type HTTPSink struct {
+	C    *container.Container
+	Ch   chan Event
+	Ends chan string // SubscriptionEnd status URIs
+}
+
+// NewHTTPSink starts a push-mode sink on a fresh loopback port.
+func NewHTTPSink(buffer int) (*HTTPSink, error) {
+	s := &HTTPSink{
+		C:    container.New(container.SecurityNone),
+		Ch:   make(chan Event, buffer),
+		Ends: make(chan string, 4),
+	}
+	s.C.Register(&container.Service{
+		Path: "/sink",
+		Actions: map[string]container.ActionFunc{
+			ActionEvent: func(ctx *container.Ctx) (*xmlutil.Element, error) {
+				ev := Event{Message: ctx.Envelope.Body}
+				if h := ctx.Envelope.Header(NS, "Topic"); h != nil {
+					ev.Topic = h.TrimText()
+				}
+				select {
+				case s.Ch <- ev:
+				default:
+				}
+				return xmlutil.New(NS, "EventAck"), nil
+			},
+			ActionSubscriptionEnd: func(ctx *container.Ctx) (*xmlutil.Element, error) {
+				select {
+				case s.Ends <- ctx.Envelope.Body.ChildText(NS, "Status"):
+				default:
+				}
+				return xmlutil.New(NS, "SubscriptionEndAck"), nil
+			},
+		},
+	})
+	if _, err := s.C.Start(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EPR returns the sink's delivery endpoint.
+func (s *HTTPSink) EPR() wsa.EPR { return s.C.EPR("/sink") }
+
+// Close stops the sink.
+func (s *HTTPSink) Close() { s.C.Close() }

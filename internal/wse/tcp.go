@@ -1,0 +1,208 @@
+package wse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"altstacks/internal/soap"
+	"altstacks/internal/xmlutil"
+)
+
+// Frame format for the raw-TCP delivery channel: a 4-byte big-endian
+// length followed by a SOAP envelope. Delivery is one-way — no
+// response envelope, no HTTP framing — which is the structural reason
+// the paper found WS-Eventing notification "considerably better …
+// because of the TCP vs. HTTP issue" (§4.1.3).
+
+// maxFrame bounds a single event frame (16 MiB, matching the HTTP
+// container's request cap).
+const maxFrame = 16 << 20
+
+// Event is one delivered notification.
+type Event struct {
+	Topic   string
+	Message *xmlutil.Element
+}
+
+// TCPSink is the consumer-side SoapReceiver: it accepts connections
+// and surfaces each framed envelope as an Event on Ch.
+type TCPSink struct {
+	ln net.Listener
+	Ch chan Event
+
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+	wg    sync.WaitGroup
+}
+
+// NewTCPSink starts a sink on a fresh loopback port.
+func NewTCPSink(buffer int) (*TCPSink, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("wse: sink listen: %w", err)
+	}
+	s := &TCPSink{ln: ln, Ch: make(chan Event, buffer), conns: map[net.Conn]bool{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the sink's address in tcp:// URI form, used as the
+// NotifyTo address of TCP-mode subscriptions.
+func (s *TCPSink) Addr() string { return "tcp://" + s.ln.Addr().String() }
+
+// Close stops accepting, closes live connections, and waits for the
+// reader goroutines to drain.
+func (s *TCPSink) Close() {
+	s.ln.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *TCPSink) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.readLoop(conn)
+		}()
+	}
+}
+
+func (s *TCPSink) readLoop(conn net.Conn) {
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		env, err := soap.Parse(data)
+		if err != nil {
+			continue // skip malformed frames, keep the connection
+		}
+		ev := Event{}
+		if h := env.Header(NS, "Topic"); h != nil {
+			ev.Topic = h.TrimText()
+		}
+		if env.Body != nil {
+			ev.Message = env.Body
+		}
+		select {
+		case s.Ch <- ev:
+		default:
+			// Best-effort: drop on overflow rather than block the wire.
+		}
+	}
+}
+
+// TCPDeliverer is the source-side channel: it keeps one persistent
+// connection per sink address and writes framed envelopes.
+type TCPDeliverer struct {
+	// WrapConn, when set, wraps each new connection (the netlat hook
+	// for distributed scenarios).
+	WrapConn func(net.Conn) net.Conn
+
+	mu    sync.Mutex
+	conns map[string]net.Conn
+}
+
+// NewTCPDeliverer returns an empty deliverer.
+func NewTCPDeliverer() *TCPDeliverer {
+	return &TCPDeliverer{conns: map[string]net.Conn{}}
+}
+
+// Deliver writes one framed envelope to the sink at addr
+// ("tcp://host:port"). The connection is cached; a stale connection is
+// re-dialed once.
+func (d *TCPDeliverer) Deliver(addr string, env *soap.Envelope) error {
+	data := env.Marshal()
+	if len(data) > maxFrame {
+		return fmt.Errorf("wse: event frame too large (%d bytes)", len(data))
+	}
+	frame := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(frame, uint32(len(data)))
+	copy(frame[4:], data)
+
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := d.conn(addr, attempt > 0)
+		if err != nil {
+			return err
+		}
+		if _, err := conn.Write(frame); err == nil {
+			return nil
+		}
+		d.drop(addr)
+	}
+	return fmt.Errorf("wse: delivery to %s failed after reconnect", addr)
+}
+
+func (d *TCPDeliverer) conn(addr string, fresh bool) (net.Conn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !fresh {
+		if c, ok := d.conns[addr]; ok {
+			return c, nil
+		}
+	}
+	host := strings.TrimPrefix(addr, "tcp://")
+	c, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("wse: dial sink %s: %w", addr, err)
+	}
+	if d.WrapConn != nil {
+		c = d.WrapConn(c)
+	}
+	if old, ok := d.conns[addr]; ok {
+		old.Close()
+	}
+	d.conns[addr] = c
+	return c, nil
+}
+
+func (d *TCPDeliverer) drop(addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.conns[addr]; ok {
+		c.Close()
+		delete(d.conns, addr)
+	}
+}
+
+// Close tears down all cached connections.
+func (d *TCPDeliverer) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for addr, c := range d.conns {
+		c.Close()
+		delete(d.conns, addr)
+	}
+}

@@ -1,0 +1,90 @@
+package wsmex
+
+import (
+	"sort"
+	"strings"
+
+	"altstacks/internal/container"
+	"altstacks/internal/xmlutil"
+)
+
+// WSDL 1.1 namespaces.
+const (
+	NSWSDL     = "http://schemas.xmlsoap.org/wsdl/"
+	NSWSDLSOAP = "http://schemas.xmlsoap.org/wsdl/soap/"
+)
+
+// GenerateWSDL builds a minimal document/literal WSDL 1.1 description
+// of a container service: one portType operation per WS-Addressing
+// action, a SOAP binding, and a service/port carrying the endpoint
+// address. This is the contract artifact whose presence the paper
+// credits to the WSRF side ("every client must know the 'type' of
+// objects that the service understands; in WSRF, this is contained in
+// the WSDL", §2.3) — generating it for either stack and serving it via
+// WS-MetadataExchange closes the gap for both.
+func GenerateWSDL(name, targetNamespace, endpoint string, svc *container.Service) *xmlutil.Element {
+	defs := xmlutil.New(NSWSDL, "definitions").
+		SetAttr("", "name", name).
+		SetAttr("", "targetNamespace", targetNamespace)
+
+	actions := make([]string, 0, len(svc.Actions))
+	for a := range svc.Actions {
+		actions = append(actions, a)
+	}
+	sort.Strings(actions)
+
+	portType := xmlutil.New(NSWSDL, "portType").SetAttr("", "name", name+"PortType")
+	binding := xmlutil.New(NSWSDL, "binding").
+		SetAttr("", "name", name+"SoapBinding").
+		SetAttr("", "type", name+"PortType")
+	binding.Add(xmlutil.New(NSWSDLSOAP, "binding").
+		SetAttr("", "style", "document").
+		SetAttr("", "transport", "http://schemas.xmlsoap.org/soap/http"))
+
+	for _, action := range actions {
+		opName := operationName(action)
+		// Message declarations (document/literal: one part each).
+		defs.Add(
+			xmlutil.New(NSWSDL, "message").SetAttr("", "name", opName+"Request").
+				Add(xmlutil.New(NSWSDL, "part").SetAttr("", "name", "body")),
+			xmlutil.New(NSWSDL, "message").SetAttr("", "name", opName+"Response").
+				Add(xmlutil.New(NSWSDL, "part").SetAttr("", "name", "body")),
+		)
+		portType.Add(xmlutil.New(NSWSDL, "operation").SetAttr("", "name", opName).Add(
+			xmlutil.New(NSWSDL, "input").SetAttr("", "message", opName+"Request"),
+			xmlutil.New(NSWSDL, "output").SetAttr("", "message", opName+"Response"),
+		))
+		binding.Add(xmlutil.New(NSWSDL, "operation").SetAttr("", "name", opName).Add(
+			xmlutil.New(NSWSDLSOAP, "operation").SetAttr("", "soapAction", action),
+			xmlutil.New(NSWSDL, "input").Add(xmlutil.New(NSWSDLSOAP, "body").SetAttr("", "use", "literal")),
+			xmlutil.New(NSWSDL, "output").Add(xmlutil.New(NSWSDLSOAP, "body").SetAttr("", "use", "literal")),
+		))
+	}
+	defs.Add(portType, binding)
+	defs.Add(xmlutil.New(NSWSDL, "service").SetAttr("", "name", name).Add(
+		xmlutil.New(NSWSDL, "port").
+			SetAttr("", "name", name+"Port").
+			SetAttr("", "binding", name+"SoapBinding").
+			Add(xmlutil.New(NSWSDLSOAP, "address").SetAttr("", "location", endpoint)),
+	))
+	return defs
+}
+
+// operationName derives a WSDL operation name from an action URI: the
+// final path segment.
+func operationName(action string) string {
+	if i := strings.LastIndexByte(action, '/'); i >= 0 && i+1 < len(action) {
+		return action[i+1:]
+	}
+	return action
+}
+
+// AttachWSDL generates the service's WSDL and serves it as a
+// WS-MetadataExchange section alongside any other metadata.
+func AttachWSDL(meta *Metadata, name, targetNamespace, endpoint string, svc *container.Service) {
+	meta.Add(Section{
+		Dialect:    DialectWSDL,
+		Identifier: targetNamespace,
+		Body:       GenerateWSDL(name, targetNamespace, endpoint, svc),
+	})
+}

@@ -1,0 +1,129 @@
+package wsmex
+
+import (
+	"testing"
+
+	"altstacks/internal/container"
+	"altstacks/internal/wst"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+func transferService(t *testing.T, c *container.Container) *container.Service {
+	t.Helper()
+	transfer := &wst.Service{
+		DB: xmldb.NewMemory(xmldb.CostModel{}), Collection: "things",
+		RefSpace: "urn:things", RefLocal: "ID",
+		Endpoint: func() string { return c.BaseURL() + "/things" },
+	}
+	return transfer.ContainerService("/things")
+}
+
+func TestGenerateWSDLStructure(t *testing.T) {
+	c := container.New(container.SecurityNone)
+	svc := transferService(t, c)
+	wsdl := GenerateWSDL("ThingService", "urn:things", "http://host/things", svc)
+
+	if wsdl.Name.Local != "definitions" || wsdl.AttrValue("", "targetNamespace") != "urn:things" {
+		t.Fatalf("root = %s", wsdl)
+	}
+	pt := wsdl.Child(NSWSDL, "portType")
+	if pt == nil {
+		t.Fatal("no portType")
+	}
+	// One operation per WS-Transfer verb.
+	ops := pt.ChildrenNamed(NSWSDL, "operation")
+	if len(ops) != 4 {
+		t.Fatalf("operations = %d, want 4 (Create/Get/Put/Delete)", len(ops))
+	}
+	names := map[string]bool{}
+	for _, op := range ops {
+		names[op.AttrValue("", "name")] = true
+		if op.Child(NSWSDL, "input") == nil || op.Child(NSWSDL, "output") == nil {
+			t.Fatalf("operation %s lacks input/output", op.AttrValue("", "name"))
+		}
+	}
+	for _, want := range []string{"Create", "Get", "Put", "Delete"} {
+		if !names[want] {
+			t.Fatalf("missing operation %s (have %v)", want, names)
+		}
+	}
+	// Binding carries soapAction URIs.
+	binding := wsdl.Child(NSWSDL, "binding")
+	if binding == nil {
+		t.Fatal("no binding")
+	}
+	foundAction := false
+	binding.Walk(func(e *xmlutil.Element) bool {
+		if e.Name.Space == NSWSDLSOAP && e.Name.Local == "operation" &&
+			e.AttrValue("", "soapAction") == wst.ActionCreate {
+			foundAction = true
+		}
+		return true
+	})
+	if !foundAction {
+		t.Fatal("binding lacks the Create soapAction")
+	}
+	// Service port carries the address.
+	svcEl := wsdl.Child(NSWSDL, "service")
+	if svcEl == nil {
+		t.Fatal("no service")
+	}
+	addr := ""
+	svcEl.Walk(func(e *xmlutil.Element) bool {
+		if e.Name.Space == NSWSDLSOAP && e.Name.Local == "address" {
+			addr = e.AttrValue("", "location")
+		}
+		return true
+	})
+	if addr != "http://host/things" {
+		t.Fatalf("address = %q", addr)
+	}
+}
+
+func TestWSDLSurvivesWireTransit(t *testing.T) {
+	c := container.New(container.SecurityNone)
+	svc := transferService(t, c)
+	wsdl := GenerateWSDL("ThingService", "urn:things", "http://host/things", svc)
+	parsed, err := xmlutil.Parse(wsdl.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmlutil.Equal(wsdl, parsed) {
+		t.Fatal("WSDL not stable across serialization")
+	}
+}
+
+func TestAttachWSDLServedOverMex(t *testing.T) {
+	c := container.New(container.SecurityNone)
+	svc := transferService(t, c)
+	meta := &Metadata{}
+	AttachWSDL(meta, "ThingService", "urn:things", "http://host/things", svc)
+	meta.Attach(svc)
+	c.Register(svc)
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	client := container.NewClient(container.ClientConfig{})
+	sections, err := GetMetadata(client, c.EPR("/things"), DialectWSDL, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) != 1 || sections[0].Body.Name.Local != "definitions" {
+		t.Fatalf("sections = %+v", sections)
+	}
+}
+
+func TestOperationName(t *testing.T) {
+	cases := map[string]string{
+		"http://x/y/Get": "Get",
+		"urn:op":         "urn:op",
+		"a/":             "a/",
+	}
+	for in, want := range cases {
+		if got := operationName(in); got != want {
+			t.Errorf("operationName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

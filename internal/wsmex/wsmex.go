@@ -1,0 +1,138 @@
+// Package wsmex implements a minimal WS-MetadataExchange, the
+// extension the paper points to for WS-Transfer's biggest gap: "our
+// prototyping of services/clients based on our WS-Transfer
+// implementation relied on hard-coding of common schemas within the
+// client and service. We determined no elegant mechanism by which the
+// client could easily discover the schemas (although emerging
+// specifications like WS-MetadataExchange do seem promising)" (§3.2).
+//
+// A service attaches metadata sections — typically an XML schema for
+// its resource representations — and clients retrieve them with
+// GetMetadata, optionally filtered by dialect. This closes the
+// independent-development gap without changing WS-Transfer itself.
+package wsmex
+
+import (
+	"fmt"
+
+	"altstacks/internal/container"
+	"altstacks/internal/soap"
+	"altstacks/internal/wsa"
+	"altstacks/internal/xmlutil"
+)
+
+// NS is the WS-MetadataExchange September 2004 namespace.
+const NS = "http://schemas.xmlsoap.org/ws/2004/09/mex"
+
+// ActionGetMetadata is the retrieval operation's action URI.
+const ActionGetMetadata = NS + "/GetMetadata"
+
+// Standard metadata dialects.
+const (
+	// DialectXSD marks XML Schema sections (resource representation
+	// schemas).
+	DialectXSD = "http://www.w3.org/2001/XMLSchema"
+	// DialectWSDL marks WSDL sections.
+	DialectWSDL = "http://schemas.xmlsoap.org/wsdl/"
+)
+
+// Section is one metadata unit: a dialect-tagged document, optionally
+// scoped by an identifier (for example the element name it describes).
+type Section struct {
+	Dialect    string
+	Identifier string
+	Body       *xmlutil.Element
+}
+
+// Metadata is the set of sections a service advertises.
+type Metadata struct {
+	sections []Section
+}
+
+// Add appends a section; nil bodies are rejected at wiring time.
+func (m *Metadata) Add(s Section) *Metadata {
+	if s.Body == nil {
+		panic("wsmex: section without body")
+	}
+	if s.Dialect == "" {
+		panic("wsmex: section without dialect")
+	}
+	m.sections = append(m.sections, s)
+	return m
+}
+
+// Attach installs the GetMetadata action on a service. It panics if
+// the service already defines the action (a wiring error).
+func (m *Metadata) Attach(svc *container.Service) {
+	if svc.Actions == nil {
+		svc.Actions = map[string]container.ActionFunc{}
+	}
+	if _, dup := svc.Actions[ActionGetMetadata]; dup {
+		panic(fmt.Sprintf("wsmex: %s already serves GetMetadata", svc.Path))
+	}
+	svc.Actions[ActionGetMetadata] = m.getMetadata
+}
+
+func (m *Metadata) getMetadata(ctx *container.Ctx) (*xmlutil.Element, error) {
+	var dialect, identifier string
+	if body := ctx.Envelope.Body; body != nil {
+		dialect = body.ChildText(NS, "Dialect")
+		identifier = body.ChildText(NS, "Identifier")
+	}
+	resp := xmlutil.New(NS, "Metadata")
+	for _, s := range m.sections {
+		if dialect != "" && s.Dialect != dialect {
+			continue
+		}
+		if identifier != "" && s.Identifier != identifier {
+			continue
+		}
+		sec := xmlutil.New(NS, "MetadataSection").
+			SetAttr("", "Dialect", s.Dialect)
+		if s.Identifier != "" {
+			sec.SetAttr("", "Identifier", s.Identifier)
+		}
+		sec.Add(s.Body.Clone())
+		resp.Add(sec)
+	}
+	return resp, nil
+}
+
+// GetMetadata retrieves the endpoint's metadata sections, optionally
+// filtered by dialect and identifier ("" = no filter).
+func GetMetadata(c *container.Client, endpoint wsa.EPR, dialect, identifier string) ([]Section, error) {
+	body := xmlutil.New(NS, "GetMetadata")
+	if dialect != "" {
+		body.Add(xmlutil.NewText(NS, "Dialect", dialect))
+	}
+	if identifier != "" {
+		body.Add(xmlutil.NewText(NS, "Identifier", identifier))
+	}
+	resp, err := c.Call(endpoint, ActionGetMetadata, body)
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil || resp.Name.Local != "Metadata" {
+		return nil, soap.Faultf(soap.FaultClient, "wsmex: response is not a Metadata document")
+	}
+	var out []Section
+	for _, secEl := range resp.ChildrenNamed(NS, "MetadataSection") {
+		s := Section{
+			Dialect:    secEl.AttrValue("", "Dialect"),
+			Identifier: secEl.AttrValue("", "Identifier"),
+		}
+		if len(secEl.Children) > 0 {
+			s.Body = secEl.Children[0].Clone()
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// RepresentationSchema builds the conventional XSD section describing
+// a WS-Transfer service's resource representation — the document a
+// client needs before it can construct Create/Put bodies without
+// hard-coded schema knowledge.
+func RepresentationSchema(targetNamespace string, schema *xmlutil.Element) Section {
+	return Section{Dialect: DialectXSD, Identifier: targetNamespace, Body: schema}
+}

@@ -1,0 +1,135 @@
+package wsmex
+
+import (
+	"testing"
+
+	"altstacks/internal/container"
+	"altstacks/internal/wsa"
+	"altstacks/internal/wst"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+const nsC = "urn:counter"
+
+// counterSchema is the XSD a WS-Transfer counter would advertise.
+func counterSchema() *xmlutil.Element {
+	xsd := "http://www.w3.org/2001/XMLSchema"
+	return xmlutil.New(xsd, "schema").
+		SetAttr("", "targetNamespace", nsC).
+		Add(xmlutil.New(xsd, "element").SetAttr("", "name", "Counter"))
+}
+
+func startService(t *testing.T) (*container.Client, wsa.EPR) {
+	t.Helper()
+	c := container.New(container.SecurityNone)
+	// A real WS-Transfer service with metadata attached to it.
+	transfer := &wst.Service{
+		DB: xmldb.NewMemory(xmldb.CostModel{}), Collection: "counters",
+		RefSpace: nsC, RefLocal: "ResourceID",
+		Endpoint: func() string { return c.BaseURL() + "/counter" },
+	}
+	svc := transfer.ContainerService("/counter")
+	meta := &Metadata{}
+	meta.Add(RepresentationSchema(nsC, counterSchema()))
+	meta.Add(Section{Dialect: DialectWSDL, Body: xmlutil.New("urn:wsdl", "definitions")})
+	meta.Attach(svc)
+	c.Register(svc)
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return container.NewClient(container.ClientConfig{}), c.EPR("/counter")
+}
+
+func TestSchemaDiscovery(t *testing.T) {
+	client, epr := startService(t)
+	// The §3.2 gap, closed: the client discovers the representation
+	// schema instead of hard-coding it.
+	sections, err := GetMetadata(client, epr, DialectXSD, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) != 1 {
+		t.Fatalf("sections = %d, want 1", len(sections))
+	}
+	s := sections[0]
+	if s.Dialect != DialectXSD || s.Identifier != nsC {
+		t.Fatalf("section = %+v", s)
+	}
+	if s.Body.Name.Local != "schema" || s.Body.AttrValue("", "targetNamespace") != nsC {
+		t.Fatalf("schema body = %s", s.Body)
+	}
+}
+
+func TestUnfilteredReturnsAll(t *testing.T) {
+	client, epr := startService(t)
+	sections, err := GetMetadata(client, epr, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) != 2 {
+		t.Fatalf("sections = %d, want 2", len(sections))
+	}
+}
+
+func TestUnknownDialectEmpty(t *testing.T) {
+	client, epr := startService(t)
+	sections, err := GetMetadata(client, epr, "urn:policy", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) != 0 {
+		t.Fatalf("sections = %v", sections)
+	}
+}
+
+func TestIdentifierFilter(t *testing.T) {
+	client, epr := startService(t)
+	sections, err := GetMetadata(client, epr, "", nsC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) != 1 || sections[0].Identifier != nsC {
+		t.Fatalf("sections = %+v", sections)
+	}
+}
+
+func TestCoexistsWithTransferVerbs(t *testing.T) {
+	// Metadata and CRUD on the same endpoint: mex must not disturb the
+	// WS-Transfer operations.
+	client, epr := startService(t)
+	tcl := &wst.Client{C: client}
+	rep := xmlutil.New(nsC, "Counter").Add(xmlutil.NewText(nsC, "Value", "1"))
+	res, _, err := tcl.Create(epr, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tcl.Get(res)
+	if err != nil || got.ChildText(nsC, "Value") != "1" {
+		t.Fatalf("CRUD alongside mex: %v %v", got, err)
+	}
+	if _, err := GetMetadata(client, epr, DialectXSD, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachPanicsOnBadWiring(t *testing.T) {
+	meta := &Metadata{}
+	assertPanics(t, "empty body", func() { meta.Add(Section{Dialect: DialectXSD}) })
+	assertPanics(t, "empty dialect", func() { meta.Add(Section{Body: xmlutil.New("", "x")}) })
+	svc := &container.Service{Path: "/x"}
+	meta2 := (&Metadata{}).Add(Section{Dialect: DialectXSD, Body: xmlutil.New("", "s")})
+	meta2.Attach(svc)
+	assertPanics(t, "double attach", func() { meta2.Attach(svc) })
+}
+
+func assertPanics(t *testing.T, label string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", label)
+		}
+	}()
+	fn()
+}

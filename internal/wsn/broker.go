@@ -1,0 +1,240 @@
+package wsn
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"altstacks/internal/container"
+	"altstacks/internal/soap"
+	"altstacks/internal/wsa"
+	"altstacks/internal/wsrf"
+	"altstacks/internal/wsrf/rl"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+// Action URIs for WS-BrokeredNotification.
+const (
+	ActionRegisterPublisher = NSBR + "/RegisterPublisher"
+)
+
+// Broker is a WS-BrokeredNotification NotificationBroker: an
+// intermediary that "receives messages from Notification Producers and
+// broadcasts them to their own set of subscribers, allowing for
+// architectures in which Notification Producers do not want to or
+// cannot know who is subscribed" (paper §2.1).
+//
+// Demand-based publishing follows §3.1 faithfully: registering a
+// demand publisher makes the broker subscribe back to the publisher,
+// and the broker "is also responsible for pausing and unpausing it
+// based on the state of the subscriptions that other consumers have"
+// — if no consumer subscription covers a demand topic, the broker's
+// upstream subscription for it must be paused.
+type Broker struct {
+	// Producer is the broker's outbound side (its own subscribers).
+	Producer *Producer
+	// Regs holds publisher registration resources (managed by the
+	// PublisherRegistrationManager port type).
+	Regs *wsrf.Home
+	// Client performs the broker's control calls to publishers.
+	Client *container.Client
+
+	// controlCalls counts broker-initiated control messages
+	// (subscribe/pause/resume toward publishers) — evidence for the
+	// paper's message-amplification estimate.
+	controlCalls atomic.Int64
+
+	// consumerEPR yields the broker's upstream-facing consumer
+	// endpoint, where registered publishers deliver notifications.
+	consumerEPR func() wsa.EPR
+}
+
+// NewBroker wires a broker into a container, registering four
+// endpoints: the broker producer (Subscribe + RegisterPublisher), the
+// broker's subscription manager, the publisher registration manager,
+// and the broker's internal consumer endpoint (where publishers send
+// it notifications).
+func NewBroker(c *container.Container, db *xmldb.DB, client *container.Client, prefix string) *Broker {
+	b := &Broker{Client: client}
+	b.Producer = NewProducer(db, prefix+"-subscriptions", func() string { return c.BaseURL() + prefix + "-manager" }, client)
+	b.Regs = &wsrf.Home{
+		DB:         db,
+		Collection: prefix + "-registrations",
+		RefSpace:   NSBR,
+		RefLocal:   "RegistrationID",
+		Endpoint:   func() string { return c.BaseURL() + prefix + "-regmanager" },
+	}
+	// Demand recomputation on every subscriber-set change.
+	b.Producer.OnChange = func() { b.recomputeDemand() }
+
+	brokerSvc := &container.Service{Path: prefix}
+	wsrf.Aggregate(brokerSvc, b.Producer.ProducerPortType(), brokerRegPT{b})
+	c.Register(brokerSvc)
+	c.Register(b.Producer.ManagerService(prefix + "-manager"))
+
+	regMgr := &container.Service{Path: prefix + "-regmanager"}
+	wsrf.Aggregate(regMgr, rl.NewPortType(b.Regs))
+	c.Register(regMgr)
+
+	c.Register(&container.Service{
+		Path:    prefix + "-consumer",
+		Actions: map[string]container.ActionFunc{ActionNotify: b.onUpstreamNotify},
+	})
+	b.consumerEPR = func() wsa.EPR { return c.EPR(prefix + "-consumer") }
+	return b
+}
+
+type brokerRegPT struct{ b *Broker }
+
+func (pt brokerRegPT) Actions() map[string]container.ActionFunc {
+	return map[string]container.ActionFunc{ActionRegisterPublisher: pt.b.registerPublisher}
+}
+
+// ControlCalls reports broker-initiated control messages to publishers.
+func (b *Broker) ControlCalls() int64 { return b.controlCalls.Load() }
+
+func (b *Broker) registerPublisher(ctx *container.Ctx) (*xmlutil.Element, error) {
+	body := ctx.Envelope.Body
+	pubEl := body.Child(NSBR, "PublisherReference")
+	if pubEl == nil {
+		return nil, soap.Faultf(soap.FaultClient, "RegisterPublisher carries no PublisherReference")
+	}
+	pub, err := wsa.ParseEPR(pubEl)
+	if err != nil {
+		return nil, soap.Faultf(soap.FaultClient, "bad PublisherReference: %v", err)
+	}
+	topic := body.ChildText(NSBR, "Topic")
+	if topic == "" {
+		return nil, soap.Faultf(soap.FaultClient, "RegisterPublisher names no Topic")
+	}
+	demand := body.ChildText(NSBR, "Demand") == "true"
+
+	state := xmlutil.New(NSBR, "PublisherRegistration")
+	state.Add(pub.Element(NSBR, "PublisherReference"))
+	state.Add(xmlutil.NewText(NSBR, "Topic", topic))
+	state.Add(xmlutil.NewText(NSBR, "Demand", fmt.Sprint(demand)))
+
+	if demand {
+		// "The broker receives a registration from a publisher and as a
+		// result must make a subscription back to the publisher based on
+		// the registered topic" (paper §3.1).
+		b.controlCalls.Add(1)
+		upstream, err := Subscribe(b.Client, pub, b.consumerEPR(), SubscribeOptions{Topic: Concrete(topic)})
+		if err != nil {
+			return nil, soap.Faultf(soap.FaultServer, "demand subscription to publisher failed: %v", err)
+		}
+		state.Add(upstream.Element(NSBR, "UpstreamSubscription"))
+	}
+	epr, err := b.Regs.Create(state)
+	if err != nil {
+		return nil, err
+	}
+	if demand {
+		// Apply the spec-mandated initial pause state.
+		b.recomputeDemand()
+	}
+	return xmlutil.New(NSBR, "RegisterPublisherResponse").
+		Add(epr.Element(NSBR, "PublisherRegistrationReference")), nil
+}
+
+// onUpstreamNotify re-broadcasts publisher notifications to the
+// broker's own subscribers.
+func (b *Broker) onUpstreamNotify(ctx *container.Ctx) (*xmlutil.Element, error) {
+	body := ctx.Envelope.Body
+	if body == nil || body.Name.Space != NSNT || body.Name.Local != "Notify" {
+		return nil, soap.Faultf(soap.FaultClient, "broker consumer expects wrapped wsnt:Notify")
+	}
+	for _, nm := range body.ChildrenNamed(NSNT, "NotificationMessage") {
+		topic := nm.ChildText(NSNT, "Topic")
+		msg := nm.Child(NSNT, "Message")
+		if msg == nil || len(msg.Children) == 0 {
+			continue
+		}
+		if _, err := b.Producer.Notify(topic, msg.Children[0]); err != nil {
+			return nil, err
+		}
+	}
+	return xmlutil.New(NSNT, "NotifyResponse"), nil
+}
+
+// registration is the decoded state of one publisher registration.
+type registration struct {
+	ID       string
+	Topic    string
+	Demand   bool
+	Upstream wsa.EPR
+}
+
+func (b *Broker) registrations() ([]registration, error) {
+	ids, err := b.Regs.IDs()
+	if err != nil {
+		return nil, err
+	}
+	var out []registration
+	for _, id := range ids {
+		r, err := b.Regs.Load(id)
+		if err != nil {
+			continue
+		}
+		reg := registration{
+			ID:     id,
+			Topic:  r.State.ChildText(NSBR, "Topic"),
+			Demand: r.State.ChildText(NSBR, "Demand") == "true",
+		}
+		if up := r.State.Child(NSBR, "UpstreamSubscription"); up != nil {
+			if epr, err := wsa.ParseEPR(up); err == nil {
+				reg.Upstream = epr
+			}
+		}
+		out = append(out, reg)
+	}
+	return out, nil
+}
+
+// recomputeDemand pauses or resumes the broker's upstream subscription
+// for every demand registration, according to whether any of the
+// broker's own subscribers currently covers the registered topic.
+func (b *Broker) recomputeDemand() {
+	regs, err := b.registrations()
+	if err != nil {
+		return
+	}
+	for _, reg := range regs {
+		if !reg.Demand || reg.Upstream.IsZero() {
+			continue
+		}
+		b.controlCalls.Add(1)
+		if b.Producer.HasActiveSubscriber(reg.Topic) {
+			_ = Resume(b.Client, reg.Upstream)
+		} else {
+			_ = Pause(b.Client, reg.Upstream)
+		}
+	}
+}
+
+// RegisterPublisher is the client/publisher-side call. It registers
+// publisherEPR with the broker for a topic; demand selects
+// demand-based publishing. The returned EPR addresses the registration
+// resource at the broker's PublisherRegistrationManager.
+func RegisterPublisher(c *container.Client, brokerEPR, publisherEPR wsa.EPR, topic string, demand bool) (wsa.EPR, error) {
+	body := xmlutil.New(NSBR, "RegisterPublisher")
+	body.Add(publisherEPR.Element(NSBR, "PublisherReference"))
+	body.Add(xmlutil.NewText(NSBR, "Topic", topic))
+	body.Add(xmlutil.NewText(NSBR, "Demand", fmt.Sprint(demand)))
+	resp, err := c.Call(brokerEPR, ActionRegisterPublisher, body)
+	if err != nil {
+		return wsa.EPR{}, err
+	}
+	ref := resp.Child(NSBR, "PublisherRegistrationReference")
+	if ref == nil {
+		return wsa.EPR{}, fmt.Errorf("wsn: no PublisherRegistrationReference in response")
+	}
+	return wsa.ParseEPR(ref)
+}
+
+// DestroyRegistration removes a publisher registration through the
+// PublisherRegistrationManager.
+func DestroyRegistration(c *container.Client, registration wsa.EPR) error {
+	cl := rl.Client{C: c}
+	return cl.Destroy(registration)
+}

@@ -1,0 +1,78 @@
+package wsn
+
+import (
+	"altstacks/internal/container"
+	"altstacks/internal/wsa"
+	"altstacks/internal/xmlutil"
+)
+
+// Notification is one message received by a consumer.
+type Notification struct {
+	// Topic is the published topic path ("" for raw deliveries).
+	Topic string
+	// Message is the notification payload.
+	Message *xmlutil.Element
+	// Raw marks an unwrapped delivery.
+	Raw bool
+}
+
+// Consumer is the client-side notification endpoint — the "custom
+// HTTP server that clients include" in WSRF.NET (paper §4.1.3). It
+// runs its own minimal container and hands received notifications to
+// a channel.
+type Consumer struct {
+	C  *container.Container
+	Ch chan Notification
+}
+
+// NewConsumer starts a consumer endpoint on a fresh loopback port.
+func NewConsumer(buffer int) (*Consumer, error) {
+	cons := &Consumer{
+		C:  container.New(container.SecurityNone),
+		Ch: make(chan Notification, buffer),
+	}
+	cons.C.Register(&container.Service{
+		Path:    "/consumer",
+		Actions: map[string]container.ActionFunc{ActionNotify: cons.onNotify},
+	})
+	if _, err := cons.C.Start(); err != nil {
+		return nil, err
+	}
+	return cons, nil
+}
+
+// EPR returns the consumer's endpoint reference for Subscribe calls.
+func (c *Consumer) EPR() wsa.EPR { return c.C.EPR("/consumer") }
+
+// Close shuts the endpoint down.
+func (c *Consumer) Close() { c.C.Close() }
+
+// onNotify handles both wrapped <wsnt:Notify> deliveries and raw
+// payload deliveries on the same action.
+func (c *Consumer) onNotify(ctx *container.Ctx) (*xmlutil.Element, error) {
+	body := ctx.Envelope.Body
+	if body == nil {
+		return xmlutil.New(NSNT, "NotifyResponse"), nil
+	}
+	if body.Name.Space == NSNT && body.Name.Local == "Notify" {
+		for _, nm := range body.ChildrenNamed(NSNT, "NotificationMessage") {
+			n := Notification{Topic: nm.ChildText(NSNT, "Topic")}
+			if msg := nm.Child(NSNT, "Message"); msg != nil && len(msg.Children) > 0 {
+				n.Message = msg.Children[0].Clone()
+			}
+			c.push(n)
+		}
+	} else {
+		c.push(Notification{Message: body.Clone(), Raw: true})
+	}
+	return xmlutil.New(NSNT, "NotifyResponse"), nil
+}
+
+func (c *Consumer) push(n Notification) {
+	select {
+	case c.Ch <- n:
+	default:
+		// Drop on overflow: notification delivery is best-effort and a
+		// blocked consumer must not wedge the producer's dispatch loop.
+	}
+}

@@ -1,0 +1,97 @@
+package wsn
+
+import "testing"
+
+func TestSimpleDialect(t *testing.T) {
+	te := Simple("JobStatus")
+	cases := map[string]bool{
+		"JobStatus":        true,
+		"JobStatus/exited": false, // simple = root topic only
+		"Other":            false,
+	}
+	for topic, want := range cases {
+		got, err := te.Matches(topic)
+		if err != nil {
+			t.Fatalf("Matches(%q): %v", topic, err)
+		}
+		if got != want {
+			t.Errorf("Simple(JobStatus).Matches(%q) = %v, want %v", topic, got, want)
+		}
+	}
+}
+
+func TestSimpleDialectRejectsPaths(t *testing.T) {
+	for _, bad := range []string{"a/b", "a*", ""} {
+		te := Simple(bad)
+		if err := te.Validate(); err == nil {
+			t.Errorf("Simple(%q) validated", bad)
+		}
+	}
+}
+
+func TestConcreteDialect(t *testing.T) {
+	te := Concrete("jobs/status/exited")
+	for topic, want := range map[string]bool{
+		"jobs/status/exited":  true,
+		"jobs/status":         false,
+		"jobs/status/running": false,
+	} {
+		got, _ := te.Matches(topic)
+		if got != want {
+			t.Errorf("Concrete.Matches(%q) = %v, want %v", topic, got, want)
+		}
+	}
+	if err := Concrete("jobs/*").Validate(); err == nil {
+		t.Error("concrete dialect accepted a wildcard")
+	}
+	if err := Concrete("jobs//x").Validate(); err == nil {
+		t.Error("concrete dialect accepted //")
+	}
+}
+
+func TestFullDialectWildcards(t *testing.T) {
+	cases := []struct {
+		expr, topic string
+		want        bool
+	}{
+		{"jobs/*/exited", "jobs/status/exited", true},
+		{"jobs/*/exited", "jobs/exited", false},
+		{"jobs/*", "jobs/status", true},
+		{"jobs/*", "jobs/status/exited", false},
+		{"*", "jobs", true},
+		{"*", "jobs/status", false},
+		{"jobs//.", "jobs", true},
+		{"jobs//.", "jobs/status", true},
+		{"jobs//.", "jobs/status/exited", true},
+		{"jobs//.", "tasks/status", false},
+		{"//exited", "jobs/status/exited", true},
+		{"//exited", "exited", true},
+		{"//exited", "jobs/exited/late", false},
+		{"jobs/.", "jobs", true},
+		{"jobs/.", "jobs/status", false},
+		{"jobs//status/.", "jobs/a/b/status", true},
+	}
+	for _, c := range cases {
+		got, err := Full(c.expr).Matches(c.topic)
+		if err != nil {
+			t.Fatalf("Full(%q).Matches(%q): %v", c.expr, c.topic, err)
+		}
+		if got != c.want {
+			t.Errorf("Full(%q).Matches(%q) = %v, want %v", c.expr, c.topic, got, c.want)
+		}
+	}
+}
+
+func TestUnknownDialect(t *testing.T) {
+	te := TopicExpression{Dialect: "urn:bogus", Expr: "x"}
+	if _, err := te.Matches("x"); err == nil {
+		t.Fatal("unknown dialect accepted")
+	}
+}
+
+func TestEmptyExpression(t *testing.T) {
+	te := TopicExpression{Dialect: DialectFull}
+	if _, err := te.Matches("x"); err == nil {
+		t.Fatal("empty expression accepted")
+	}
+}

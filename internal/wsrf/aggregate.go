@@ -1,0 +1,33 @@
+package wsrf
+
+import (
+	"fmt"
+
+	"altstacks/internal/container"
+)
+
+// PortType is an importable set of WS-Addressing actions — the unit
+// the WSRF.NET PortTypeAggregator composes: "all port types defined in
+// all the WSRF and WSN specifications can be similarly imported,
+// causing the importing service to export both their methods and their
+// ResourceProperties" (paper §3.1).
+type PortType interface {
+	Actions() map[string]container.ActionFunc
+}
+
+// Aggregate merges the port types' actions into the service — the
+// PortTypeAggregator step that turns a user-defined service into the
+// deployable service. Action collisions panic: they are wiring errors.
+func Aggregate(svc *container.Service, portTypes ...PortType) {
+	if svc.Actions == nil {
+		svc.Actions = map[string]container.ActionFunc{}
+	}
+	for _, pt := range portTypes {
+		for action, fn := range pt.Actions() {
+			if _, dup := svc.Actions[action]; dup {
+				panic(fmt.Sprintf("wsrf: aggregate: duplicate action %q on %s", action, svc.Path))
+			}
+			svc.Actions[action] = fn
+		}
+	}
+}

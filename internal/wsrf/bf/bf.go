@@ -1,0 +1,51 @@
+// Package bf implements WS-BaseFaults, "a standard exception reporting
+// format" (paper §2.1): every fault a WSRF service raises carries a
+// wsbf:BaseFault detail with a timestamp, an error code, and a
+// description, so clients get uniform failures across port types.
+package bf
+
+import (
+	"fmt"
+	"time"
+
+	"altstacks/internal/soap"
+	"altstacks/internal/wsrf"
+	"altstacks/internal/xmlutil"
+)
+
+// Standard error codes used across the WSRF stack.
+const (
+	CodeResourceUnknown     = "ResourceUnknownFault"
+	CodeInvalidProperty     = "InvalidResourcePropertyQNameFault"
+	CodeUnableToModify      = "UnableToModifyResourcePropertyFault"
+	CodeInvalidModification = "InvalidModificationFault"
+	CodeQueryEvaluation     = "QueryEvaluationErrorFault"
+	CodeTerminationTime     = "UnableToSetTerminationTimeFault"
+	CodeAddRefused          = "AddRefusedFault"
+)
+
+// New builds a SOAP fault whose detail is a wsbf:BaseFault document.
+func New(soapCode, errorCode, format string, args ...interface{}) *soap.Fault {
+	desc := fmt.Sprintf(format, args...)
+	detail := xmlutil.New(wsrf.NSBF, "BaseFault").Add(
+		xmlutil.NewText(wsrf.NSBF, "Timestamp", time.Now().UTC().Format(time.RFC3339Nano)),
+		xmlutil.NewText(wsrf.NSBF, "ErrorCode", errorCode),
+		xmlutil.NewText(wsrf.NSBF, "Description", desc),
+	)
+	return &soap.Fault{Code: soapCode, Reason: desc, Detail: detail}
+}
+
+// ResourceUnknown is the canonical "no such WS-Resource" fault.
+func ResourceUnknown(collection, id string) *soap.Fault {
+	return New(soap.FaultClient, CodeResourceUnknown, "no %s resource with id %q", collection, id)
+}
+
+// ErrorCode extracts the wsbf:ErrorCode from a fault, or "" when the
+// fault carries no BaseFault detail — how clients discriminate
+// standard failures.
+func ErrorCode(f *soap.Fault) string {
+	if f == nil || f.Detail == nil || f.Detail.Name.Local != "BaseFault" {
+		return ""
+	}
+	return f.Detail.ChildText(wsrf.NSBF, "ErrorCode")
+}

@@ -1,0 +1,56 @@
+package bf
+
+import (
+	"testing"
+
+	"altstacks/internal/soap"
+	"altstacks/internal/wsrf"
+	"altstacks/internal/xmlutil"
+)
+
+func TestNewCarriesBaseFaultDetail(t *testing.T) {
+	f := New(soap.FaultClient, CodeInvalidProperty, "unknown property %q", "cv")
+	if f.Code != soap.FaultClient {
+		t.Fatalf("code = %q", f.Code)
+	}
+	if f.Detail == nil || f.Detail.Name.Space != wsrf.NSBF || f.Detail.Name.Local != "BaseFault" {
+		t.Fatalf("detail = %v", f.Detail)
+	}
+	if f.Detail.ChildText(wsrf.NSBF, "ErrorCode") != CodeInvalidProperty {
+		t.Fatalf("error code = %q", f.Detail.ChildText(wsrf.NSBF, "ErrorCode"))
+	}
+	if f.Detail.ChildText(wsrf.NSBF, "Timestamp") == "" {
+		t.Fatal("no timestamp")
+	}
+	if ErrorCode(f) != CodeInvalidProperty {
+		t.Fatalf("ErrorCode() = %q", ErrorCode(f))
+	}
+}
+
+func TestErrorCodeSurvivesWireTransit(t *testing.T) {
+	f := ResourceUnknown("counters", "c-9")
+	env := &soap.Envelope{Fault: f}
+	parsed, err := soap.Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.IsFault() {
+		t.Fatal("fault lost")
+	}
+	if ErrorCode(parsed.Fault) != CodeResourceUnknown {
+		t.Fatalf("after transit: %q", ErrorCode(parsed.Fault))
+	}
+}
+
+func TestErrorCodeOnForeignFault(t *testing.T) {
+	if ErrorCode(nil) != "" {
+		t.Fatal("nil fault")
+	}
+	if ErrorCode(soap.Faultf(soap.FaultServer, "plain")) != "" {
+		t.Fatal("fault without detail")
+	}
+	f := &soap.Fault{Code: soap.FaultServer, Reason: "x", Detail: xmlutil.New("urn:z", "Other")}
+	if ErrorCode(f) != "" {
+		t.Fatal("fault with foreign detail")
+	}
+}

@@ -1,0 +1,429 @@
+// Package model is the WSRF.NET attribute-based programming model
+// (paper §3.1) translated to Go: "an attribute-based programming model
+// that allows service authors to easily define both the stateful
+// resources and the Resource Properties used by their services."
+//
+// The paper's C# fragment:
+//
+//	[WSRFPortType(typeof(GetResourcePropertyPortType))]
+//	public class MyService : ServiceSkeleton {
+//	    [Resource] int v;
+//	    [ResourceProperty] public int DoubleValue { get { return v * 2; } }
+//	    ...
+//	}
+//
+// becomes, with struct tags standing in for attributes and methods for
+// property getters:
+//
+//	type MyService struct {
+//	    V int `wsrf:"resource,name=v"`
+//	}
+//	func (s *MyService) DoubleValue() int { return s.V * 2 } // registered property
+//
+// Bind reflects over the struct: tagged fields are persisted as the
+// WS-Resource state ("a unique value of v will be loaded, based on the
+// EPR in the request headers, for each method invocation … when the
+// invoked method completes, v will be saved back to the database"),
+// and registered getter/setter methods become Resource Properties
+// whose values "can be computed dynamically, using a portion of the
+// WS-Resource state". Aggregate (in package wsrf) then plays the
+// PortTypeAggregator, producing the deployable service.
+//
+// Supported field kinds: string, bool, all int/uint sizes, float32/64,
+// and time.Time (RFC 3339), plus slices of those (multi-valued state).
+package model
+
+import (
+	"encoding/xml"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	"altstacks/internal/wsa"
+	"altstacks/internal/wsrf"
+	"altstacks/internal/xmlutil"
+)
+
+// Binding connects a Go struct type to a wsrf.Home: it knows how to
+// serialize tagged fields to the persisted state document and back.
+type Binding struct {
+	home   *wsrf.Home
+	ns     string
+	root   string
+	typ    reflect.Type
+	fields []boundField
+}
+
+type boundField struct {
+	index    int
+	name     string // element local name
+	expose   bool   // also registered as a read-write resource property
+	readOnly bool
+}
+
+// Bind inspects prototype (a pointer to a tagged struct) and attaches
+// the binding to home. The state document root is <ns:rootLocal>.
+//
+// Tag grammar: `wsrf:"resource[,name=elem][,property][,readonly]"`.
+//   - resource:  the field is persisted WS-Resource state.
+//   - name=elem: the element local name (default: the field name).
+//   - property:  additionally expose the field as a resource property.
+//   - readonly:  the exposed property rejects SetResourceProperties.
+func Bind(home *wsrf.Home, ns, rootLocal string, prototype interface{}) (*Binding, error) {
+	t := reflect.TypeOf(prototype)
+	if t == nil || t.Kind() != reflect.Pointer || t.Elem().Kind() != reflect.Struct {
+		return nil, fmt.Errorf("model: prototype must be a pointer to struct, got %T", prototype)
+	}
+	st := t.Elem()
+	b := &Binding{home: home, ns: ns, root: rootLocal, typ: st}
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		tag, ok := f.Tag.Lookup("wsrf")
+		if !ok {
+			continue
+		}
+		parts := strings.Split(tag, ",")
+		if parts[0] != "resource" {
+			return nil, fmt.Errorf("model: field %s: tag must start with \"resource\"", f.Name)
+		}
+		if !f.IsExported() {
+			return nil, fmt.Errorf("model: field %s: tagged fields must be exported", f.Name)
+		}
+		if err := checkKind(f.Type); err != nil {
+			return nil, fmt.Errorf("model: field %s: %v", f.Name, err)
+		}
+		bf := boundField{index: i, name: f.Name}
+		for _, opt := range parts[1:] {
+			switch {
+			case strings.HasPrefix(opt, "name="):
+				bf.name = strings.TrimPrefix(opt, "name=")
+			case opt == "property":
+				bf.expose = true
+			case opt == "readonly":
+				bf.readOnly = true
+			case opt == "":
+			default:
+				return nil, fmt.Errorf("model: field %s: unknown tag option %q", f.Name, opt)
+			}
+		}
+		if bf.name == "" {
+			return nil, fmt.Errorf("model: field %s: empty name", f.Name)
+		}
+		b.fields = append(b.fields, bf)
+	}
+	if len(b.fields) == 0 {
+		return nil, fmt.Errorf("model: %s has no wsrf:\"resource\" fields", st.Name())
+	}
+	// Register exposed fields as resource properties on the Home.
+	for _, bf := range b.fields {
+		if !bf.expose {
+			continue
+		}
+		bf := bf
+		def := wsrf.PropertyDef{
+			Name: xml.Name{Space: ns, Local: bf.name},
+			Get: func(r *wsrf.Resource) []*xmlutil.Element {
+				inst := reflect.New(b.typ)
+				if err := b.decodeInto(r.State, inst); err != nil {
+					return nil
+				}
+				return b.fieldElements(inst, bf)
+			},
+		}
+		if !bf.readOnly {
+			def.Set = func(r *wsrf.Resource, values []*xmlutil.Element) error {
+				inst := reflect.New(b.typ)
+				if err := b.decodeInto(r.State, inst); err != nil {
+					return err
+				}
+				if err := b.setField(inst, bf, values); err != nil {
+					return err
+				}
+				doc, err := b.encode(inst)
+				if err != nil {
+					return err
+				}
+				r.State.Children = doc.Children
+				return nil
+			}
+		}
+		home.DefineProperty(def)
+	}
+	return b, nil
+}
+
+// DefineGetter registers a computed, read-only resource property — the
+// [ResourceProperty] get accessor pattern ("the ResourceProperty value
+// can be computed dynamically"). fn receives the loaded service struct.
+func (b *Binding) DefineGetter(local string, fn interface{}) error {
+	fv := reflect.ValueOf(fn)
+	ft := fv.Type()
+	if ft.Kind() != reflect.Func || ft.NumIn() != 1 || ft.NumOut() != 1 ||
+		ft.In(0) != reflect.PointerTo(b.typ) {
+		return fmt.Errorf("model: getter for %s must be func(*%s) T", local, b.typ.Name())
+	}
+	if err := checkKind(ft.Out(0)); err != nil {
+		return fmt.Errorf("model: getter for %s: %v", local, err)
+	}
+	b.home.DefineProperty(wsrf.PropertyDef{
+		Name: xml.Name{Space: b.ns, Local: local},
+		Get: func(r *wsrf.Resource) []*xmlutil.Element {
+			inst := reflect.New(b.typ)
+			if err := b.decodeInto(r.State, inst); err != nil {
+				return nil
+			}
+			out := fv.Call([]reflect.Value{inst})[0]
+			return valueElements(b.ns, local, out)
+		},
+	})
+	return nil
+}
+
+// Create persists a new WS-Resource initialized from the struct —
+// the ServiceBase.Create() call of the programming model.
+func (b *Binding) Create(instance interface{}) (wsa.EPR, error) {
+	v, err := b.instanceValue(instance)
+	if err != nil {
+		return wsa.EPR{}, err
+	}
+	doc, err := b.encode(v)
+	if err != nil {
+		return wsa.EPR{}, err
+	}
+	return b.home.Create(doc)
+}
+
+// Invoke is the wrapper-service execution cycle: it loads the resource
+// identified by id into a fresh instance of the bound struct, runs fn,
+// and saves the (possibly mutated) fields back — "before the wrapper
+// service begins execution of the appropriate method, the Resource
+// specified by the EPR is loaded from the database and deserialized
+// into appropriate data members … when the method invocation is
+// complete, the wrapper service will serialize the members' value back"
+// (§3.1). fn must have type func(*T) error.
+func (b *Binding) Invoke(id string, fn interface{}) error {
+	fv := reflect.ValueOf(fn)
+	ft := fv.Type()
+	if ft.Kind() != reflect.Func || ft.NumIn() != 1 || ft.NumOut() != 1 ||
+		ft.In(0) != reflect.PointerTo(b.typ) ||
+		ft.Out(0) != reflect.TypeOf((*error)(nil)).Elem() {
+		return fmt.Errorf("model: Invoke fn must be func(*%s) error", b.typ.Name())
+	}
+	return b.home.Mutate(id, func(r *wsrf.Resource) error {
+		inst := reflect.New(b.typ)
+		if err := b.decodeInto(r.State, inst); err != nil {
+			return err
+		}
+		if out := fv.Call([]reflect.Value{inst})[0]; !out.IsNil() {
+			return out.Interface().(error)
+		}
+		doc, err := b.encode(inst)
+		if err != nil {
+			return err
+		}
+		r.State.Children = doc.Children
+		return nil
+	})
+}
+
+// View loads the resource into a fresh instance for read-only use.
+func (b *Binding) View(id string, fn interface{}) error {
+	fv := reflect.ValueOf(fn)
+	ft := fv.Type()
+	if ft.Kind() != reflect.Func || ft.NumIn() != 1 || ft.NumOut() != 1 ||
+		ft.In(0) != reflect.PointerTo(b.typ) ||
+		ft.Out(0) != reflect.TypeOf((*error)(nil)).Elem() {
+		return fmt.Errorf("model: View fn must be func(*%s) error", b.typ.Name())
+	}
+	return b.home.View(id, func(r *wsrf.Resource) error {
+		inst := reflect.New(b.typ)
+		if err := b.decodeInto(r.State, inst); err != nil {
+			return err
+		}
+		if out := fv.Call([]reflect.Value{inst})[0]; !out.IsNil() {
+			return out.Interface().(error)
+		}
+		return nil
+	})
+}
+
+// ---- struct <-> document mapping ----
+
+func (b *Binding) instanceValue(instance interface{}) (reflect.Value, error) {
+	v := reflect.ValueOf(instance)
+	if !v.IsValid() || v.Type() != reflect.PointerTo(b.typ) {
+		return reflect.Value{}, fmt.Errorf("model: instance must be *%s, got %T", b.typ.Name(), instance)
+	}
+	return v, nil
+}
+
+// encode serializes tagged fields into the state document.
+func (b *Binding) encode(v reflect.Value) (*xmlutil.Element, error) {
+	doc := xmlutil.New(b.ns, b.root)
+	for _, bf := range b.fields {
+		els := b.fieldElements(v, bf)
+		doc.Add(els...)
+	}
+	return doc, nil
+}
+
+func (b *Binding) fieldElements(v reflect.Value, bf boundField) []*xmlutil.Element {
+	fv := v.Elem().Field(bf.index)
+	if fv.Kind() == reflect.Slice {
+		var out []*xmlutil.Element
+		for i := 0; i < fv.Len(); i++ {
+			out = append(out, xmlutil.NewText(b.ns, bf.name, formatScalar(fv.Index(i))))
+		}
+		return out
+	}
+	return []*xmlutil.Element{xmlutil.NewText(b.ns, bf.name, formatScalar(fv))}
+}
+
+// decodeInto populates tagged fields from the state document.
+func (b *Binding) decodeInto(doc *xmlutil.Element, v reflect.Value) error {
+	for _, bf := range b.fields {
+		els := doc.ChildrenNamed(b.ns, bf.name)
+		fv := v.Elem().Field(bf.index)
+		if fv.Kind() == reflect.Slice {
+			slice := reflect.MakeSlice(fv.Type(), 0, len(els))
+			for _, el := range els {
+				item := reflect.New(fv.Type().Elem()).Elem()
+				if err := parseScalar(el.TrimText(), item); err != nil {
+					return fmt.Errorf("model: field %s: %v", bf.name, err)
+				}
+				slice = reflect.Append(slice, item)
+			}
+			fv.Set(slice)
+			continue
+		}
+		if len(els) == 0 {
+			continue // zero value
+		}
+		if err := parseScalar(els[0].TrimText(), fv); err != nil {
+			return fmt.Errorf("model: field %s: %v", bf.name, err)
+		}
+	}
+	return nil
+}
+
+func (b *Binding) setField(v reflect.Value, bf boundField, values []*xmlutil.Element) error {
+	fv := v.Elem().Field(bf.index)
+	if fv.Kind() == reflect.Slice {
+		slice := reflect.MakeSlice(fv.Type(), 0, len(values))
+		for _, el := range values {
+			item := reflect.New(fv.Type().Elem()).Elem()
+			if err := parseScalar(el.TrimText(), item); err != nil {
+				return err
+			}
+			slice = reflect.Append(slice, item)
+		}
+		fv.Set(slice)
+		return nil
+	}
+	if len(values) != 1 {
+		return fmt.Errorf("property %s takes exactly one value, got %d", bf.name, len(values))
+	}
+	return parseScalar(values[0].TrimText(), fv)
+}
+
+var timeType = reflect.TypeOf(time.Time{})
+
+func checkKind(t reflect.Type) error {
+	if t.Kind() == reflect.Slice {
+		t = t.Elem()
+		if t.Kind() == reflect.Slice {
+			return fmt.Errorf("nested slices unsupported")
+		}
+	}
+	if t == timeType {
+		return nil
+	}
+	switch t.Kind() {
+	case reflect.String, reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		return nil
+	}
+	return fmt.Errorf("unsupported kind %s", t.Kind())
+}
+
+func formatScalar(v reflect.Value) string {
+	if v.Type() == timeType {
+		return v.Interface().(time.Time).UTC().Format(time.RFC3339Nano)
+	}
+	switch v.Kind() {
+	case reflect.String:
+		return v.String()
+	case reflect.Bool:
+		return strconv.FormatBool(v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return strconv.FormatInt(v.Int(), 10)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return strconv.FormatUint(v.Uint(), 10)
+	case reflect.Float32, reflect.Float64:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	}
+	return ""
+}
+
+func parseScalar(s string, v reflect.Value) error {
+	if v.Type() == timeType {
+		t, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return err
+		}
+		v.Set(reflect.ValueOf(t))
+		return nil
+	}
+	switch v.Kind() {
+	case reflect.String:
+		v.SetString(s)
+	case reflect.Bool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return err
+		}
+		v.SetBool(b)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return err
+		}
+		if v.OverflowInt(n) {
+			return fmt.Errorf("value %s overflows %s", s, v.Kind())
+		}
+		v.SetInt(n)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return err
+		}
+		if v.OverflowUint(n) {
+			return fmt.Errorf("value %s overflows %s", s, v.Kind())
+		}
+		v.SetUint(n)
+	case reflect.Float32, reflect.Float64:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return err
+		}
+		v.SetFloat(f)
+	default:
+		return fmt.Errorf("unsupported kind %s", v.Kind())
+	}
+	return nil
+}
+
+func valueElements(ns, local string, v reflect.Value) []*xmlutil.Element {
+	if v.Kind() == reflect.Slice {
+		var out []*xmlutil.Element
+		for i := 0; i < v.Len(); i++ {
+			out = append(out, xmlutil.NewText(ns, local, formatScalar(v.Index(i))))
+		}
+		return out
+	}
+	return []*xmlutil.Element{xmlutil.NewText(ns, local, formatScalar(v))}
+}

@@ -1,0 +1,260 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"altstacks/internal/container"
+	"altstacks/internal/wsrf"
+	"altstacks/internal/wsrf/rp"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+const ns = "urn:modeltest"
+
+// CounterService mirrors the paper's §3.1 example: one [Resource]
+// member exposed as a read-write property, plus a computed
+// DoubleValue.
+type CounterService struct {
+	V int `wsrf:"resource,name=cv,property"`
+}
+
+func newHome() *wsrf.Home {
+	return &wsrf.Home{
+		DB: xmldb.NewMemory(xmldb.CostModel{}), Collection: "counters",
+		RefSpace: ns, RefLocal: "ID",
+		Endpoint: func() string { return "http://local/counter" },
+	}
+}
+
+func mustBind(t *testing.T, h *wsrf.Home) *Binding {
+	t.Helper()
+	b, err := Bind(h, ns, "CounterState", &CounterService{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DefineGetter("DoubleValue", func(s *CounterService) int { return 2 * s.V }); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCreateLoadInvokeCycle(t *testing.T) {
+	h := newHome()
+	b := mustBind(t, h)
+	epr, err := b.Create(&CounterService{V: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := epr.Property(ns, "ID")
+
+	// The wrapper cycle: load members, run the method body, save back.
+	err = b.Invoke(id, func(s *CounterService) error {
+		if s.V != 5 {
+			return fmt.Errorf("loaded V = %d", s.V)
+		}
+		s.V += 10
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if err := b.View(id, func(s *CounterService) error { got = s.V; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Fatalf("after invoke: V = %d", got)
+	}
+}
+
+func TestInvokeErrorAbortsSave(t *testing.T) {
+	h := newHome()
+	b := mustBind(t, h)
+	epr, _ := b.Create(&CounterService{V: 1})
+	id, _ := epr.Property(ns, "ID")
+	err := b.Invoke(id, func(s *CounterService) error {
+		s.V = 999
+		return fmt.Errorf("business rule violated")
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	_ = b.View(id, func(s *CounterService) error {
+		if s.V != 1 {
+			t.Fatalf("failed invoke persisted V = %d", s.V)
+		}
+		return nil
+	})
+}
+
+func TestTaggedFieldBecomesProperty(t *testing.T) {
+	// The ,property tag registers cv on the Home; the full rp port type
+	// must serve it over the wire, and the computed getter with it —
+	// the end-to-end the paper's code fragment promises.
+	c := container.New(container.SecurityNone)
+	h := &wsrf.Home{
+		DB: xmldb.NewMemory(xmldb.CostModel{}), Collection: "counters",
+		RefSpace: ns, RefLocal: "ID",
+		Endpoint: func() string { return c.BaseURL() + "/counter" },
+	}
+	b, err := Bind(h, ns, "CounterState", &CounterService{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DefineGetter("DoubleValue", func(s *CounterService) int { return 2 * s.V }); err != nil {
+		t.Fatal(err)
+	}
+	svc := &container.Service{Path: "/counter"}
+	wsrf.Aggregate(svc, &rp.PortType{Home: h})
+	c.Register(svc)
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	epr, err := b.Create(&CounterService{V: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := rp.Client{C: container.NewClient(container.ClientConfig{})}
+	vals, err := cl.GetProperty(epr, "cv")
+	if err != nil || len(vals) != 1 || vals[0].TrimText() != "21" {
+		t.Fatalf("cv = %v, %v", vals, err)
+	}
+	vals, err = cl.GetProperty(epr, "DoubleValue")
+	if err != nil || len(vals) != 1 || vals[0].TrimText() != "42" {
+		t.Fatalf("DoubleValue = %v, %v", vals, err)
+	}
+	// The property is read-write: a SetResourceProperties Update lands
+	// in the struct field.
+	if err := cl.Update(epr, xmlutil.NewText(ns, "cv", "50")); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := epr.Property(ns, "ID")
+	_ = b.View(id, func(s *CounterService) error {
+		if s.V != 50 {
+			t.Fatalf("after wire update: V = %d", s.V)
+		}
+		return nil
+	})
+}
+
+func TestAllSupportedKinds(t *testing.T) {
+	type Everything struct {
+		S  string    `wsrf:"resource"`
+		B  bool      `wsrf:"resource"`
+		I  int       `wsrf:"resource"`
+		I8 int8      `wsrf:"resource"`
+		U  uint32    `wsrf:"resource"`
+		F  float64   `wsrf:"resource"`
+		T  time.Time `wsrf:"resource"`
+		L  []string  `wsrf:"resource,name=item"`
+		LI []int     `wsrf:"resource,name=num"`
+	}
+	h := &wsrf.Home{
+		DB: xmldb.NewMemory(xmldb.CostModel{}), Collection: "all",
+		RefSpace: ns, RefLocal: "ID",
+		Endpoint: func() string { return "http://x" },
+	}
+	b, err := Bind(h, ns, "Everything", &Everything{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := &Everything{
+		S: "hello", B: true, I: -7, I8: 12, U: 42, F: 2.5,
+		T: time.Date(2005, 11, 15, 9, 0, 0, 0, time.UTC),
+		L: []string{"a", "b"}, LI: []int{3, 1, 4},
+	}
+	epr, err := b.Create(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := epr.Property(ns, "ID")
+	err = b.View(id, func(got *Everything) error {
+		if got.S != orig.S || got.B != orig.B || got.I != orig.I || got.I8 != orig.I8 ||
+			got.U != orig.U || got.F != orig.F || !got.T.Equal(orig.T) {
+			t.Fatalf("scalars round trip: %+v", got)
+		}
+		if len(got.L) != 2 || got.L[1] != "b" || len(got.LI) != 3 || got.LI[2] != 4 {
+			t.Fatalf("slices round trip: %+v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindRejectsBadPrototypes(t *testing.T) {
+	h := newHome()
+	cases := map[string]interface{}{
+		"non-pointer":     CounterService{},
+		"nil":             nil,
+		"pointer to int":  new(int),
+		"no tagged field": &struct{ X int }{},
+		"unexported field": &struct {
+			x int `wsrf:"resource"` //nolint:unused
+		}{},
+		"bad kind": &struct {
+			M map[string]int `wsrf:"resource"`
+		}{},
+		"bad tag": &struct {
+			X int `wsrf:"property"`
+		}{},
+		"unknown option": &struct {
+			X int `wsrf:"resource,volatile"`
+		}{},
+	}
+	for label, proto := range cases {
+		if _, err := Bind(h, ns, "S", proto); err == nil {
+			t.Errorf("%s: Bind succeeded", label)
+		}
+	}
+}
+
+func TestDefineGetterValidation(t *testing.T) {
+	h := newHome()
+	b, err := Bind(h, ns, "CounterState", &CounterService{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DefineGetter("bad1", func() int { return 0 }); err == nil {
+		t.Error("no-arg getter accepted")
+	}
+	if err := b.DefineGetter("bad2", func(s *CounterService) map[string]int { return nil }); err == nil {
+		t.Error("map-returning getter accepted")
+	}
+	if err := b.DefineGetter("bad3", 42); err == nil {
+		t.Error("non-func getter accepted")
+	}
+}
+
+func TestInvokeSignatureValidation(t *testing.T) {
+	h := newHome()
+	b := mustBind(t, h)
+	epr, _ := b.Create(&CounterService{})
+	id, _ := epr.Property(ns, "ID")
+	if err := b.Invoke(id, func(s *CounterService) {}); err == nil {
+		t.Error("void fn accepted")
+	}
+	if err := b.Invoke(id, func(x *int) error { return nil }); err == nil {
+		t.Error("wrong receiver type accepted")
+	}
+	if err := b.View(id, "not a func"); err == nil {
+		t.Error("non-func view accepted")
+	}
+}
+
+func TestCreateRejectsWrongType(t *testing.T) {
+	h := newHome()
+	b := mustBind(t, h)
+	if _, err := b.Create(&struct{}{}); err == nil {
+		t.Fatal("wrong instance type accepted")
+	}
+	if _, err := b.Create(nil); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+}

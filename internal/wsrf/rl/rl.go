@@ -1,0 +1,240 @@
+// Package rl implements the WS-ResourceLifetime port type:
+// "mechanisms for destroying WS-Resources" (paper §2.1) — immediate
+// destruction via Destroy and scheduled destruction via
+// SetTerminationTime — plus the background sweeper that enforces
+// scheduled terminations (the Lifetime Management box of Figure 1).
+//
+// Grid-in-a-Box leans on this: reservations are created with
+// "termination time … set to the current time plus an administrator
+// specified delta", and claiming a reservation lengthens it (paper
+// §4.2.1). Unreserve-on-expiry is why Figure 6 reports no time for
+// the WSRF "Unreserve Resource" operation — it is automatic.
+package rl
+
+import (
+	"encoding/xml"
+	"errors"
+	"sync"
+	"time"
+
+	"altstacks/internal/container"
+	"altstacks/internal/soap"
+	"altstacks/internal/wsa"
+	"altstacks/internal/wsrf"
+	"altstacks/internal/wsrf/bf"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+// Action URIs for the port type.
+const (
+	ActionDestroy            = wsrf.NSRL + "/Destroy"
+	ActionSetTerminationTime = wsrf.NSRL + "/SetTerminationTime"
+)
+
+// Infinity is the wire representation of "never terminate".
+const Infinity = "infinity"
+
+// PortType serves WS-ResourceLifetime operations for one Home.
+type PortType struct {
+	Home *wsrf.Home
+	// Now is the clock, overridable in tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// NewPortType builds the port type and registers the spec-defined
+// CurrentTime and TerminationTime resource properties on the Home —
+// importing the port type exports "both their methods and their
+// ResourceProperties" (paper §3.1).
+func NewPortType(home *wsrf.Home) *PortType {
+	p := &PortType{Home: home}
+	home.DefineProperty(wsrf.PropertyDef{
+		Name: xml.Name{Space: wsrf.NSRL, Local: "CurrentTime"},
+		Get: func(*wsrf.Resource) []*xmlutil.Element {
+			return []*xmlutil.Element{xmlutil.NewText(wsrf.NSRL, "CurrentTime", p.now().UTC().Format(time.RFC3339Nano))}
+		},
+	})
+	home.DefineProperty(wsrf.PropertyDef{
+		Name: xml.Name{Space: wsrf.NSRL, Local: "TerminationTime"},
+		Get: func(r *wsrf.Resource) []*xmlutil.Element {
+			v := Infinity
+			if !r.Termination.IsZero() {
+				v = r.Termination.UTC().Format(time.RFC3339Nano)
+			}
+			return []*xmlutil.Element{xmlutil.NewText(wsrf.NSRL, "TerminationTime", v)}
+		},
+	})
+	return p
+}
+
+func (p *PortType) now() time.Time {
+	if p.Now != nil {
+		return p.Now()
+	}
+	return time.Now()
+}
+
+// Actions implements wsrf.PortType.
+func (p *PortType) Actions() map[string]container.ActionFunc {
+	return map[string]container.ActionFunc{
+		ActionDestroy:            p.destroy,
+		ActionSetTerminationTime: p.setTerminationTime,
+	}
+}
+
+func (p *PortType) destroy(ctx *container.Ctx) (*xmlutil.Element, error) {
+	id, err := p.Home.ResourceID(ctx.Envelope)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Home.Destroy(id); err != nil {
+		if errors.Is(err, xmldb.ErrNotFound) {
+			return nil, bf.ResourceUnknown(p.Home.Collection, id)
+		}
+		return nil, err
+	}
+	return xmlutil.New(wsrf.NSRL, "DestroyResponse"), nil
+}
+
+func (p *PortType) setTerminationTime(ctx *container.Ctx) (*xmlutil.Element, error) {
+	id, err := p.Home.ResourceID(ctx.Envelope)
+	if err != nil {
+		return nil, err
+	}
+	requested := ctx.Envelope.Body.ChildText(wsrf.NSRL, "RequestedTerminationTime")
+	var when time.Time
+	if requested != "" && requested != Infinity {
+		when, err = time.Parse(time.RFC3339Nano, requested)
+		if err != nil {
+			return nil, bf.New(soap.FaultClient, bf.CodeTerminationTime, "bad RequestedTerminationTime %q: %v", requested, err)
+		}
+	}
+	err = p.Home.Mutate(id, func(r *wsrf.Resource) error {
+		r.Termination = when
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, xmldb.ErrNotFound) {
+			return nil, bf.ResourceUnknown(p.Home.Collection, id)
+		}
+		return nil, err
+	}
+	newTT := Infinity
+	if !when.IsZero() {
+		newTT = when.UTC().Format(time.RFC3339Nano)
+	}
+	return xmlutil.New(wsrf.NSRL, "SetTerminationTimeResponse").Add(
+		xmlutil.NewText(wsrf.NSRL, "NewTerminationTime", newTT),
+		xmlutil.NewText(wsrf.NSRL, "CurrentTime", p.now().UTC().Format(time.RFC3339Nano)),
+	), nil
+}
+
+// Sweeper destroys resources whose scheduled termination has passed.
+type Sweeper struct {
+	Interval time.Duration
+	// Now is the clock, overridable in tests.
+	Now func() time.Time
+
+	mu    sync.Mutex
+	homes []*wsrf.Home
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// NewSweeper returns a sweeper with the given scan interval.
+func NewSweeper(interval time.Duration) *Sweeper {
+	return &Sweeper{Interval: interval}
+}
+
+// Watch adds a Home to the sweep set.
+func (s *Sweeper) Watch(h *wsrf.Home) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.homes = append(s.homes, h)
+}
+
+// SweepOnce destroys every expired resource across watched homes and
+// returns how many were destroyed.
+func (s *Sweeper) SweepOnce() int {
+	now := time.Now()
+	if s.Now != nil {
+		now = s.Now()
+	}
+	s.mu.Lock()
+	homes := append([]*wsrf.Home(nil), s.homes...)
+	s.mu.Unlock()
+	n := 0
+	for _, h := range homes {
+		ids, err := h.Expired(now)
+		if err != nil {
+			continue
+		}
+		for _, id := range ids {
+			if err := h.Destroy(id); err == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Start launches the background sweep loop.
+func (s *Sweeper) Start() {
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(s.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.SweepOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the sweep loop and waits for it to exit.
+func (s *Sweeper) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Client issues WS-ResourceLifetime requests.
+type Client struct {
+	C *container.Client
+}
+
+// Destroy destroys the resource immediately.
+func (c *Client) Destroy(epr wsa.EPR) error {
+	_, err := c.C.Call(epr, ActionDestroy, xmlutil.New(wsrf.NSRL, "Destroy"))
+	return err
+}
+
+// SetTerminationTime schedules termination; the zero time means never.
+func (c *Client) SetTerminationTime(epr wsa.EPR, when time.Time) error {
+	v := Infinity
+	if !when.IsZero() {
+		v = when.UTC().Format(time.RFC3339Nano)
+	}
+	body := xmlutil.New(wsrf.NSRL, "SetTerminationTime").Add(
+		xmlutil.NewText(wsrf.NSRL, "RequestedTerminationTime", v))
+	_, err := c.C.Call(epr, ActionSetTerminationTime, body)
+	return err
+}

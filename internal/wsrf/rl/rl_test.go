@@ -1,0 +1,181 @@
+package rl
+
+import (
+	"testing"
+	"time"
+
+	"altstacks/internal/container"
+	"altstacks/internal/soap"
+	"altstacks/internal/wsa"
+	"altstacks/internal/wsrf"
+	"altstacks/internal/wsrf/bf"
+	"altstacks/internal/wsrf/rp"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+const nsR = "urn:reservation"
+
+func startReservations(t *testing.T) (*wsrf.Home, *Client, *rp.Client, func() wsa.EPR) {
+	t.Helper()
+	c := container.New(container.SecurityNone)
+	home := &wsrf.Home{
+		DB:         xmldb.NewMemory(xmldb.CostModel{}),
+		Collection: "reservations",
+		RefSpace:   nsR,
+		RefLocal:   "ReservationID",
+		Endpoint:   func() string { return c.BaseURL() + "/reservation" },
+	}
+	svc := &container.Service{Path: "/reservation"}
+	wsrf.Aggregate(svc, NewPortType(home), &rp.PortType{Home: home})
+	c.Register(svc)
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	base := container.NewClient(container.ClientConfig{})
+	create := func() wsa.EPR {
+		epr, err := home.Create(xmlutil.New(nsR, "Reservation"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return epr
+	}
+	return home, &Client{C: base}, &rp.Client{C: base}, create
+}
+
+func TestDestroy(t *testing.T) {
+	home, cl, _, create := startReservations(t)
+	epr := create()
+	if err := cl.Destroy(epr); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := epr.Property(nsR, "ReservationID")
+	if ok, _ := home.Exists(id); ok {
+		t.Fatal("resource survived Destroy")
+	}
+	// Destroying again faults with ResourceUnknown.
+	err := cl.Destroy(epr)
+	f, ok := err.(*soap.Fault)
+	if !ok || bf.ErrorCode(f) != bf.CodeResourceUnknown {
+		t.Fatalf("second destroy: %v", err)
+	}
+}
+
+func TestSetTerminationTimeAndProperties(t *testing.T) {
+	home, cl, rpc, create := startReservations(t)
+	epr := create()
+	when := time.Now().Add(4 * time.Hour).UTC().Truncate(time.Second)
+	if err := cl.SetTerminationTime(epr, when); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := epr.Property(nsR, "ReservationID")
+	r, err := home.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Termination.Equal(when) {
+		t.Fatalf("termination = %v, want %v", r.Termination, when)
+	}
+	// The imported port type exports TerminationTime/CurrentTime as
+	// resource properties (paper §3.1).
+	vals, err := rpc.GetProperty(epr, "TerminationTime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0].TrimText() != when.Format(time.RFC3339Nano) {
+		t.Fatalf("TerminationTime property = %v", vals)
+	}
+	vals, err = rpc.GetProperty(epr, "CurrentTime")
+	if err != nil || len(vals) != 1 {
+		t.Fatalf("CurrentTime property = %v, %v", vals, err)
+	}
+}
+
+func TestSetTerminationInfinity(t *testing.T) {
+	home, cl, rpc, create := startReservations(t)
+	epr := create()
+	if err := cl.SetTerminationTime(epr, time.Now().Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// "The current Grid-in-a-box sets the termination time to infinity"
+	// when a reservation is claimed (paper §4.2.1).
+	if err := cl.SetTerminationTime(epr, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := epr.Property(nsR, "ReservationID")
+	r, _ := home.Load(id)
+	if !r.Termination.IsZero() {
+		t.Fatalf("termination = %v, want infinity", r.Termination)
+	}
+	vals, _ := rpc.GetProperty(epr, "TerminationTime")
+	if len(vals) != 1 || vals[0].TrimText() != Infinity {
+		t.Fatalf("TerminationTime = %v", vals)
+	}
+}
+
+func TestSetTerminationBadTime(t *testing.T) {
+	_, cl, _, create := startReservations(t)
+	epr := create()
+	body := xmlutil.New(wsrf.NSRL, "SetTerminationTime").Add(
+		xmlutil.NewText(wsrf.NSRL, "RequestedTerminationTime", "tomorrow-ish"))
+	_, err := cl.C.Call(epr, ActionSetTerminationTime, body)
+	f, ok := err.(*soap.Fault)
+	if !ok || bf.ErrorCode(f) != bf.CodeTerminationTime {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSweeperDestroysExpired(t *testing.T) {
+	home, cl, _, create := startReservations(t)
+	expired := create()
+	live := create()
+	if err := cl.SetTerminationTime(expired, time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SetTerminationTime(live, time.Now().Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSweeper(time.Hour)
+	s.Watch(home)
+	if n := s.SweepOnce(); n != 1 {
+		t.Fatalf("swept %d, want 1", n)
+	}
+	expID, _ := expired.Property(nsR, "ReservationID")
+	liveID, _ := live.Property(nsR, "ReservationID")
+	if ok, _ := home.Exists(expID); ok {
+		t.Fatal("expired reservation survived sweep")
+	}
+	if ok, _ := home.Exists(liveID); !ok {
+		t.Fatal("live reservation was swept")
+	}
+}
+
+func TestSweeperBackgroundLoop(t *testing.T) {
+	home, cl, _, create := startReservations(t)
+	epr := create()
+	if err := cl.SetTerminationTime(epr, time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSweeper(5 * time.Millisecond)
+	s.Watch(home)
+	s.Start()
+	defer s.Stop()
+	id, _ := epr.Property(nsR, "ReservationID")
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok, _ := home.Exists(id); !ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background sweeper never destroyed the expired resource")
+}
+
+func TestSweeperStopIdempotent(t *testing.T) {
+	s := NewSweeper(time.Millisecond)
+	s.Start()
+	s.Start() // second Start is a no-op
+	s.Stop()
+	s.Stop() // second Stop is a no-op
+}

@@ -1,0 +1,349 @@
+// Package rp implements the WS-ResourceProperties port type: "how
+// WS-Resources are described by XML documents that can be queried and
+// modified" (paper §2.1). It supplies the four spec operations —
+// GetResourceProperty, GetMultipleResourceProperties,
+// SetResourceProperties (Insert/Update/Delete components), and
+// QueryResourceProperties (XPath dialect) — as an importable port
+// type, plus the matching client calls.
+package rp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"altstacks/internal/container"
+	"altstacks/internal/soap"
+	"altstacks/internal/wsa"
+	"altstacks/internal/wsrf"
+	"altstacks/internal/wsrf/bf"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+	"altstacks/internal/xpathlite"
+)
+
+// Action URIs for the port type.
+const (
+	ActionGet         = wsrf.NSRP + "/GetResourceProperty"
+	ActionGetDocument = wsrf.NSRP + "/GetResourcePropertyDocument"
+	ActionGetMultiple = wsrf.NSRP + "/GetMultipleResourceProperties"
+	ActionSet         = wsrf.NSRP + "/SetResourceProperties"
+	ActionQuery       = wsrf.NSRP + "/QueryResourceProperties"
+)
+
+// DialectXPath identifies the query dialect QueryResourceProperties
+// accepts (the paper's WSRF.NET supported XPath and XQuery; this
+// implementation supports the XPath subset).
+const DialectXPath = "http://www.w3.org/TR/1999/REC-xpath-19991116"
+
+// PortType serves the WS-ResourceProperties operations for one Home.
+type PortType struct {
+	Home *wsrf.Home
+}
+
+// Actions implements wsrf.PortType.
+func (p *PortType) Actions() map[string]container.ActionFunc {
+	return map[string]container.ActionFunc{
+		ActionGet:         p.getProperty,
+		ActionGetDocument: p.getDocument,
+		ActionGetMultiple: p.getMultiple,
+		ActionSet:         p.setProperties,
+		ActionQuery:       p.query,
+	}
+}
+
+// localName strips an optional prefix from a QName-valued text node.
+func localName(qname string) string {
+	qname = strings.TrimSpace(qname)
+	if i := strings.LastIndexByte(qname, ':'); i >= 0 {
+		return qname[i+1:]
+	}
+	return qname
+}
+
+func (p *PortType) load(ctx *container.Ctx) (string, error) {
+	id, err := p.Home.ResourceID(ctx.Envelope)
+	if err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+func mapNotFound(err error, collection, id string) error {
+	if errors.Is(err, xmldb.ErrNotFound) {
+		return bf.ResourceUnknown(collection, id)
+	}
+	return err
+}
+
+func (p *PortType) getProperty(ctx *container.Ctx) (*xmlutil.Element, error) {
+	id, err := p.load(ctx)
+	if err != nil {
+		return nil, err
+	}
+	want := localName(ctx.Envelope.Body.TrimText())
+	if want == "" {
+		return nil, bf.New(soap.FaultClient, bf.CodeInvalidProperty, "GetResourceProperty names no property")
+	}
+	def, ok := p.Home.Property("", want)
+	if !ok {
+		return nil, bf.New(soap.FaultClient, bf.CodeInvalidProperty, "unknown resource property %q", want)
+	}
+	resp := xmlutil.New(wsrf.NSRP, "GetResourcePropertyResponse")
+	err = p.Home.View(id, func(r *wsrf.Resource) error {
+		for _, el := range def.Get(r) {
+			resp.Add(el)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, mapNotFound(err, p.Home.Collection, id)
+	}
+	return resp, nil
+}
+
+// getDocument returns the entire resource property document — the
+// whole "view or projection of the state of the WS-Resource".
+func (p *PortType) getDocument(ctx *container.Ctx) (*xmlutil.Element, error) {
+	id, err := p.load(ctx)
+	if err != nil {
+		return nil, err
+	}
+	resp := xmlutil.New(wsrf.NSRP, "GetResourcePropertyDocumentResponse")
+	err = p.Home.View(id, func(r *wsrf.Resource) error {
+		resp.Add(p.Home.PropertyDocument(r))
+		return nil
+	})
+	if err != nil {
+		return nil, mapNotFound(err, p.Home.Collection, id)
+	}
+	return resp, nil
+}
+
+func (p *PortType) getMultiple(ctx *container.Ctx) (*xmlutil.Element, error) {
+	id, err := p.load(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var defs []wsrf.PropertyDef
+	for _, c := range ctx.Envelope.Body.ChildrenNamed(wsrf.NSRP, "ResourceProperty") {
+		name := localName(c.TrimText())
+		def, ok := p.Home.Property("", name)
+		if !ok {
+			return nil, bf.New(soap.FaultClient, bf.CodeInvalidProperty, "unknown resource property %q", name)
+		}
+		defs = append(defs, def)
+	}
+	resp := xmlutil.New(wsrf.NSRP, "GetMultipleResourcePropertiesResponse")
+	err = p.Home.View(id, func(r *wsrf.Resource) error {
+		for _, def := range defs {
+			for _, el := range def.Get(r) {
+				resp.Add(el)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, mapNotFound(err, p.Home.Collection, id)
+	}
+	return resp, nil
+}
+
+func (p *PortType) setProperties(ctx *container.Ctx) (*xmlutil.Element, error) {
+	id, err := p.load(ctx)
+	if err != nil {
+		return nil, err
+	}
+	err = p.Home.Mutate(id, func(r *wsrf.Resource) error {
+		for _, comp := range ctx.Envelope.Body.Children {
+			if comp.Name.Space != wsrf.NSRP {
+				continue
+			}
+			switch comp.Name.Local {
+			case "Update":
+				if err := p.update(r, comp.Children); err != nil {
+					return err
+				}
+			case "Insert":
+				if err := p.insert(r, comp.Children); err != nil {
+					return err
+				}
+			case "Delete":
+				name := localName(comp.AttrValue("", "ResourceProperty"))
+				def, ok := p.Home.Property("", name)
+				if !ok {
+					return bf.New(soap.FaultClient, bf.CodeInvalidProperty, "unknown resource property %q", name)
+				}
+				if def.Set == nil {
+					return bf.New(soap.FaultClient, bf.CodeUnableToModify, "property %q is read-only", name)
+				}
+				if err := def.Set(r, nil); err != nil {
+					return bf.New(soap.FaultClient, bf.CodeInvalidModification, "delete %s: %v", name, err)
+				}
+			default:
+				return bf.New(soap.FaultClient, bf.CodeInvalidModification, "unknown SetResourceProperties component %q", comp.Name.Local)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, mapNotFound(err, p.Home.Collection, id)
+	}
+	return xmlutil.New(wsrf.NSRP, "SetResourcePropertiesResponse"), nil
+}
+
+// update groups the replacement values by property name and replaces
+// each named property's full value list.
+func (p *PortType) update(r *wsrf.Resource, values []*xmlutil.Element) error {
+	groups := map[string][]*xmlutil.Element{}
+	var order []string
+	for _, v := range values {
+		key := v.Name.Local
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], v)
+	}
+	for _, name := range order {
+		def, ok := p.Home.Property("", name)
+		if !ok {
+			return bf.New(soap.FaultClient, bf.CodeInvalidProperty, "unknown resource property %q", name)
+		}
+		if def.Set == nil {
+			return bf.New(soap.FaultClient, bf.CodeUnableToModify, "property %q is read-only", name)
+		}
+		if err := def.Set(r, groups[name]); err != nil {
+			return bf.New(soap.FaultClient, bf.CodeInvalidModification, "update %s: %v", name, err)
+		}
+	}
+	return nil
+}
+
+// insert appends values to each named property's existing list.
+func (p *PortType) insert(r *wsrf.Resource, values []*xmlutil.Element) error {
+	for _, v := range values {
+		def, ok := p.Home.Property("", v.Name.Local)
+		if !ok {
+			return bf.New(soap.FaultClient, bf.CodeInvalidProperty, "unknown resource property %q", v.Name.Local)
+		}
+		if def.Set == nil {
+			return bf.New(soap.FaultClient, bf.CodeUnableToModify, "property %q is read-only", v.Name.Local)
+		}
+		merged := append(def.Get(r), v)
+		if err := def.Set(r, merged); err != nil {
+			return bf.New(soap.FaultClient, bf.CodeInvalidModification, "insert %s: %v", v.Name.Local, err)
+		}
+	}
+	return nil
+}
+
+func (p *PortType) query(ctx *container.Ctx) (*xmlutil.Element, error) {
+	id, err := p.load(ctx)
+	if err != nil {
+		return nil, err
+	}
+	exprEl := ctx.Envelope.Body.Child(wsrf.NSRP, "QueryExpression")
+	if exprEl == nil {
+		return nil, bf.New(soap.FaultClient, bf.CodeQueryEvaluation, "missing QueryExpression")
+	}
+	if d := exprEl.AttrValue("", "Dialect"); d != "" && d != DialectXPath {
+		return nil, bf.New(soap.FaultClient, bf.CodeQueryEvaluation, "unsupported query dialect %q", d)
+	}
+	path, err := xpathlite.Compile(exprEl.TrimText())
+	if err != nil {
+		return nil, bf.New(soap.FaultClient, bf.CodeQueryEvaluation, "bad query: %v", err)
+	}
+	resp := xmlutil.New(wsrf.NSRP, "QueryResourcePropertiesResponse")
+	err = p.Home.View(id, func(r *wsrf.Resource) error {
+		doc := p.Home.PropertyDocument(r)
+		for _, n := range path.Select(doc) {
+			switch n.Kind {
+			case xpathlite.KindElement:
+				resp.Add(n.El.Clone())
+			case xpathlite.KindText, xpathlite.KindAttr:
+				resp.Add(xmlutil.NewText(wsrf.NSRP, "Value", n.Value))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, mapNotFound(err, p.Home.Collection, id)
+	}
+	return resp, nil
+}
+
+// Client issues WS-ResourceProperties requests against a WS-Resource.
+type Client struct {
+	C *container.Client
+}
+
+// GetProperty fetches one property's values.
+func (c *Client) GetProperty(epr wsa.EPR, property string) ([]*xmlutil.Element, error) {
+	body := xmlutil.NewText(wsrf.NSRP, "GetResourceProperty", property)
+	resp, err := c.C.Call(epr, ActionGet, body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Children, nil
+}
+
+// GetDocument fetches the full resource property document.
+func (c *Client) GetDocument(epr wsa.EPR) (*xmlutil.Element, error) {
+	resp, err := c.C.Call(epr, ActionGetDocument, xmlutil.New(wsrf.NSRP, "GetResourcePropertyDocument"))
+	if err != nil {
+		return nil, err
+	}
+	doc := resp.Child(wsrf.NSRP, "Properties")
+	if doc == nil {
+		return nil, fmt.Errorf("rp: response carries no Properties document")
+	}
+	return doc, nil
+}
+
+// GetMultiple fetches several properties in one exchange.
+func (c *Client) GetMultiple(epr wsa.EPR, properties ...string) ([]*xmlutil.Element, error) {
+	body := xmlutil.New(wsrf.NSRP, "GetMultipleResourceProperties")
+	for _, p := range properties {
+		body.Add(xmlutil.NewText(wsrf.NSRP, "ResourceProperty", p))
+	}
+	resp, err := c.C.Call(epr, ActionGetMultiple, body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Children, nil
+}
+
+// Update replaces the full value list of the properties carried in values.
+func (c *Client) Update(epr wsa.EPR, values ...*xmlutil.Element) error {
+	body := xmlutil.New(wsrf.NSRP, "SetResourceProperties").Add(
+		xmlutil.New(wsrf.NSRP, "Update").Add(values...))
+	_, err := c.C.Call(epr, ActionSet, body)
+	return err
+}
+
+// Insert appends property values.
+func (c *Client) Insert(epr wsa.EPR, values ...*xmlutil.Element) error {
+	body := xmlutil.New(wsrf.NSRP, "SetResourceProperties").Add(
+		xmlutil.New(wsrf.NSRP, "Insert").Add(values...))
+	_, err := c.C.Call(epr, ActionSet, body)
+	return err
+}
+
+// Delete removes all values of the named property.
+func (c *Client) Delete(epr wsa.EPR, property string) error {
+	body := xmlutil.New(wsrf.NSRP, "SetResourceProperties").Add(
+		xmlutil.New(wsrf.NSRP, "Delete").SetAttr("", "ResourceProperty", property))
+	_, err := c.C.Call(epr, ActionSet, body)
+	return err
+}
+
+// Query evaluates an XPath expression over the resource property document.
+func (c *Client) Query(epr wsa.EPR, expr string) ([]*xmlutil.Element, error) {
+	body := xmlutil.New(wsrf.NSRP, "QueryResourceProperties").Add(
+		xmlutil.NewText(wsrf.NSRP, "QueryExpression", expr).SetAttr("", "Dialect", DialectXPath))
+	resp, err := c.C.Call(epr, ActionQuery, body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Children, nil
+}

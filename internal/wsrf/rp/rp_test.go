@@ -1,0 +1,236 @@
+package rp
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+	"testing"
+
+	"altstacks/internal/container"
+	"altstacks/internal/soap"
+	"altstacks/internal/wsa"
+	"altstacks/internal/wsrf"
+	"altstacks/internal/wsrf/bf"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+const nsC = "urn:counter"
+
+// startCounter wires a WSRF counter service (the paper's hello-world
+// resource shape) into a live container and returns the client pieces.
+func startCounter(t *testing.T) (*wsrf.Home, *Client, func(initial int) wsa.EPR) {
+	t.Helper()
+	c := container.New(container.SecurityNone)
+	home := &wsrf.Home{
+		DB:           xmldb.NewMemory(xmldb.CostModel{}),
+		Collection:   "counters",
+		RefSpace:     nsC,
+		RefLocal:     "CounterID",
+		Endpoint:     func() string { return c.BaseURL() + "/counter" },
+		CacheEnabled: true,
+	}
+	home.DefineProperty(wsrf.StateChildProperty(nsC, "cv"))
+	home.DefineProperty(wsrf.PropertyDef{
+		Name: xml.Name{Space: nsC, Local: "DoubleValue"},
+		Get: func(r *wsrf.Resource) []*xmlutil.Element {
+			var v int
+			fmt.Sscanf(r.State.ChildText(nsC, "cv"), "%d", &v)
+			return []*xmlutil.Element{xmlutil.NewText(nsC, "DoubleValue", fmt.Sprint(2*v))}
+		},
+	})
+	svc := &container.Service{Path: "/counter"}
+	wsrf.Aggregate(svc, &PortType{Home: home})
+	c.Register(svc)
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	cl := &Client{C: container.NewClient(container.ClientConfig{})}
+	create := func(initial int) wsa.EPR {
+		state := xmlutil.New(nsC, "CounterState").Add(xmlutil.NewText(nsC, "cv", fmt.Sprint(initial)))
+		epr, err := home.Create(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return epr
+	}
+	return home, cl, create
+}
+
+func TestGetResourceProperty(t *testing.T) {
+	_, cl, create := startCounter(t)
+	epr := create(5)
+	vals, err := cl.GetProperty(epr, "cv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0].TrimText() != "5" {
+		t.Fatalf("cv = %v", vals)
+	}
+}
+
+func TestComputedProperty(t *testing.T) {
+	// The paper's DoubleValue example: a [ResourceProperty] computed
+	// from [Resource] state.
+	_, cl, create := startCounter(t)
+	epr := create(21)
+	vals, err := cl.GetProperty(epr, "DoubleValue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0].TrimText() != "42" {
+		t.Fatalf("DoubleValue = %v", vals)
+	}
+}
+
+func TestGetPropertyWithPrefixedQName(t *testing.T) {
+	_, cl, create := startCounter(t)
+	epr := create(9)
+	vals, err := cl.GetProperty(epr, "tns:cv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0].TrimText() != "9" {
+		t.Fatalf("prefixed lookup = %v", vals)
+	}
+}
+
+func TestGetUnknownPropertyFaults(t *testing.T) {
+	_, cl, create := startCounter(t)
+	epr := create(0)
+	_, err := cl.GetProperty(epr, "nope")
+	f, ok := err.(*soap.Fault)
+	if !ok || bf.ErrorCode(f) != bf.CodeInvalidProperty {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGetMultiple(t *testing.T) {
+	_, cl, create := startCounter(t)
+	epr := create(10)
+	vals, err := cl.GetMultiple(epr, "cv", "DoubleValue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0].TrimText() != "10" || vals[1].TrimText() != "20" {
+		t.Fatalf("multiple = %v", vals)
+	}
+}
+
+func TestSetUpdate(t *testing.T) {
+	_, cl, create := startCounter(t)
+	epr := create(1)
+	if err := cl.Update(epr, xmlutil.NewText(nsC, "cv", "99")); err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := cl.GetProperty(epr, "cv")
+	if len(vals) != 1 || vals[0].TrimText() != "99" {
+		t.Fatalf("after update: %v", vals)
+	}
+}
+
+func TestSetInsertAndDelete(t *testing.T) {
+	_, cl, create := startCounter(t)
+	epr := create(1)
+	if err := cl.Insert(epr, xmlutil.NewText(nsC, "cv", "2")); err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := cl.GetProperty(epr, "cv")
+	if len(vals) != 2 {
+		t.Fatalf("after insert: %v", vals)
+	}
+	if err := cl.Delete(epr, "cv"); err != nil {
+		t.Fatal(err)
+	}
+	vals, _ = cl.GetProperty(epr, "cv")
+	if len(vals) != 0 {
+		t.Fatalf("after delete: %v", vals)
+	}
+}
+
+func TestSetReadOnlyPropertyFaults(t *testing.T) {
+	_, cl, create := startCounter(t)
+	epr := create(1)
+	err := cl.Update(epr, xmlutil.NewText(nsC, "DoubleValue", "4"))
+	f, ok := err.(*soap.Fault)
+	if !ok || bf.ErrorCode(f) != bf.CodeUnableToModify {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueryResourceProperties(t *testing.T) {
+	_, cl, create := startCounter(t)
+	epr := create(7)
+	got, err := cl.Query(epr, "/Properties/cv[.='7']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].TrimText() != "7" {
+		t.Fatalf("query hit = %v", got)
+	}
+	got, err = cl.Query(epr, "/Properties/cv[.='8']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("query should miss, got %v", got)
+	}
+}
+
+func TestQueryBadDialect(t *testing.T) {
+	_, cl, create := startCounter(t)
+	epr := create(0)
+	body := xmlutil.New(wsrf.NSRP, "QueryResourceProperties").Add(
+		xmlutil.NewText(wsrf.NSRP, "QueryExpression", "/Properties").
+			SetAttr("", "Dialect", "urn:xquery"))
+	_, err := cl.C.Call(epr, ActionQuery, body)
+	f, ok := err.(*soap.Fault)
+	if !ok || bf.ErrorCode(f) != bf.CodeQueryEvaluation {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownResourceFaults(t *testing.T) {
+	home, cl, _ := startCounter(t)
+	epr := home.EPRFor("no-such-id")
+	_, err := cl.GetProperty(epr, "cv")
+	f, ok := err.(*soap.Fault)
+	if !ok || bf.ErrorCode(f) != bf.CodeResourceUnknown {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingReferencePropertyFaults(t *testing.T) {
+	home, cl, _ := startCounter(t)
+	// An EPR with no resource id reference property at all.
+	bare := wsa.NewEPR(home.Endpoint())
+	_, err := cl.GetProperty(bare, "cv")
+	if err == nil || !strings.Contains(err.Error(), "reference property") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGetResourcePropertyDocument(t *testing.T) {
+	_, cl, create := startCounter(t)
+	epr := create(6)
+	doc, err := cl.GetDocument(epr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name.Local != "Properties" {
+		t.Fatalf("doc = %s", doc)
+	}
+	if doc.ChildText(nsC, "cv") != "6" || doc.ChildText(nsC, "DoubleValue") != "12" {
+		t.Fatalf("property document = %s", doc)
+	}
+}
+
+func TestGetDocumentUnknownResource(t *testing.T) {
+	home, cl, _ := startCounter(t)
+	_, err := cl.GetDocument(home.EPRFor("ghost"))
+	f, ok := err.(*soap.Fault)
+	if !ok || bf.ErrorCode(f) != bf.CodeResourceUnknown {
+		t.Fatalf("err = %v", err)
+	}
+}

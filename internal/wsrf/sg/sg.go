@@ -1,0 +1,189 @@
+// Package sg implements the WS-ServiceGroup port type: "how
+// collections of Web services and/or WS-Resources can be represented
+// and managed" (paper §2.1). A ServiceGroup is itself a WS-Resource
+// whose state is its entry list; members are added with the Add
+// operation and each entry records the member's EPR plus an optional
+// content document that must satisfy the group's content rules.
+//
+// Grid-in-a-Box's ResourceAllocationService uses a service group to
+// track the ExecService/DataService pairs registered in the VO.
+package sg
+
+import (
+	"errors"
+	"fmt"
+
+	"altstacks/internal/container"
+	"altstacks/internal/soap"
+	"altstacks/internal/uuid"
+	"altstacks/internal/wsa"
+	"altstacks/internal/wsrf"
+	"altstacks/internal/wsrf/bf"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+// Action URIs for the port type.
+const (
+	ActionAdd    = wsrf.NSSG + "/Add"
+	ActionRemove = wsrf.NSSG + "/Remove"
+)
+
+// PortType serves ServiceGroup operations for one Home whose resources
+// are groups.
+type PortType struct {
+	Home *wsrf.Home
+	// ContentRule, when non-empty, lists the local names allowed as
+	// entry content roots; Add faults on anything else.
+	ContentRule []string
+}
+
+// NewGroupState returns the initial state document for a fresh group;
+// pass it to Home.Create.
+func NewGroupState() *xmlutil.Element { return xmlutil.New(wsrf.NSSG, "ServiceGroup") }
+
+// Actions implements wsrf.PortType.
+func (p *PortType) Actions() map[string]container.ActionFunc {
+	return map[string]container.ActionFunc{
+		ActionAdd:    p.add,
+		ActionRemove: p.remove,
+	}
+}
+
+func (p *PortType) add(ctx *container.Ctx) (*xmlutil.Element, error) {
+	id, err := p.Home.ResourceID(ctx.Envelope)
+	if err != nil {
+		return nil, err
+	}
+	memberEl := ctx.Envelope.Body.Child(wsrf.NSSG, "MemberEPR")
+	if memberEl == nil || len(memberEl.Children) == 0 {
+		return nil, bf.New(soap.FaultClient, bf.CodeAddRefused, "Add carries no MemberEPR")
+	}
+	member, err := wsa.ParseEPR(memberEl.Children[0])
+	if err != nil {
+		return nil, bf.New(soap.FaultClient, bf.CodeAddRefused, "bad MemberEPR: %v", err)
+	}
+	var content *xmlutil.Element
+	if c := ctx.Envelope.Body.Child(wsrf.NSSG, "Content"); c != nil && len(c.Children) > 0 {
+		content = c.Children[0]
+		if len(p.ContentRule) > 0 && !p.allowed(content.Name.Local) {
+			return nil, bf.New(soap.FaultClient, bf.CodeAddRefused,
+				"content %q violates the group's content rules %v", content.Name.Local, p.ContentRule)
+		}
+	}
+	entryID := uuid.NewString()
+	entry := xmlutil.New(wsrf.NSSG, "Entry").SetAttr("", "id", entryID)
+	entry.Add(member.Element(wsrf.NSSG, "MemberServiceEPR"))
+	if content != nil {
+		entry.Add(xmlutil.New(wsrf.NSSG, "Content").Add(content.Clone()))
+	}
+	err = p.Home.Mutate(id, func(r *wsrf.Resource) error {
+		r.State.Add(entry)
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, xmldb.ErrNotFound) {
+			return nil, bf.ResourceUnknown(p.Home.Collection, id)
+		}
+		return nil, err
+	}
+	return xmlutil.New(wsrf.NSSG, "AddResponse").Add(
+		xmlutil.NewText(wsrf.NSSG, "EntryID", entryID)), nil
+}
+
+func (p *PortType) remove(ctx *container.Ctx) (*xmlutil.Element, error) {
+	id, err := p.Home.ResourceID(ctx.Envelope)
+	if err != nil {
+		return nil, err
+	}
+	entryID := ctx.Envelope.Body.ChildText(wsrf.NSSG, "EntryID")
+	if entryID == "" {
+		return nil, bf.New(soap.FaultClient, bf.CodeAddRefused, "Remove names no EntryID")
+	}
+	found := false
+	err = p.Home.Mutate(id, func(r *wsrf.Resource) error {
+		kept := r.State.Children[:0]
+		for _, c := range r.State.Children {
+			if c.Name.Space == wsrf.NSSG && c.Name.Local == "Entry" && c.AttrValue("", "id") == entryID {
+				found = true
+				continue
+			}
+			kept = append(kept, c)
+		}
+		r.State.Children = kept
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, xmldb.ErrNotFound) {
+			return nil, bf.ResourceUnknown(p.Home.Collection, id)
+		}
+		return nil, err
+	}
+	if !found {
+		return nil, bf.New(soap.FaultClient, bf.CodeResourceUnknown, "no entry %q in group %s", entryID, id)
+	}
+	return xmlutil.New(wsrf.NSSG, "RemoveResponse"), nil
+}
+
+func (p *PortType) allowed(local string) bool {
+	for _, r := range p.ContentRule {
+		if r == local {
+			return true
+		}
+	}
+	return false
+}
+
+// Entry is a decoded group member.
+type Entry struct {
+	ID      string
+	Member  wsa.EPR
+	Content *xmlutil.Element
+}
+
+// Entries decodes a group resource's entry list from its state.
+func Entries(r *wsrf.Resource) ([]Entry, error) {
+	var out []Entry
+	for _, c := range r.State.ChildrenNamed(wsrf.NSSG, "Entry") {
+		memberEl := c.Child(wsrf.NSSG, "MemberServiceEPR")
+		if memberEl == nil {
+			return nil, fmt.Errorf("sg: entry %s has no member EPR", c.AttrValue("", "id"))
+		}
+		member, err := wsa.ParseEPR(memberEl)
+		if err != nil {
+			return nil, fmt.Errorf("sg: entry %s: %w", c.AttrValue("", "id"), err)
+		}
+		e := Entry{ID: c.AttrValue("", "id"), Member: member}
+		if cc := c.Child(wsrf.NSSG, "Content"); cc != nil && len(cc.Children) > 0 {
+			e.Content = cc.Children[0].Clone()
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Client issues ServiceGroup requests.
+type Client struct {
+	C *container.Client
+}
+
+// Add registers a member (with optional content) and returns the entry id.
+func (c *Client) Add(group, member wsa.EPR, content *xmlutil.Element) (string, error) {
+	body := xmlutil.New(wsrf.NSSG, "Add").Add(
+		xmlutil.New(wsrf.NSSG, "MemberEPR").Add(member.Element(wsa.NS, "EndpointReference")))
+	if content != nil {
+		body.Add(xmlutil.New(wsrf.NSSG, "Content").Add(content.Clone()))
+	}
+	resp, err := c.C.Call(group, ActionAdd, body)
+	if err != nil {
+		return "", err
+	}
+	return resp.ChildText(wsrf.NSSG, "EntryID"), nil
+}
+
+// Remove deletes an entry by id.
+func (c *Client) Remove(group wsa.EPR, entryID string) error {
+	body := xmlutil.New(wsrf.NSSG, "Remove").Add(xmlutil.NewText(wsrf.NSSG, "EntryID", entryID))
+	_, err := c.C.Call(group, ActionRemove, body)
+	return err
+}

@@ -1,0 +1,124 @@
+package sg
+
+import (
+	"testing"
+
+	"altstacks/internal/container"
+	"altstacks/internal/soap"
+	"altstacks/internal/wsa"
+	"altstacks/internal/wsrf"
+	"altstacks/internal/wsrf/bf"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+const nsG = "urn:vo"
+
+func startGroup(t *testing.T, rules ...string) (*wsrf.Home, *Client, wsa.EPR) {
+	t.Helper()
+	c := container.New(container.SecurityNone)
+	home := &wsrf.Home{
+		DB:         xmldb.NewMemory(xmldb.CostModel{}),
+		Collection: "groups",
+		RefSpace:   nsG,
+		RefLocal:   "GroupID",
+		Endpoint:   func() string { return c.BaseURL() + "/group" },
+	}
+	svc := &container.Service{Path: "/group"}
+	wsrf.Aggregate(svc, &PortType{Home: home, ContentRule: rules})
+	c.Register(svc)
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	group, err := home.Create(NewGroupState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return home, &Client{C: container.NewClient(container.ClientConfig{})}, group
+}
+
+func TestAddAndEntries(t *testing.T) {
+	home, cl, group := startGroup(t)
+	member := wsa.NewEPR("http://node-a/exec").WithProperty("urn:x", "Host", "node-a")
+	content := xmlutil.NewText(nsG, "Application", "blast")
+	entryID, err := cl.Add(group, member, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entryID == "" {
+		t.Fatal("no entry id returned")
+	}
+	gid, _ := group.Property(nsG, "GroupID")
+	r, err := home.Load(gid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Entries(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[0]
+	if e.ID != entryID || e.Member.Address != "http://node-a/exec" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if v, _ := e.Member.Property("urn:x", "Host"); v != "node-a" {
+		t.Fatal("member reference property lost")
+	}
+	if e.Content == nil || e.Content.TrimText() != "blast" {
+		t.Fatalf("content = %v", e.Content)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	home, cl, group := startGroup(t)
+	id1, _ := cl.Add(group, wsa.NewEPR("http://a"), nil)
+	id2, _ := cl.Add(group, wsa.NewEPR("http://b"), nil)
+	if err := cl.Remove(group, id1); err != nil {
+		t.Fatal(err)
+	}
+	gid, _ := group.Property(nsG, "GroupID")
+	r, _ := home.Load(gid)
+	entries, _ := Entries(r)
+	if len(entries) != 1 || entries[0].ID != id2 {
+		t.Fatalf("entries after remove = %+v", entries)
+	}
+	// Removing again faults.
+	if err := cl.Remove(group, id1); err == nil {
+		t.Fatal("second remove succeeded")
+	}
+}
+
+func TestContentRuleEnforced(t *testing.T) {
+	_, cl, group := startGroup(t, "Application")
+	if _, err := cl.Add(group, wsa.NewEPR("http://a"), xmlutil.NewText(nsG, "Application", "ok")); err != nil {
+		t.Fatalf("allowed content rejected: %v", err)
+	}
+	_, err := cl.Add(group, wsa.NewEPR("http://a"), xmlutil.NewText(nsG, "Malware", "no"))
+	f, ok := err.(*soap.Fault)
+	if !ok || bf.ErrorCode(f) != bf.CodeAddRefused {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddWithoutMemberFaults(t *testing.T) {
+	_, cl, group := startGroup(t)
+	_, err := cl.C.Call(group, ActionAdd, xmlutil.New(wsrf.NSSG, "Add"))
+	f, ok := err.(*soap.Fault)
+	if !ok || bf.ErrorCode(f) != bf.CodeAddRefused {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddToUnknownGroupFaults(t *testing.T) {
+	home, cl, _ := startGroup(t)
+	ghost := home.EPRFor("ghost")
+	_, err := cl.Add(ghost, wsa.NewEPR("http://a"), nil)
+	f, ok := err.(*soap.Fault)
+	if !ok || bf.ErrorCode(f) != bf.CodeResourceUnknown {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+package wssec
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"altstacks/internal/certs"
+	"altstacks/internal/soap"
+	"altstacks/internal/xmlutil"
+)
+
+// Shared PKI: RSA keygen is expensive, build once per test binary.
+var (
+	pkiOnce sync.Once
+	ca      *certs.Authority
+	alice   *certs.Identity
+	mallory *certs.Authority
+	eve     *certs.Identity
+)
+
+func pki(t *testing.T) (*certs.Authority, *certs.Identity) {
+	t.Helper()
+	pkiOnce.Do(func() {
+		var err error
+		if ca, err = certs.NewAuthority(); err != nil {
+			panic(err)
+		}
+		if alice, err = ca.Issue("CN=alice"); err != nil {
+			panic(err)
+		}
+		if mallory, err = certs.NewAuthority(); err != nil {
+			panic(err)
+		}
+		if eve, err = mallory.Issue("CN=eve"); err != nil {
+			panic(err)
+		}
+	})
+	return ca, alice
+}
+
+func signedEnvelope(t *testing.T) *soap.Envelope {
+	t.Helper()
+	_, id := pki(t)
+	env := soap.New(xmlutil.New("urn:c", "Set").Add(xmlutil.NewText("urn:c", "value", "5")))
+	if err := NewSigner(id).Sign(env); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	ca, id := pki(t)
+	env := signedEnvelope(t)
+	// Simulate wire transit.
+	parsed, err := soap.Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := NewVerifier(ca.Pool()).Verify(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Subject.CommonName != id.Cert.Subject.CommonName {
+		t.Fatalf("signer CN = %q", cert.Subject.CommonName)
+	}
+}
+
+func TestSecurityHeaderIsMustUnderstand(t *testing.T) {
+	env := signedEnvelope(t)
+	parsed, err := soap.Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := parsed.MustUnderstandNames()
+	if len(names) != 1 || names[0] != SecurityHeaderName {
+		t.Fatalf("mustUnderstand = %v", names)
+	}
+}
+
+func TestTamperedBodyRejected(t *testing.T) {
+	ca, _ := pki(t)
+	env := signedEnvelope(t)
+	parsed, err := soap.Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed.Body.Child("urn:c", "value").Text = "500000"
+	if _, err := NewVerifier(ca.Pool()).Verify(parsed); err == nil {
+		t.Fatal("tampered body verified")
+	} else if !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestTamperedSignatureRejected(t *testing.T) {
+	ca, _ := pki(t)
+	env := signedEnvelope(t)
+	parsed, err := soap.Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := parsed.Header(NSWSE, "Security")
+	sig := sec.Child(NSDS, "Signature").Child(NSDS, "SignatureValue")
+	sig.Text = "AAAA" + sig.Text[4:]
+	if _, err := NewVerifier(ca.Pool()).Verify(parsed); err == nil {
+		t.Fatal("tampered signature verified")
+	}
+}
+
+func TestUntrustedSignerRejected(t *testing.T) {
+	ca, _ := pki(t)
+	env := soap.New(xmlutil.New("urn:c", "Get"))
+	if err := NewSigner(eve).Sign(env); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := soap.Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewVerifier(ca.Pool()).Verify(parsed); err == nil {
+		t.Fatal("certificate from foreign CA accepted")
+	} else if !strings.Contains(err.Error(), "untrusted") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestUnsignedMessageRejected(t *testing.T) {
+	ca, _ := pki(t)
+	env := soap.New(xmlutil.New("urn:c", "Get"))
+	if _, err := NewVerifier(ca.Pool()).Verify(env); err == nil {
+		t.Fatal("unsigned message verified")
+	}
+}
+
+func TestExpiredTimestampRejected(t *testing.T) {
+	ca, _ := pki(t)
+	env := signedEnvelope(t)
+	parsed, err := soap.Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(ca.Pool())
+	v.Now = func() time.Time { return time.Now().Add(time.Hour) }
+	if _, err := v.Verify(parsed); err == nil {
+		t.Fatal("expired message verified")
+	} else if !strings.Contains(err.Error(), "expired") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestFutureTimestampRejected(t *testing.T) {
+	ca, _ := pki(t)
+	env := signedEnvelope(t)
+	parsed, err := soap.Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(ca.Pool())
+	v.Now = func() time.Time { return time.Now().Add(-time.Hour) }
+	if _, err := v.Verify(parsed); err == nil {
+		t.Fatal("future-dated message verified")
+	}
+}
+
+func TestRefusesToSignEmptyEnvelope(t *testing.T) {
+	_, id := pki(t)
+	if err := NewSigner(id).Sign(&soap.Envelope{}); err == nil {
+		t.Fatal("signed an empty envelope")
+	}
+}
+
+func TestSignedFaultVerifies(t *testing.T) {
+	ca, id := pki(t)
+	env := &soap.Envelope{Fault: soap.Faultf(soap.FaultServer, "backend down")}
+	if err := NewSigner(id).Sign(env); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := soap.Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.IsFault() {
+		t.Fatal("fault lost in transit")
+	}
+	if _, err := NewVerifier(ca.Pool()).Verify(parsed); err != nil {
+		t.Fatalf("signed fault failed verification: %v", err)
+	}
+}
+
+func TestHeaderMutationDoesNotBreakBodySignature(t *testing.T) {
+	// WS-Addressing headers added by intermediaries must not invalidate
+	// the body signature: only Body and Timestamp are covered.
+	ca, _ := pki(t)
+	env := signedEnvelope(t)
+	env.AddHeader(xmlutil.NewText("urn:extra", "Via", "gateway-1"))
+	parsed, err := soap.Parse(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewVerifier(ca.Pool()).Verify(parsed); err != nil {
+		t.Fatalf("added header broke verification: %v", err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package wst implements WS-Transfer, the REST-style half of the
+// paper's alternative stack: "only four operations (in the REST or
+// CRUD pattern: Create, Retrieve, Update, Delete)" (§2.2).
+//
+// Faithful to the paper's implementation experience (§3.2):
+//
+//   - Resources are XML documents in an XML database (Xindice there,
+//     xmldb here); "the Create() operation names the resource by
+//     assigning a new resource id (by default, GUID)", embedded in the
+//     returned EPR as a reference property.
+//   - The service may modify the representation the client presented;
+//     when it does, Create returns the new representation.
+//   - Bodies are raw xsd:any XML: there is no input/output schema, so
+//     "every client must know the 'type' of objects that the service
+//     understands" — the Go API deals in xmlutil elements, never typed
+//     structs, and schema knowledge is hard-coded in clients exactly as
+//     the paper describes.
+//   - Out-of-band resources are supported: "our service-side
+//     implementation had to be a little more sophisticated to deal with
+//     legitimate operations on resources (e.g., Get()) for which a
+//     corresponding Create() had not been previously issued".
+//   - A service may host multiple resource types and interpret the
+//     same verb differently by EPR content ("WS-Transfer is silent on
+//     this issue, potentially allowing multiple types of resources to
+//     be associated with a single service", §2.3) — the Hooks seam is
+//     where Grid-in-a-Box's mode-prefixed EPRs plug in.
+//
+// Note what is deliberately absent: lifetime management ("there is no
+// lifetime management functionality since it is not defined in the
+// spec", §3.2). Reservation cleanup in the WS-Transfer Grid-in-a-Box
+// must therefore be done manually, which Figure 6's "Unreserve
+// Resource" row measures.
+package wst
+
+import (
+	"errors"
+	"fmt"
+
+	"altstacks/internal/container"
+	"altstacks/internal/soap"
+	"altstacks/internal/uuid"
+	"altstacks/internal/wsa"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+// NS is the WS-Transfer September 2004 namespace.
+const NS = "http://schemas.xmlsoap.org/ws/2004/09/transfer"
+
+// Action URIs for the four operations.
+const (
+	ActionCreate = NS + "/Create"
+	ActionGet    = NS + "/Get"
+	ActionPut    = NS + "/Put"
+	ActionDelete = NS + "/Delete"
+)
+
+// Hooks customize how a service maps the four verbs onto its resource
+// semantics. Every hook is optional; nil hooks give plain document
+// CRUD (the counter service uses exactly that: "Create() stores this
+// XML document without modification into Xindice", §4.1.2).
+type Hooks struct {
+	// OnCreate inspects/modifies the presented representation and
+	// chooses the resource id. Return id "" to keep the default GUID.
+	// Returning a non-nil out element marks the representation as
+	// modified, so Create's response carries it back to the client.
+	OnCreate func(ctx *container.Ctx, rep *xmlutil.Element) (id string, out *xmlutil.Element, err error)
+	// OnGet produces the representation returned to the client. stored
+	// is nil for out-of-band ids the database has never seen.
+	OnGet func(ctx *container.Ctx, id string, stored *xmlutil.Element) (*xmlutil.Element, error)
+	// OnPut merges the replacement representation with the stored
+	// document and returns what to store. stored is nil for out-of-band
+	// ids.
+	OnPut func(ctx *container.Ctx, id string, stored, rep *xmlutil.Element) (*xmlutil.Element, error)
+	// OnDelete runs before the document is removed — the seam where a
+	// service decides whether deleting the representation also
+	// terminates an active entity such as a running process (the
+	// resource-vs-representation ambiguity of §3.2).
+	OnDelete func(ctx *container.Ctx, id string, stored *xmlutil.Element) error
+}
+
+// Service is one WS-Transfer resource service/factory over a database
+// collection.
+type Service struct {
+	DB         *xmldb.DB
+	Collection string
+	// RefSpace/RefLocal name the EPR reference property carrying the
+	// resource id.
+	RefSpace, RefLocal string
+	// Endpoint supplies the service address for minted EPRs.
+	Endpoint func() string
+	// Hooks customize verb semantics.
+	Hooks Hooks
+	// AllowOutOfBand permits Get/Put/Delete on ids with no stored
+	// document (handled entirely by hooks). Without hooks such
+	// operations fault.
+	AllowOutOfBand bool
+}
+
+// ContainerService exposes the four operations at the given path.
+func (s *Service) ContainerService(path string) *container.Service {
+	return &container.Service{
+		Path: path,
+		Actions: map[string]container.ActionFunc{
+			ActionCreate: s.create,
+			ActionGet:    s.get,
+			ActionPut:    s.put,
+			ActionDelete: s.delete,
+		},
+	}
+}
+
+// EPRFor mints the EPR for a resource id.
+func (s *Service) EPRFor(id string) wsa.EPR {
+	return wsa.NewEPR(s.Endpoint()).WithProperty(s.RefSpace, s.RefLocal, id)
+}
+
+func (s *Service) resourceID(env *soap.Envelope) (string, error) {
+	id, ok := wsa.ResourceID(env, s.RefSpace, s.RefLocal)
+	if !ok || id == "" {
+		return "", soap.Faultf(soap.FaultClient,
+			"request does not identify a resource (missing %s reference property)", s.RefLocal)
+	}
+	return id, nil
+}
+
+func (s *Service) create(ctx *container.Ctx) (*xmlutil.Element, error) {
+	rep := ctx.Envelope.Body
+	if rep == nil {
+		return nil, soap.Faultf(soap.FaultClient, "Create carries no representation")
+	}
+	id := uuid.NewString()
+	var modified *xmlutil.Element
+	if s.Hooks.OnCreate != nil {
+		hid, out, err := s.Hooks.OnCreate(ctx, rep)
+		if err != nil {
+			return nil, err
+		}
+		if hid != "" {
+			id = hid
+		}
+		modified = out
+	}
+	store := rep
+	if modified != nil {
+		store = modified
+	}
+	if err := s.DB.Create(s.Collection, id, store); err != nil {
+		if errors.Is(err, xmldb.ErrExists) {
+			return nil, soap.Faultf(soap.FaultClient, "resource %q already exists", id)
+		}
+		return nil, err
+	}
+	// Spec response: the new resource's EPR; plus the representation
+	// when the service changed it ("together with the EPR of the new
+	// resource, Create() returns a new resource representation to the
+	// client if the resource representation is modified", §3.2).
+	resp := xmlutil.New(NS, "ResourceCreated").Add(
+		s.EPRFor(id).Element(wsa.NS, "EndpointReference"))
+	if modified != nil {
+		resp.Add(xmlutil.New(NS, "Representation").Add(modified.Clone()))
+	}
+	return resp, nil
+}
+
+func (s *Service) get(ctx *container.Ctx) (*xmlutil.Element, error) {
+	id, err := s.resourceID(ctx.Envelope)
+	if err != nil {
+		return nil, err
+	}
+	stored, err := s.DB.Get(s.Collection, id)
+	if err != nil && !errors.Is(err, xmldb.ErrNotFound) {
+		return nil, err
+	}
+	if stored == nil && !s.AllowOutOfBand {
+		return nil, soap.Faultf(soap.FaultClient, "no resource %q", id)
+	}
+	if s.Hooks.OnGet != nil {
+		return s.Hooks.OnGet(ctx, id, stored)
+	}
+	if stored == nil {
+		return nil, soap.Faultf(soap.FaultClient, "no resource %q", id)
+	}
+	return stored, nil
+}
+
+func (s *Service) put(ctx *container.Ctx) (*xmlutil.Element, error) {
+	id, err := s.resourceID(ctx.Envelope)
+	if err != nil {
+		return nil, err
+	}
+	rep := ctx.Envelope.Body
+	if rep == nil {
+		return nil, soap.Faultf(soap.FaultClient, "Put carries no representation")
+	}
+	// The read-before-write the paper measured: "setting the counter's
+	// value causes the old representation of the counter's resource to
+	// be read from the database and updated with the new value before
+	// being stored" (§4.1.3). There is no resource cache on this stack.
+	stored, err := s.DB.Get(s.Collection, id)
+	if err != nil && !errors.Is(err, xmldb.ErrNotFound) {
+		return nil, err
+	}
+	if stored == nil && !s.AllowOutOfBand {
+		return nil, soap.Faultf(soap.FaultClient, "no resource %q", id)
+	}
+	out := rep
+	if s.Hooks.OnPut != nil {
+		out, err = s.Hooks.OnPut(ctx, id, stored, rep)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := s.DB.Put(s.Collection, id, out); err != nil {
+		return nil, err
+	}
+	return xmlutil.New(NS, "PutResponse"), nil
+}
+
+func (s *Service) delete(ctx *container.Ctx) (*xmlutil.Element, error) {
+	id, err := s.resourceID(ctx.Envelope)
+	if err != nil {
+		return nil, err
+	}
+	stored, err := s.DB.Get(s.Collection, id)
+	if err != nil && !errors.Is(err, xmldb.ErrNotFound) {
+		return nil, err
+	}
+	if stored == nil && !s.AllowOutOfBand {
+		return nil, soap.Faultf(soap.FaultClient, "no resource %q", id)
+	}
+	if s.Hooks.OnDelete != nil {
+		if err := s.Hooks.OnDelete(ctx, id, stored); err != nil {
+			return nil, err
+		}
+	}
+	if stored != nil {
+		if err := s.DB.Delete(s.Collection, id); err != nil && !errors.Is(err, xmldb.ErrNotFound) {
+			return nil, err
+		}
+	}
+	return xmlutil.New(NS, "DeleteResponse"), nil
+}
+
+// Client issues the four WS-Transfer operations. Its arguments and
+// return values are raw XML elements: "since WS-Transfer deals in
+// terms of raw XML, the arguments and return values for the
+// WS-Transfer proxy methods are arrays of XML elements" (§4.1.3).
+type Client struct {
+	C *container.Client
+}
+
+// Create presents a representation to the factory; it returns the new
+// resource's EPR and, when the service modified the representation,
+// the modified version (nil otherwise).
+func (c *Client) Create(factory wsa.EPR, rep *xmlutil.Element) (wsa.EPR, *xmlutil.Element, error) {
+	resp, err := c.C.Call(factory, ActionCreate, rep)
+	if err != nil {
+		return wsa.EPR{}, nil, err
+	}
+	eprEl := resp.Child(wsa.NS, "EndpointReference")
+	if eprEl == nil {
+		return wsa.EPR{}, nil, fmt.Errorf("wst: CreateResponse carries no EndpointReference")
+	}
+	epr, err := wsa.ParseEPR(eprEl)
+	if err != nil {
+		return wsa.EPR{}, nil, err
+	}
+	var modified *xmlutil.Element
+	if m := resp.Child(NS, "Representation"); m != nil && len(m.Children) > 0 {
+		modified = m.Children[0].Clone()
+	}
+	return epr, modified, nil
+}
+
+// Get fetches a one-time snapshot of the resource representation.
+func (c *Client) Get(resource wsa.EPR) (*xmlutil.Element, error) {
+	return c.C.Call(resource, ActionGet, xmlutil.New(NS, "Get"))
+}
+
+// Put replaces the representation.
+func (c *Client) Put(resource wsa.EPR, rep *xmlutil.Element) error {
+	_, err := c.C.Call(resource, ActionPut, rep)
+	return err
+}
+
+// Delete removes the resource.
+func (c *Client) Delete(resource wsa.EPR) error {
+	_, err := c.C.Call(resource, ActionDelete, xmlutil.New(NS, "Delete"))
+	return err
+}

@@ -1,0 +1,289 @@
+package wst
+
+import (
+	"strings"
+	"testing"
+
+	"altstacks/internal/container"
+	"altstacks/internal/soap"
+	"altstacks/internal/wsa"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+const nsC = "urn:counter"
+
+func startService(t *testing.T, hooks Hooks, oob bool) (*Service, *Client, wsa.EPR) {
+	t.Helper()
+	c := container.New(container.SecurityNone)
+	svc := &Service{
+		DB:             xmldb.NewMemory(xmldb.CostModel{}),
+		Collection:     "counters",
+		RefSpace:       nsC,
+		RefLocal:       "ResourceID",
+		Endpoint:       func() string { return c.BaseURL() + "/counter" },
+		Hooks:          hooks,
+		AllowOutOfBand: oob,
+	}
+	c.Register(svc.ContainerService("/counter"))
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return svc, &Client{C: container.NewClient(container.ClientConfig{})}, c.EPR("/counter")
+}
+
+func counterRep(v string) *xmlutil.Element {
+	return xmlutil.New(nsC, "Counter").Add(xmlutil.NewText(nsC, "Value", v))
+}
+
+func TestCRUDLifecycle(t *testing.T) {
+	_, cl, factory := startService(t, Hooks{}, false)
+	epr, modified, err := cl.Create(factory, counterRep("0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modified != nil {
+		t.Fatalf("unmodified create returned representation %s", modified)
+	}
+	id, ok := epr.Property(nsC, "ResourceID")
+	if !ok || id == "" {
+		t.Fatalf("EPR carries no GUID reference property: %+v", epr)
+	}
+	// Get returns the document with the same schema given to Create
+	// (paper §4.1.2: "the client expects the schema of the return value
+	// from Get() to be the same as the document given to Create()").
+	got, err := cl.Get(epr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name.Local != "Counter" || got.ChildText(nsC, "Value") != "0" {
+		t.Fatalf("get = %s", got)
+	}
+	if err := cl.Put(epr, counterRep("41")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = cl.Get(epr)
+	if got.ChildText(nsC, "Value") != "41" {
+		t.Fatalf("after put: %s", got)
+	}
+	if err := cl.Delete(epr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(epr); err == nil {
+		t.Fatal("get after delete succeeded")
+	}
+	if err := cl.Delete(epr); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestPutPaysReadBeforeWrite(t *testing.T) {
+	// The paper's §4.1.3 finding: the WS-Transfer Set pays a database
+	// read before its write (no resource cache on this stack).
+	svc, cl, factory := startService(t, Hooks{}, false)
+	epr, _, err := cl.Create(factory, counterRep("0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := svc.DB.Stats()
+	if err := cl.Put(epr, counterRep("1")); err != nil {
+		t.Fatal(err)
+	}
+	after := svc.DB.Stats()
+	if after.Reads != before.Reads+1 {
+		t.Fatalf("Put performed %d reads, want exactly 1", after.Reads-before.Reads)
+	}
+	if after.Updates != before.Updates+1 {
+		t.Fatalf("Put performed %d writes, want 1", after.Updates-before.Updates)
+	}
+}
+
+func TestCreateWithModifyingHook(t *testing.T) {
+	hooks := Hooks{
+		OnCreate: func(ctx *container.Ctx, rep *xmlutil.Element) (string, *xmlutil.Element, error) {
+			out := rep.Clone()
+			out.Add(xmlutil.NewText(nsC, "Normalized", "true"))
+			return "chosen-id", out, nil
+		},
+	}
+	_, cl, factory := startService(t, hooks, false)
+	epr, modified, err := cl.Create(factory, counterRep("5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := epr.Property(nsC, "ResourceID"); id != "chosen-id" {
+		t.Fatalf("id = %q", id)
+	}
+	if modified == nil || modified.ChildText(nsC, "Normalized") != "true" {
+		t.Fatalf("modified representation not returned: %v", modified)
+	}
+	got, _ := cl.Get(epr)
+	if got.ChildText(nsC, "Normalized") != "true" {
+		t.Fatal("stored document is not the modified one")
+	}
+}
+
+func TestDuplicateCreateFaults(t *testing.T) {
+	hooks := Hooks{
+		OnCreate: func(ctx *container.Ctx, rep *xmlutil.Element) (string, *xmlutil.Element, error) {
+			return "same-id", nil, nil
+		},
+	}
+	_, cl, factory := startService(t, hooks, false)
+	if _, _, err := cl.Create(factory, counterRep("1")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := cl.Create(factory, counterRep("2"))
+	if err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOutOfBandGet(t *testing.T) {
+	// Paper §3.2: a Get may be legitimate although the entry in the
+	// database was not added by calling Create().
+	hooks := Hooks{
+		OnGet: func(ctx *container.Ctx, id string, stored *xmlutil.Element) (*xmlutil.Element, error) {
+			if stored != nil {
+				return stored, nil
+			}
+			// Synthesize the representation for an out-of-band entity.
+			return xmlutil.NewText(nsC, "Synthesized", id), nil
+		},
+	}
+	svc, cl, _ := startService(t, hooks, true)
+	epr := svc.EPRFor("made-elsewhere")
+	got, err := cl.Get(epr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name.Local != "Synthesized" || got.TrimText() != "made-elsewhere" {
+		t.Fatalf("got = %s", got)
+	}
+}
+
+func TestOutOfBandRejectedWithoutFlag(t *testing.T) {
+	svc, cl, _ := startService(t, Hooks{}, false)
+	epr := svc.EPRFor("never-created")
+	if _, err := cl.Get(epr); err == nil {
+		t.Fatal("get on unknown id succeeded")
+	}
+	if err := cl.Put(epr, counterRep("1")); err == nil {
+		t.Fatal("put on unknown id succeeded")
+	}
+}
+
+func TestOutOfBandPutCreates(t *testing.T) {
+	svc, cl, _ := startService(t, Hooks{}, true)
+	epr := svc.EPRFor("oob-id")
+	if err := cl.Put(epr, counterRep("7")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Get(epr)
+	if err != nil || got.ChildText(nsC, "Value") != "7" {
+		t.Fatalf("get after oob put: %v %v", got, err)
+	}
+}
+
+func TestDeleteHookDistinguishesResourceFromRepresentation(t *testing.T) {
+	// §3.2's Delete() ambiguity: the service decides whether removing
+	// the representation terminates the active entity.
+	terminated := ""
+	hooks := Hooks{
+		OnDelete: func(ctx *container.Ctx, id string, stored *xmlutil.Element) error {
+			if stored != nil && stored.ChildText(nsC, "Value") == "running" {
+				terminated = id
+			}
+			return nil
+		},
+	}
+	_, cl, factory := startService(t, hooks, false)
+	epr, _, err := cl.Create(factory, counterRep("running"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Delete(epr); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := epr.Property(nsC, "ResourceID")
+	if terminated != id {
+		t.Fatal("delete hook did not observe the stored representation")
+	}
+}
+
+func TestDeleteHookVeto(t *testing.T) {
+	hooks := Hooks{
+		OnDelete: func(ctx *container.Ctx, id string, stored *xmlutil.Element) error {
+			return soap.Faultf(soap.FaultClient, "resource is busy")
+		},
+	}
+	_, cl, factory := startService(t, hooks, false)
+	epr, _, err := cl.Create(factory, counterRep("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Delete(epr); err == nil {
+		t.Fatal("vetoed delete succeeded")
+	}
+	if _, err := cl.Get(epr); err != nil {
+		t.Fatal("vetoed delete removed the resource anyway")
+	}
+}
+
+func TestModeSwitchingByEPRContent(t *testing.T) {
+	// The unified Resource Allocation service pattern (§4.2.2): "the
+	// WS-Transfer Get() operation does different things" depending on
+	// the EPR's initial character.
+	hooks := Hooks{
+		// Stored documents get non-colliding ids so the "1" mode prefix
+		// stays unambiguous (the services using this pattern control
+		// their id alphabets the same way).
+		OnCreate: func(ctx *container.Ctx, rep *xmlutil.Element) (string, *xmlutil.Element, error) {
+			return "site-x", nil, nil
+		},
+		OnGet: func(ctx *container.Ctx, id string, stored *xmlutil.Element) (*xmlutil.Element, error) {
+			if strings.HasPrefix(id, "1") {
+				return xmlutil.NewText(nsC, "AvailableResources", "node-a node-b"), nil
+			}
+			if stored == nil {
+				return nil, soap.Faultf(soap.FaultClient, "no resource %q", id)
+			}
+			return stored, nil
+		},
+	}
+	svc, cl, factory := startService(t, hooks, true)
+	// Query mode: id starting with "1".
+	got, err := cl.Get(svc.EPRFor("1query"))
+	if err != nil || got.Name.Local != "AvailableResources" {
+		t.Fatalf("query mode: %v %v", got, err)
+	}
+	// Document mode: a real stored resource.
+	epr, _, err := cl.Create(factory, counterRep("9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = cl.Get(epr)
+	if err != nil || got.ChildText(nsC, "Value") != "9" {
+		t.Fatalf("document mode: %v %v", got, err)
+	}
+}
+
+func TestMissingReferencePropertyFaults(t *testing.T) {
+	_, cl, factory := startService(t, Hooks{}, false)
+	// factory EPR has no resource id — Get must fault, Create must work.
+	if _, err := cl.Get(factory); err == nil {
+		t.Fatal("get without reference property succeeded")
+	}
+	if _, _, err := cl.Create(factory, counterRep("0")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateWithoutBodyFaults(t *testing.T) {
+	_, cl, factory := startService(t, Hooks{}, false)
+	_, err := cl.C.Call(factory, ActionCreate, nil)
+	if err == nil {
+		t.Fatal("empty create succeeded")
+	}
+}

@@ -1,0 +1,342 @@
+// Package xmldb is an XML document database modeled on Apache Xindice,
+// the backend both implementations in the paper share (§3.3 — "both
+// approaches rely on efficient storage of XML-based resources, so it
+// is not surprising that the same XML database (Xindice) was used").
+//
+// Documents live in named collections, are keyed by string ids, and
+// can be queried with XPath-lite expressions across a collection —
+// the "rich queries over the state of multiple resources" WSRF.NET
+// exposes through QueryResourceProperties (paper §3.1).
+//
+// A CostModel injects deterministic per-operation latency so the
+// benchmark harness reproduces the paper's dominant performance
+// effect: "Both counter implementations' performance is dominated by
+// Xindice. Creating resources (and adding them to the database) in
+// particular is always slower than reading or updating them" (§4.1.3).
+// The in-process store itself is microseconds; the model restores the
+// 2005-era database floor. Unit tests use the zero CostModel.
+package xmldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"altstacks/internal/xmlutil"
+	"altstacks/internal/xpathlite"
+)
+
+// Sentinel errors, testable with errors.Is.
+var (
+	ErrNotFound = errors.New("xmldb: document not found")
+	ErrExists   = errors.New("xmldb: document already exists")
+)
+
+// CostModel gives each database operation a fixed latency floor.
+type CostModel struct {
+	Create time.Duration
+	Read   time.Duration
+	Update time.Duration
+	Delete time.Duration
+	Query  time.Duration
+}
+
+// XindiceProfile approximates the relative operation costs the paper
+// measured against Xindice on the 2005 testbed, scaled down ~4x so the
+// benchmark suite completes quickly: creation (index + allocation) is
+// by far the slowest, updates cost more than reads. Only the ratios
+// matter for reproducing the figure shapes.
+var XindiceProfile = CostModel{
+	Create: 6 * time.Millisecond,
+	Read:   1200 * time.Microsecond,
+	Update: 2 * time.Millisecond,
+	Delete: 1800 * time.Microsecond,
+	Query:  2500 * time.Microsecond,
+}
+
+// Stats counts operations, for tests that assert access patterns (for
+// example, that the WSRF resource cache eliminates the read before a
+// write that the WS-Transfer path performs).
+type Stats struct {
+	Creates int64
+	Reads   int64
+	Updates int64
+	Deletes int64
+	Queries int64
+}
+
+// Backend is the raw byte store under the database. The paper's
+// WSRF.NET supported multiple backends (SQL Server, Xindice,
+// in-memory, custom); this interface is the equivalent seam.
+type Backend interface {
+	// Put stores doc under (collection, id), overwriting silently.
+	Put(collection, id string, doc []byte) error
+	// Get retrieves the document; ok is false when absent.
+	Get(collection, id string) (doc []byte, ok bool, err error)
+	// Delete removes the document; deleting an absent id is an error.
+	Delete(collection, id string) error
+	// IDs lists document ids in the collection, sorted.
+	IDs(collection string) ([]string, error)
+}
+
+// DB is the document database: a backend plus cost model and stats.
+type DB struct {
+	backend Backend
+	cost    CostModel
+
+	creates, reads, updates, deletes, queries atomic.Int64
+
+	statsMu sync.Mutex
+	perCol  map[string]*Stats
+}
+
+// New returns a database over the given backend.
+func New(backend Backend, cost CostModel) *DB {
+	return &DB{backend: backend, cost: cost}
+}
+
+// NewMemory returns a database over a fresh in-memory backend.
+func NewMemory(cost CostModel) *DB { return New(NewMemoryBackend(), cost) }
+
+// Stats returns a snapshot of the operation counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Creates: db.creates.Load(),
+		Reads:   db.reads.Load(),
+		Updates: db.updates.Load(),
+		Deletes: db.deletes.Load(),
+		Queries: db.queries.Load(),
+	}
+}
+
+// CollectionStats returns the operation counters for one collection —
+// how tests isolate, say, counter-document reads from subscription
+// scans sharing the same database.
+func (db *DB) CollectionStats(collection string) Stats {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	if s, ok := db.perCol[collection]; ok {
+		return *s
+	}
+	return Stats{}
+}
+
+func (db *DB) count(collection string, field func(*Stats)) {
+	db.statsMu.Lock()
+	if db.perCol == nil {
+		db.perCol = map[string]*Stats{}
+	}
+	s, ok := db.perCol[collection]
+	if !ok {
+		s = &Stats{}
+		db.perCol[collection] = s
+	}
+	field(s)
+	db.statsMu.Unlock()
+}
+
+func pause(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Create stores a new document; it fails with ErrExists when the id is
+// already present.
+func (db *DB) Create(collection, id string, doc *xmlutil.Element) error {
+	pause(db.cost.Create)
+	db.creates.Add(1)
+	db.count(collection, func(s *Stats) { s.Creates++ })
+	if _, ok, err := db.backend.Get(collection, id); err != nil {
+		return err
+	} else if ok {
+		return fmt.Errorf("%w: %s/%s", ErrExists, collection, id)
+	}
+	return db.backend.Put(collection, id, doc.Marshal())
+}
+
+// Get loads and parses a document; ErrNotFound when absent.
+func (db *DB) Get(collection, id string) (*xmlutil.Element, error) {
+	pause(db.cost.Read)
+	db.reads.Add(1)
+	db.count(collection, func(s *Stats) { s.Reads++ })
+	raw, ok, err := db.backend.Get(collection, id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, collection, id)
+	}
+	return xmlutil.Parse(raw)
+}
+
+// Update replaces an existing document; ErrNotFound when absent.
+func (db *DB) Update(collection, id string, doc *xmlutil.Element) error {
+	pause(db.cost.Update)
+	db.updates.Add(1)
+	db.count(collection, func(s *Stats) { s.Updates++ })
+	if _, ok, err := db.backend.Get(collection, id); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, collection, id)
+	}
+	return db.backend.Put(collection, id, doc.Marshal())
+}
+
+// Put stores the document whether or not it exists — the upsert that
+// out-of-band resource creation needs (paper §3.2: a WS-Transfer Get
+// may be legitimate "although the corresponding entry in Xindice is
+// not added by calling Create()").
+func (db *DB) Put(collection, id string, doc *xmlutil.Element) error {
+	pause(db.cost.Update)
+	db.updates.Add(1)
+	db.count(collection, func(s *Stats) { s.Updates++ })
+	return db.backend.Put(collection, id, doc.Marshal())
+}
+
+// Delete removes a document; ErrNotFound when absent.
+func (db *DB) Delete(collection, id string) error {
+	pause(db.cost.Delete)
+	db.deletes.Add(1)
+	db.count(collection, func(s *Stats) { s.Deletes++ })
+	if _, ok, err := db.backend.Get(collection, id); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, collection, id)
+	}
+	return db.backend.Delete(collection, id)
+}
+
+// Exists reports document presence without parsing (counts as a read).
+func (db *DB) Exists(collection, id string) (bool, error) {
+	pause(db.cost.Read)
+	db.reads.Add(1)
+	db.count(collection, func(s *Stats) { s.Reads++ })
+	_, ok, err := db.backend.Get(collection, id)
+	return ok, err
+}
+
+// IDs lists document ids in a collection, sorted.
+func (db *DB) IDs(collection string) ([]string, error) {
+	pause(db.cost.Read)
+	db.reads.Add(1)
+	db.count(collection, func(s *Stats) { s.Reads++ })
+	return db.backend.IDs(collection)
+}
+
+// QueryHit is one document matched by a collection query.
+type QueryHit struct {
+	ID      string
+	Matches []*xmlutil.Element
+}
+
+// Query evaluates an XPath-lite expression against every document in
+// the collection, returning hits (documents with ≥1 selected element)
+// in id order.
+func (db *DB) Query(collection, expr string) ([]QueryHit, error) {
+	pause(db.cost.Query)
+	db.queries.Add(1)
+	db.count(collection, func(s *Stats) { s.Queries++ })
+	path, err := xpathlite.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := db.backend.IDs(collection)
+	if err != nil {
+		return nil, err
+	}
+	var hits []QueryHit
+	for _, id := range ids {
+		raw, ok, err := db.backend.Get(collection, id)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue // deleted concurrently
+		}
+		doc, err := xmlutil.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("xmldb: corrupt document %s/%s: %w", collection, id, err)
+		}
+		var matched []*xmlutil.Element
+		for _, n := range path.Select(doc) {
+			if n.Kind == xpathlite.KindElement {
+				matched = append(matched, n.El)
+			}
+		}
+		if len(matched) > 0 {
+			hits = append(hits, QueryHit{ID: id, Matches: matched})
+		}
+	}
+	return hits, nil
+}
+
+// MemoryBackend is a concurrency-safe in-memory byte store.
+type MemoryBackend struct {
+	mu   sync.RWMutex
+	data map[string]map[string][]byte
+}
+
+// NewMemoryBackend returns an empty in-memory backend.
+func NewMemoryBackend() *MemoryBackend {
+	return &MemoryBackend{data: map[string]map[string][]byte{}}
+}
+
+// Put implements Backend.
+func (m *MemoryBackend) Put(collection, id string, doc []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	col := m.data[collection]
+	if col == nil {
+		col = map[string][]byte{}
+		m.data[collection] = col
+	}
+	cp := make([]byte, len(doc))
+	copy(cp, doc)
+	col[id] = cp
+	return nil
+}
+
+// Get implements Backend.
+func (m *MemoryBackend) Get(collection, id string) ([]byte, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	doc, ok := m.data[collection][id]
+	if !ok {
+		return nil, false, nil
+	}
+	cp := make([]byte, len(doc))
+	copy(cp, doc)
+	return cp, true, nil
+}
+
+// Delete implements Backend.
+func (m *MemoryBackend) Delete(collection, id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	col, ok := m.data[collection]
+	if !ok {
+		return fmt.Errorf("xmldb: delete from missing collection %s", collection)
+	}
+	if _, ok := col[id]; !ok {
+		return fmt.Errorf("xmldb: delete missing %s/%s", collection, id)
+	}
+	delete(col, id)
+	return nil
+}
+
+// IDs implements Backend.
+func (m *MemoryBackend) IDs(collection string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	col := m.data[collection]
+	ids := make([]string, 0, len(col))
+	for id := range col {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}

@@ -1,0 +1,383 @@
+// Package xmlutil provides a small namespace-aware XML element tree.
+//
+// Every layer of both software stacks traffics in XML documents whose
+// schemas are not known statically: WS-Transfer bodies are literally
+// xsd:any (paper §2.3 — "only an <XSD:any> tag exists"), WSRF resource
+// property documents are service-defined, and the XML database stores
+// arbitrary documents. encoding/xml's struct mapping cannot represent
+// that, so this package supplies the dynamic document model: parsing,
+// deterministic namespace-aware serialization, canonicalization (needed
+// by the WS-Security signature layer), and structural helpers.
+package xmlutil
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Element is one XML element: a resolved name, namespace-resolved
+// attributes, character data, and child elements. Mixed content is
+// simplified: all character data of an element is concatenated into
+// Text. This is sufficient for SOAP messaging, where elements carry
+// either text or children, not interleaved prose.
+type Element struct {
+	Name     xml.Name // Space is the namespace URI ("" = no namespace)
+	Attrs    []xml.Attr
+	Text     string
+	Children []*Element
+}
+
+// New returns an element with the given namespace URI and local name.
+func New(space, local string) *Element {
+	return &Element{Name: xml.Name{Space: space, Local: local}}
+}
+
+// NewText returns an element containing only character data.
+func NewText(space, local, text string) *Element {
+	e := New(space, local)
+	e.Text = text
+	return e
+}
+
+// Add appends children and returns the receiver for chaining.
+func (e *Element) Add(children ...*Element) *Element {
+	e.Children = append(e.Children, children...)
+	return e
+}
+
+// SetText replaces the element's character data and returns the receiver.
+func (e *Element) SetText(text string) *Element {
+	e.Text = text
+	return e
+}
+
+// SetAttr sets (or replaces) an attribute and returns the receiver.
+func (e *Element) SetAttr(space, local, value string) *Element {
+	for i := range e.Attrs {
+		if e.Attrs[i].Name.Space == space && e.Attrs[i].Name.Local == local {
+			e.Attrs[i].Value = value
+			return e
+		}
+	}
+	e.Attrs = append(e.Attrs, xml.Attr{Name: xml.Name{Space: space, Local: local}, Value: value})
+	return e
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (e *Element) Attr(space, local string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Name.Space == space && a.Name.Local == local {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrValue returns the attribute value or "" when absent.
+func (e *Element) AttrValue(space, local string) string {
+	v, _ := e.Attr(space, local)
+	return v
+}
+
+// Child returns the first child with the given namespace URI and local
+// name, or nil. An empty space matches children in no namespace; use
+// ChildLocal to match any namespace.
+func (e *Element) Child(space, local string) *Element {
+	for _, c := range e.Children {
+		if c.Name.Space == space && c.Name.Local == local {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildLocal returns the first child with the given local name in any
+// namespace, or nil.
+func (e *Element) ChildLocal(local string) *Element {
+	for _, c := range e.Children {
+		if c.Name.Local == local {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildrenNamed returns all children with the given name.
+func (e *Element) ChildrenNamed(space, local string) []*Element {
+	var out []*Element
+	for _, c := range e.Children {
+		if c.Name.Space == space && c.Name.Local == local {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Path descends through a chain of (space, local) pairs expressed as
+// xml.Names, returning the first matching element at each step, or nil
+// if any step is missing.
+func (e *Element) Path(names ...xml.Name) *Element {
+	cur := e
+	for _, n := range names {
+		cur = cur.Child(n.Space, n.Local)
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// TrimText returns the element's character data with surrounding
+// whitespace removed.
+func (e *Element) TrimText() string { return strings.TrimSpace(e.Text) }
+
+// ChildText returns the trimmed text of the first matching child, or "".
+func (e *Element) ChildText(space, local string) string {
+	if c := e.Child(space, local); c != nil {
+		return c.TrimText()
+	}
+	return ""
+}
+
+// Clone returns a deep copy of the element.
+func (e *Element) Clone() *Element {
+	cp := &Element{Name: e.Name, Text: e.Text}
+	if len(e.Attrs) > 0 {
+		cp.Attrs = make([]xml.Attr, len(e.Attrs))
+		copy(cp.Attrs, e.Attrs)
+	}
+	for _, c := range e.Children {
+		cp.Children = append(cp.Children, c.Clone())
+	}
+	return cp
+}
+
+// Walk visits e and its descendants in document order. If fn returns
+// false the walk does not descend into that element's children.
+func (e *Element) Walk(fn func(*Element) bool) {
+	if !fn(e) {
+		return
+	}
+	for _, c := range e.Children {
+		c.Walk(fn)
+	}
+}
+
+// Equal reports deep structural equality: names, trimmed text,
+// attribute sets (order-insensitive), and child sequences must match.
+func Equal(a, b *Element) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || a.TrimText() != b.TrimText() || len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for _, attr := range a.Attrs {
+		v, ok := b.Attr(attr.Name.Space, attr.Name.Local)
+		if !ok || v != attr.Value {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the element as XML, for debugging and logging.
+func (e *Element) String() string { return string(e.Marshal()) }
+
+// wellKnownPrefixes gives stable, human-readable prefixes to the
+// namespaces that appear constantly in message traces.
+var wellKnownPrefixes = map[string]string{
+	"http://schemas.xmlsoap.org/soap/envelope/":                                          "soap",
+	"http://schemas.xmlsoap.org/ws/2004/08/addressing":                                   "wsa",
+	"http://docs.oasis-open.org/wsrf/rp-2":                                               "wsrp",
+	"http://docs.oasis-open.org/wsrf/rl-2":                                               "wsrl",
+	"http://docs.oasis-open.org/wsrf/sg-2":                                               "wssg",
+	"http://docs.oasis-open.org/wsrf/bf-2":                                               "wsbf",
+	"http://docs.oasis-open.org/wsn/b-2":                                                 "wsnt",
+	"http://docs.oasis-open.org/wsn/br-2":                                                "wsntbr",
+	"http://docs.oasis-open.org/wsn/t-1":                                                 "wstop",
+	"http://schemas.xmlsoap.org/ws/2004/09/transfer":                                     "wxf",
+	"http://schemas.xmlsoap.org/ws/2004/08/eventing":                                     "wse",
+	"http://docs.oasis-open.org/wss/2004/01/oasis-200401-wss-wssecurity-secext-1.0.xsd":  "wsse",
+	"http://docs.oasis-open.org/wss/2004/01/oasis-200401-wss-wssecurity-utility-1.0.xsd": "wsu",
+	"http://www.w3.org/2000/09/xmldsig#":                                                 "ds",
+}
+
+// nsContext tracks URI→prefix assignments during serialization.
+type nsContext struct {
+	prefix map[string]string
+	order  []string
+	next   int
+}
+
+func (c *nsContext) get(uri string) string {
+	if uri == "" {
+		return ""
+	}
+	if p, ok := c.prefix[uri]; ok {
+		return p
+	}
+	p, ok := wellKnownPrefixes[uri]
+	if !ok || c.taken(p) {
+		c.next++
+		p = fmt.Sprintf("ns%d", c.next)
+		for c.taken(p) {
+			c.next++
+			p = fmt.Sprintf("ns%d", c.next)
+		}
+	}
+	c.prefix[uri] = p
+	c.order = append(c.order, uri)
+	return p
+}
+
+func (c *nsContext) taken(p string) bool {
+	for _, u := range c.order {
+		if c.prefix[u] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Marshal serializes the element tree to XML. All namespaces used in
+// the subtree are declared on the root element; prefixes are assigned
+// deterministically in preorder first-use order, so output for a given
+// tree is stable across runs.
+func (e *Element) Marshal() []byte {
+	ctx := &nsContext{prefix: map[string]string{}}
+	// Pre-assign prefixes in preorder so declarations are stable.
+	e.Walk(func(el *Element) bool {
+		ctx.get(el.Name.Space)
+		for _, a := range el.Attrs {
+			if a.Name.Space != "" {
+				ctx.get(a.Name.Space)
+			}
+		}
+		return true
+	})
+	var b strings.Builder
+	e.write(&b, ctx, true, false)
+	return []byte(b.String())
+}
+
+// Canonical serializes the element tree in a normalized form suitable
+// for digesting and signing: same prefix discipline as Marshal, but
+// attributes sorted by (namespace, local name) and all text trimmed.
+// This plays the role of XML canonicalization (C14N) in the WS-Security
+// layer; as long as signer and verifier share the algorithm, signatures
+// are stable, which is the property the paper's X.509 experiments need.
+func (e *Element) Canonical() []byte {
+	// Prefixes are assigned in sorted-URI order so the canonical form is
+	// invariant under attribute reordering (prefix assignment must not
+	// depend on document order, which reordering perturbs).
+	uris := map[string]bool{}
+	e.Walk(func(el *Element) bool {
+		uris[el.Name.Space] = true
+		for _, a := range el.Attrs {
+			if a.Name.Space != "" {
+				uris[a.Name.Space] = true
+			}
+		}
+		return true
+	})
+	sorted := make([]string, 0, len(uris))
+	for u := range uris {
+		if u != "" {
+			sorted = append(sorted, u)
+		}
+	}
+	sort.Strings(sorted)
+	ctx := &nsContext{prefix: map[string]string{}}
+	for _, u := range sorted {
+		ctx.get(u)
+	}
+	var b strings.Builder
+	e.write(&b, ctx, true, true)
+	return []byte(b.String())
+}
+
+func (e *Element) write(b *strings.Builder, ctx *nsContext, root, canonical bool) {
+	name := e.qname(ctx)
+	b.WriteByte('<')
+	b.WriteString(name)
+	if root {
+		for _, uri := range ctx.order {
+			b.WriteString(` xmlns:`)
+			b.WriteString(ctx.prefix[uri])
+			b.WriteString(`="`)
+			escapeInto(b, uri)
+			b.WriteString(`"`)
+		}
+	}
+	attrs := e.Attrs
+	if canonical && len(attrs) > 1 {
+		attrs = append([]xml.Attr(nil), attrs...)
+		sort.Slice(attrs, func(i, j int) bool {
+			if attrs[i].Name.Space != attrs[j].Name.Space {
+				return attrs[i].Name.Space < attrs[j].Name.Space
+			}
+			return attrs[i].Name.Local < attrs[j].Name.Local
+		})
+	}
+	for _, a := range attrs {
+		b.WriteByte(' ')
+		if a.Name.Space != "" {
+			b.WriteString(ctx.prefix[a.Name.Space])
+			b.WriteByte(':')
+		}
+		b.WriteString(a.Name.Local)
+		b.WriteString(`="`)
+		escapeInto(b, a.Value)
+		b.WriteString(`"`)
+	}
+	text := e.Text
+	if canonical {
+		text = strings.TrimSpace(text)
+	}
+	if text == "" && len(e.Children) == 0 {
+		b.WriteString("/>")
+		return
+	}
+	b.WriteByte('>')
+	escapeInto(b, text)
+	for _, c := range e.Children {
+		c.write(b, ctx, false, canonical)
+	}
+	b.WriteString("</")
+	b.WriteString(name)
+	b.WriteByte('>')
+}
+
+func (e *Element) qname(ctx *nsContext) string {
+	if e.Name.Space == "" {
+		return e.Name.Local
+	}
+	return ctx.prefix[e.Name.Space] + ":" + e.Name.Local
+}
+
+func escapeInto(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\'':
+			b.WriteString("&apos;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}

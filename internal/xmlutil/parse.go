@@ -1,0 +1,92 @@
+package xmlutil
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse decodes one XML document into an element tree. Namespace
+// prefixes are resolved (Element names and attribute names carry
+// namespace URIs); xmlns declaration attributes are dropped since they
+// are reconstructed on serialization. Whitespace-only character data in
+// elements that have child elements is discarded.
+func Parse(data []byte) (*Element, error) {
+	return ParseReader(bytes.NewReader(data))
+}
+
+// ParseReader decodes one XML document from r. See Parse.
+func ParseReader(r io.Reader) (*Element, error) {
+	dec := xml.NewDecoder(r)
+	var root *Element
+	var stack []*Element
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlutil: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := &Element{Name: t.Name}
+			for _, a := range t.Attr {
+				if isNamespaceDecl(a.Name) {
+					continue
+				}
+				el.Attrs = append(el.Attrs, a)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmlutil: parse: multiple root elements")
+				}
+				root = el
+			} else {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, el)
+			}
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmlutil: parse: unbalanced end element %s", t.Name.Local)
+			}
+			done := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			// Drop insignificant whitespace in container elements.
+			if len(done.Children) > 0 && strings.TrimSpace(done.Text) == "" {
+				done.Text = ""
+			}
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].Text += string(t)
+			}
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Ignored: comments and processing instructions carry no
+			// message semantics in any of the WS-* specifications.
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmlutil: parse: unexpected EOF inside %s", stack[len(stack)-1].Name.Local)
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmlutil: parse: empty document")
+	}
+	return root, nil
+}
+
+// MustParse is Parse for static document literals in tests and
+// examples; it panics on malformed input.
+func MustParse(data string) *Element {
+	e, err := Parse([]byte(data))
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func isNamespaceDecl(n xml.Name) bool {
+	return n.Space == "xmlns" || (n.Space == "" && n.Local == "xmlns")
+}

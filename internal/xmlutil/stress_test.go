@@ -1,0 +1,109 @@
+package xmlutil
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// buildWide returns a document with n sibling children — the shape of
+// a large directory listing or a query result.
+func buildWide(n int) *Element {
+	root := New("urn:big", "Listing")
+	for i := 0; i < n; i++ {
+		root.Add(NewText("urn:big", "File", fmt.Sprintf("output-%06d.dat", i)).
+			SetAttr("", "size", fmt.Sprint(i*1024)))
+	}
+	return root
+}
+
+// buildDeep returns a document nested n levels — the pathological
+// shape for recursive processing.
+func buildDeep(n int) *Element {
+	root := New("urn:deep", "L0")
+	cur := root
+	for i := 1; i < n; i++ {
+		next := New("urn:deep", fmt.Sprintf("L%d", i))
+		cur.Add(next)
+		cur = next
+	}
+	cur.Text = "bottom"
+	return root
+}
+
+func TestWideDocumentRoundTrip(t *testing.T) {
+	orig := buildWide(2000)
+	parsed, err := Parse(orig.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Children) != 2000 {
+		t.Fatalf("children = %d", len(parsed.Children))
+	}
+	if !Equal(orig, parsed) {
+		t.Fatal("wide document round trip mismatch")
+	}
+}
+
+func TestDeepDocumentRoundTrip(t *testing.T) {
+	orig := buildDeep(500)
+	parsed, err := Parse(orig.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(orig, parsed) {
+		t.Fatal("deep document round trip mismatch")
+	}
+	// Walk reaches the bottom.
+	depth := 0
+	parsed.Walk(func(e *Element) bool { depth++; return true })
+	if depth != 500 {
+		t.Fatalf("walk visited %d, want 500", depth)
+	}
+}
+
+func TestManyNamespacesStablePrefixes(t *testing.T) {
+	root := New("urn:ns0", "root")
+	for i := 1; i <= 60; i++ {
+		root.Add(NewText(fmt.Sprintf("urn:ns%d", i), "item", fmt.Sprint(i)))
+	}
+	out := string(root.Marshal())
+	// All declarations on the root, none duplicated.
+	if strings.Count(out, "xmlns:") != 61 {
+		t.Fatalf("xmlns declarations = %d, want 61", strings.Count(out, "xmlns:"))
+	}
+	parsed, err := Parse([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(root, parsed) {
+		t.Fatal("many-namespace round trip mismatch")
+	}
+}
+
+func BenchmarkParseWide(b *testing.B) {
+	data := buildWide(500).Marshal()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalWide(b *testing.B) {
+	doc := buildWide(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = doc.Marshal()
+	}
+}
+
+func BenchmarkCloneWide(b *testing.B) {
+	doc := buildWide(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = doc.Clone()
+	}
+}

@@ -1,0 +1,488 @@
+// Package xpathlite evaluates a practical subset of XPath 1.0 over
+// xmlutil element trees.
+//
+// Four independent consumers in the reproduction need path queries:
+// WSRF's QueryResourceProperties operation (paper §3.1 — "rich queries
+// over the state of multiple resources using query languages such as
+// XPath"), WS-Notification message-content filters, WS-Eventing filter
+// predicates (paper §2.2 — "examine message content (e.g., with an
+// XPath query)"), and the Xindice-style XML database. The supported
+// subset covers what those layers express:
+//
+//	/a/b          absolute child paths
+//	a/b           relative child paths
+//	//a, a//b     descendant-or-self axis
+//	*             name wildcard
+//	.             self
+//	@attr         attribute selection (terminal step)
+//	text()        text selection (terminal step)
+//	[3]           positional predicate (1-based)
+//	[b]           child-existence predicate
+//	[b='v']       child-text comparison (=, !=, <, <=, >, >=; numeric
+//	              comparison when both sides parse as numbers)
+//	[@a='v']      attribute comparison / existence
+//	[.='v']       self-text comparison
+//
+// Namespace prefixes are not resolved; steps match on local names, the
+// convention used by all in-repo documents and filters.
+package xpathlite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"altstacks/internal/xmlutil"
+)
+
+// Kind discriminates the node kinds a query can select.
+type Kind int
+
+const (
+	// KindElement nodes carry El.
+	KindElement Kind = iota
+	// KindAttr nodes carry the attribute's string Value (El is the owner).
+	KindAttr
+	// KindText nodes carry an element's trimmed text as Value.
+	KindText
+)
+
+// Node is one result of evaluating a path expression.
+type Node struct {
+	Kind  Kind
+	El    *xmlutil.Element
+	Value string // attribute value or text content for KindAttr/KindText
+}
+
+// Path is a compiled expression, reusable across documents.
+type Path struct {
+	expr     string
+	absolute bool
+	steps    []step
+}
+
+type step struct {
+	descendant bool // step was preceded by //
+	name       string
+	self       bool // "."
+	attr       string
+	textFn     bool
+	preds      []predicate
+}
+
+type predicate struct {
+	pos   int // positional predicate when > 0
+	left  leftOperand
+	op    string // "", "=", "!=", "<", "<=", ">", ">="
+	value string
+}
+
+type leftOperand struct {
+	self  bool   // "."
+	attr  string // @attr
+	child string // child element local name
+}
+
+// Compile parses an expression into a reusable Path.
+func Compile(expr string) (*Path, error) {
+	p := &Path{expr: expr}
+	s := strings.TrimSpace(expr)
+	if s == "" {
+		return nil, fmt.Errorf("xpathlite: empty expression")
+	}
+	if strings.HasPrefix(s, "//") {
+		p.absolute = true
+		s = s[2:]
+		if s == "" {
+			return nil, fmt.Errorf("xpathlite: %q: dangling //", expr)
+		}
+		first, rest, err := parseStep(s, true)
+		if err != nil {
+			return nil, fmt.Errorf("xpathlite: %q: %w", expr, err)
+		}
+		p.steps = append(p.steps, first)
+		s = rest
+	} else if strings.HasPrefix(s, "/") {
+		p.absolute = true
+		s = s[1:]
+		if s == "" {
+			return nil, fmt.Errorf("xpathlite: %q: dangling /", expr)
+		}
+	}
+	for s != "" {
+		descendant := false
+		if strings.HasPrefix(s, "//") {
+			descendant = true
+			s = s[2:]
+		} else if strings.HasPrefix(s, "/") {
+			s = s[1:]
+		}
+		if s == "" {
+			return nil, fmt.Errorf("xpathlite: %q: trailing slash", expr)
+		}
+		st, rest, err := parseStep(s, descendant)
+		if err != nil {
+			return nil, fmt.Errorf("xpathlite: %q: %w", expr, err)
+		}
+		p.steps = append(p.steps, st)
+		s = rest
+	}
+	if len(p.steps) == 0 {
+		return nil, fmt.Errorf("xpathlite: %q: no steps", expr)
+	}
+	// @attr and text() are terminal.
+	for i, st := range p.steps {
+		if (st.attr != "" || st.textFn) && i != len(p.steps)-1 {
+			return nil, fmt.Errorf("xpathlite: %q: %s must be the final step", expr, renderStep(st))
+		}
+	}
+	return p, nil
+}
+
+func renderStep(st step) string {
+	if st.attr != "" {
+		return "@" + st.attr
+	}
+	if st.textFn {
+		return "text()"
+	}
+	return st.name
+}
+
+// parseStep consumes one step (name + predicates) from the front of s.
+func parseStep(s string, descendant bool) (step, string, error) {
+	st := step{descendant: descendant}
+	i := 0
+	for i < len(s) && s[i] != '/' && s[i] != '[' {
+		i++
+	}
+	head := s[:i]
+	rest := s[i:]
+	switch {
+	case head == "":
+		return st, "", fmt.Errorf("empty step")
+	case head == ".":
+		st.self = true
+	case head == "text()":
+		st.textFn = true
+	case strings.HasPrefix(head, "@"):
+		if len(head) == 1 {
+			return st, "", fmt.Errorf("empty attribute name")
+		}
+		st.attr = stripPrefix(head[1:])
+	default:
+		st.name = stripPrefix(head)
+	}
+	for strings.HasPrefix(rest, "[") {
+		end := strings.IndexByte(rest, ']')
+		if end < 0 {
+			return st, "", fmt.Errorf("unterminated predicate in %q", rest)
+		}
+		pred, err := parsePredicate(rest[1:end])
+		if err != nil {
+			return st, "", err
+		}
+		st.preds = append(st.preds, pred)
+		rest = rest[end+1:]
+	}
+	return st, rest, nil
+}
+
+// stripPrefix removes any namespace prefix; matching is by local name.
+func stripPrefix(name string) string {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func parsePredicate(body string) (predicate, error) {
+	body = strings.TrimSpace(body)
+	if body == "" {
+		return predicate{}, fmt.Errorf("empty predicate")
+	}
+	if n, err := strconv.Atoi(body); err == nil {
+		if n < 1 {
+			return predicate{}, fmt.Errorf("position %d out of range", n)
+		}
+		return predicate{pos: n}, nil
+	}
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if i := strings.Index(body, op); i >= 0 {
+			left, err := parseLeft(strings.TrimSpace(body[:i]))
+			if err != nil {
+				return predicate{}, err
+			}
+			val, err := parseLiteral(strings.TrimSpace(body[i+len(op):]))
+			if err != nil {
+				return predicate{}, err
+			}
+			return predicate{left: left, op: op, value: val}, nil
+		}
+	}
+	left, err := parseLeft(body)
+	if err != nil {
+		return predicate{}, err
+	}
+	return predicate{left: left}, nil
+}
+
+func parseLeft(s string) (leftOperand, error) {
+	switch {
+	case s == "":
+		return leftOperand{}, fmt.Errorf("empty predicate operand")
+	case s == ".":
+		return leftOperand{self: true}, nil
+	case strings.HasPrefix(s, "@"):
+		if len(s) == 1 {
+			return leftOperand{}, fmt.Errorf("empty attribute in predicate")
+		}
+		return leftOperand{attr: stripPrefix(s[1:])}, nil
+	default:
+		if strings.ContainsAny(s, "/[]'\"") {
+			return leftOperand{}, fmt.Errorf("unsupported predicate operand %q", s)
+		}
+		return leftOperand{child: stripPrefix(s)}, nil
+	}
+}
+
+func parseLiteral(s string) (string, error) {
+	if len(s) >= 2 && (s[0] == '\'' && s[len(s)-1] == '\'' || s[0] == '"' && s[len(s)-1] == '"') {
+		return s[1 : len(s)-1], nil
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return s, nil
+	}
+	return "", fmt.Errorf("bad literal %q (quote strings)", s)
+}
+
+// Select evaluates the compiled path against ctx. For absolute paths
+// the first step matches ctx itself (ctx is treated as the document
+// root); relative paths start at ctx's children.
+func (p *Path) Select(ctx *xmlutil.Element) []Node {
+	if ctx == nil {
+		return nil
+	}
+	// current context set: element nodes only until a terminal step.
+	cur := []*xmlutil.Element{ctx}
+	for i, st := range p.steps {
+		terminal := i == len(p.steps)-1
+		if st.attr != "" || st.textFn {
+			// Terminal value steps.
+			var out []Node
+			for _, el := range cur {
+				targets := []*xmlutil.Element{el}
+				if st.descendant {
+					targets = descendants(el)
+				}
+				for _, t := range targets {
+					if st.attr != "" {
+						// @attr selects from the context element's children? No:
+						// a step "@attr" applies to the current context nodes.
+						if v, ok := anyAttr(t, st.attr); ok {
+							out = append(out, Node{Kind: KindAttr, El: t, Value: v})
+						}
+					} else {
+						out = append(out, Node{Kind: KindText, El: t, Value: t.TrimText()})
+					}
+				}
+			}
+			return out
+		}
+		var next []*xmlutil.Element
+		rootStep := p.absolute && i == 0
+		for _, el := range cur {
+			var cands []*xmlutil.Element
+			switch {
+			case st.self:
+				cands = []*xmlutil.Element{el}
+			case rootStep && !st.descendant:
+				// Absolute first step names the document element itself.
+				cands = []*xmlutil.Element{el}
+			case st.descendant:
+				cands = descendants(el)
+			default:
+				cands = el.Children
+			}
+			var matched []*xmlutil.Element
+			for _, c := range cands {
+				if st.self || st.name == "*" || c.Name.Local == st.name {
+					matched = append(matched, c)
+				}
+			}
+			matched = applyPredicates(matched, st.preds)
+			next = append(next, matched...)
+		}
+		cur = dedup(next)
+		if len(cur) == 0 {
+			return nil
+		}
+		if terminal {
+			out := make([]Node, len(cur))
+			for j, el := range cur {
+				out[j] = Node{Kind: KindElement, El: el}
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// descendants returns el's descendants (excluding el) in document order.
+func descendants(el *xmlutil.Element) []*xmlutil.Element {
+	var out []*xmlutil.Element
+	for _, c := range el.Children {
+		out = append(out, c)
+		out = append(out, descendants(c)...)
+	}
+	return out
+}
+
+func anyAttr(el *xmlutil.Element, local string) (string, bool) {
+	for _, a := range el.Attrs {
+		if a.Name.Local == local {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+func applyPredicates(nodes []*xmlutil.Element, preds []predicate) []*xmlutil.Element {
+	for _, p := range preds {
+		if p.pos > 0 {
+			if p.pos > len(nodes) {
+				return nil
+			}
+			nodes = []*xmlutil.Element{nodes[p.pos-1]}
+			continue
+		}
+		var keep []*xmlutil.Element
+		for _, n := range nodes {
+			if evalPredicate(n, p) {
+				keep = append(keep, n)
+			}
+		}
+		nodes = keep
+	}
+	return nodes
+}
+
+func evalPredicate(el *xmlutil.Element, p predicate) bool {
+	var vals []string
+	switch {
+	case p.left.self:
+		vals = []string{el.TrimText()}
+	case p.left.attr != "":
+		v, ok := anyAttr(el, p.left.attr)
+		if !ok {
+			return false
+		}
+		vals = []string{v}
+	default:
+		for _, c := range el.Children {
+			if c.Name.Local == p.left.child {
+				vals = append(vals, c.TrimText())
+			}
+		}
+		if len(vals) == 0 {
+			return false
+		}
+	}
+	if p.op == "" {
+		return true // pure existence test
+	}
+	for _, v := range vals {
+		if compare(v, p.op, p.value) {
+			return true
+		}
+	}
+	return false
+}
+
+// compare applies the operator; numeric comparison when both sides
+// parse as floats, otherwise lexical string comparison.
+func compare(a, op, b string) bool {
+	fa, ea := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	fb, eb := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if ea == nil && eb == nil {
+		switch op {
+		case "=":
+			return fa == fb
+		case "!=":
+			return fa != fb
+		case "<":
+			return fa < fb
+		case "<=":
+			return fa <= fb
+		case ">":
+			return fa > fb
+		case ">=":
+			return fa >= fb
+		}
+		return false
+	}
+	switch op {
+	case "=":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+func dedup(els []*xmlutil.Element) []*xmlutil.Element {
+	seen := make(map[*xmlutil.Element]bool, len(els))
+	out := els[:0]
+	for _, e := range els {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String returns the original expression text.
+func (p *Path) String() string { return p.expr }
+
+// Select compiles and evaluates expr against ctx.
+func Select(ctx *xmlutil.Element, expr string) ([]Node, error) {
+	p, err := Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	return p.Select(ctx), nil
+}
+
+// SelectElements returns only element-kind results of evaluating expr.
+func SelectElements(ctx *xmlutil.Element, expr string) ([]*xmlutil.Element, error) {
+	nodes, err := Select(ctx, expr)
+	if err != nil {
+		return nil, err
+	}
+	var out []*xmlutil.Element
+	for _, n := range nodes {
+		if n.Kind == KindElement {
+			out = append(out, n.El)
+		}
+	}
+	return out, nil
+}
+
+// Matches reports whether expr selects at least one node in ctx — the
+// boolean interpretation used by notification filter predicates.
+func Matches(ctx *xmlutil.Element, expr string) (bool, error) {
+	nodes, err := Select(ctx, expr)
+	if err != nil {
+		return false, err
+	}
+	return len(nodes) > 0, nil
+}

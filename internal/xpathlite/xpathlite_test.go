@@ -1,0 +1,287 @@
+package xpathlite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"altstacks/internal/xmlutil"
+)
+
+const jobsDoc = `
+<jobs count="3">
+  <job id="1" state="running">
+    <name>render</name><priority>5</priority>
+    <host>node-a</host>
+  </job>
+  <job id="2" state="done">
+    <name>compress</name><priority>2</priority>
+    <host>node-b</host>
+    <exit><code>0</code></exit>
+  </job>
+  <job id="3" state="done">
+    <name>upload</name><priority>9</priority>
+    <host>node-a</host>
+    <exit><code>1</code></exit>
+  </job>
+</jobs>`
+
+func doc(t *testing.T) *xmlutil.Element {
+	t.Helper()
+	e, err := xmlutil.Parse([]byte(jobsDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func elems(t *testing.T, ctx *xmlutil.Element, expr string) []*xmlutil.Element {
+	t.Helper()
+	out, err := SelectElements(ctx, expr)
+	if err != nil {
+		t.Fatalf("SelectElements(%q): %v", expr, err)
+	}
+	return out
+}
+
+func TestAbsoluteChildPath(t *testing.T) {
+	got := elems(t, doc(t), "/jobs/job")
+	if len(got) != 3 {
+		t.Fatalf("/jobs/job: %d results, want 3", len(got))
+	}
+}
+
+func TestRelativePath(t *testing.T) {
+	got := elems(t, doc(t), "job/name")
+	if len(got) != 3 || got[0].TrimText() != "render" {
+		t.Fatalf("job/name: %v", got)
+	}
+}
+
+func TestDescendantAxis(t *testing.T) {
+	got := elems(t, doc(t), "//code")
+	if len(got) != 2 {
+		t.Fatalf("//code: %d results, want 2", len(got))
+	}
+	got = elems(t, doc(t), "/jobs//exit/code")
+	if len(got) != 2 {
+		t.Fatalf("/jobs//exit/code: %d results, want 2", len(got))
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	got := elems(t, doc(t), "/jobs/job[1]/*")
+	if len(got) != 3 { // name, priority, host
+		t.Fatalf("wildcard children: %d, want 3", len(got))
+	}
+}
+
+func TestPositionalPredicate(t *testing.T) {
+	got := elems(t, doc(t), "/jobs/job[2]")
+	if len(got) != 1 || got[0].AttrValue("", "id") != "2" {
+		t.Fatalf("job[2]: %v", got)
+	}
+	if got := elems(t, doc(t), "/jobs/job[9]"); got != nil {
+		t.Fatalf("job[9] should be empty, got %v", got)
+	}
+}
+
+func TestAttributePredicate(t *testing.T) {
+	got := elems(t, doc(t), `/jobs/job[@state='done']`)
+	if len(got) != 2 {
+		t.Fatalf("state=done: %d, want 2", len(got))
+	}
+	got = elems(t, doc(t), `/jobs/job[@state!='done']`)
+	if len(got) != 1 || got[0].AttrValue("", "id") != "1" {
+		t.Fatalf("state!=done: %v", got)
+	}
+	got = elems(t, doc(t), `/jobs/job[@missing]`)
+	if len(got) != 0 {
+		t.Fatalf("missing attr existence: %v", got)
+	}
+}
+
+func TestChildTextPredicate(t *testing.T) {
+	got := elems(t, doc(t), `/jobs/job[name='compress']`)
+	if len(got) != 1 || got[0].AttrValue("", "id") != "2" {
+		t.Fatalf("name=compress: %v", got)
+	}
+}
+
+func TestNumericComparison(t *testing.T) {
+	got := elems(t, doc(t), `/jobs/job[priority>4]`)
+	if len(got) != 2 {
+		t.Fatalf("priority>4: %d, want 2", len(got))
+	}
+	got = elems(t, doc(t), `/jobs/job[priority<=2]`)
+	if len(got) != 1 || got[0].AttrValue("", "id") != "2" {
+		t.Fatalf("priority<=2: %v", got)
+	}
+	// "10" > "9" numerically even though lexically smaller.
+	e := xmlutil.MustParse(`<r><v>10</v></r>`)
+	ok, err := Matches(e, `/r[v>9]`)
+	if err != nil || !ok {
+		t.Fatalf("numeric compare 10>9: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestExistencePredicate(t *testing.T) {
+	got := elems(t, doc(t), `/jobs/job[exit]`)
+	if len(got) != 2 {
+		t.Fatalf("job[exit]: %d, want 2", len(got))
+	}
+}
+
+func TestSelfPredicate(t *testing.T) {
+	got := elems(t, doc(t), `/jobs/job/host[.='node-a']`)
+	if len(got) != 2 {
+		t.Fatalf("host[.=node-a]: %d, want 2", len(got))
+	}
+}
+
+func TestAttrSelection(t *testing.T) {
+	nodes, err := Select(doc(t), "/jobs/job/@id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 || nodes[0].Kind != KindAttr || nodes[2].Value != "3" {
+		t.Fatalf("@id selection: %v", nodes)
+	}
+}
+
+func TestTextSelection(t *testing.T) {
+	nodes, err := Select(doc(t), "/jobs/job[1]/name/text()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].Kind != KindText || nodes[0].Value != "render" {
+		t.Fatalf("text(): %v", nodes)
+	}
+}
+
+func TestChainedPredicates(t *testing.T) {
+	got := elems(t, doc(t), `/jobs/job[@state='done'][2]`)
+	if len(got) != 1 || got[0].AttrValue("", "id") != "3" {
+		t.Fatalf("chained: %v", got)
+	}
+}
+
+func TestPrefixStripped(t *testing.T) {
+	e := xmlutil.MustParse(`<a xmlns:x="urn:x"><x:b>1</x:b></a>`)
+	got, err := SelectElements(e, "/a/x:b")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("prefixed step: %v %v", got, err)
+	}
+}
+
+func TestMatchesBooleanFilter(t *testing.T) {
+	msg := xmlutil.MustParse(`<CounterValueChanged><value>11</value></CounterValueChanged>`)
+	for expr, want := range map[string]bool{
+		"/CounterValueChanged":           true,
+		"/CounterValueChanged[value>10]": true,
+		"/CounterValueChanged[value>50]": false,
+		"/SomethingElse":                 false,
+	} {
+		ok, err := Matches(msg, expr)
+		if err != nil {
+			t.Fatalf("Matches(%q): %v", expr, err)
+		}
+		if ok != want {
+			t.Errorf("Matches(%q) = %v, want %v", expr, ok, want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"", "/", "//", "a/", "a//", "a[", "a[]", "a[@]", "a[0]", "a[-1]",
+		"a[b=unquoted]", "a/text()/b", "a/@x/b", "a[b/c='v']",
+	}
+	for _, expr := range bad {
+		if _, err := Compile(expr); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestCompileAcceptsSupportedForms(t *testing.T) {
+	good := []string{
+		"/a", "a", "//a", "/a/b/c", "a//b", "/a/*/c", ".",
+		"/a/@id", "/a/text()", "a[1]", "a[@x='1']", `a[b="v"]`,
+		"a[b!=3]", "a[b<=3][2]", "a[.='x']", "wsrp:a/wsrp:b",
+	}
+	for _, expr := range good {
+		if _, err := Compile(expr); err != nil {
+			t.Errorf("Compile(%q): %v", expr, err)
+		}
+	}
+}
+
+func TestSelectNilContext(t *testing.T) {
+	p, err := Compile("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Select(nil); got != nil {
+		t.Fatalf("Select(nil) = %v, want nil", got)
+	}
+}
+
+// Property: //name finds exactly the elements a manual tree walk finds.
+func TestPropertyDescendantMatchesWalk(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	var build func(r *rand.Rand, depth int) *xmlutil.Element
+	build = func(r *rand.Rand, depth int) *xmlutil.Element {
+		e := xmlutil.New("", names[r.Intn(len(names))])
+		if depth > 0 {
+			for i := 0; i < r.Intn(4); i++ {
+				e.Add(build(r, depth-1))
+			}
+		}
+		return e
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		root := xmlutil.New("", "root")
+		for i := 0; i < 1+r.Intn(4); i++ {
+			root.Add(build(r, 3))
+		}
+		target := names[r.Intn(len(names))]
+		want := 0
+		root.Walk(func(el *xmlutil.Element) bool {
+			if el != root && el.Name.Local == target {
+				want++
+			}
+			return true
+		})
+		got, err := SelectElements(root, "//"+target)
+		if err != nil {
+			return false
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: /root/x then /x relative from root agree.
+func TestPropertyAbsoluteRelativeAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		root := xmlutil.New("", "root")
+		n := r.Intn(6)
+		for i := 0; i < n; i++ {
+			root.Add(xmlutil.New("", "x"))
+		}
+		abs, err1 := SelectElements(root, "/root/x")
+		rel, err2 := SelectElements(root, "x")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return len(abs) == n && len(rel) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
