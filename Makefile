@@ -1,0 +1,33 @@
+# Developer and CI entry points. `make ci` is what the workflow runs:
+# build, vet, the full test suite under the race detector, and a
+# one-iteration smoke pass over every benchmark so the figure and
+# ablation harnesses can't rot silently.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: exercises the harnesses end to end
+# without asking CI for stable timings.
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+# Full benchmark pass with allocation counts, for real measurements.
+bench:
+	$(GO) test -run NONE -bench . -benchmem ./...
+
+ci: build vet race bench-smoke

@@ -1,0 +1,152 @@
+// Notification fan-out benchmarks: the parallel delivery pool against
+// the sequential dispatch it replaced, on both stacks, across
+// subscriber-set sizes.
+//
+// Deliveries run over the netlat LAN profile (the paper's switched
+// 100 Mb interconnect, 400 µs RTT), because that is where fan-out
+// width matters: each delivery is an independent network exchange
+// whose latency — not CPU — dominates the batch, so overlapping the
+// exchanges collapses the batch time even on a single-core host. The
+// "seq" variants force Workers=1 (the pre-overhaul behavior); "par"
+// uses a 16-wide pool.
+//
+// Run: go test -bench=NotifyFanout -benchmem
+package altstacks_test
+
+import (
+	"fmt"
+	"testing"
+
+	"altstacks/internal/container"
+	"altstacks/internal/netlat"
+	"altstacks/internal/wse"
+	"altstacks/internal/wsn"
+	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
+)
+
+// parWidth is the pool width for the "par" variants: wide enough to
+// overlap most of a 100-subscriber batch's network latency without
+// pretending the host has unbounded sockets.
+const parWidth = 16
+
+var fanoutCounts = []int{1, 10, 100}
+
+func fanoutPayload() *xmlutil.Element {
+	return xmlutil.New("urn:e", "Ev").Add(xmlutil.NewText("urn:e", "V", "1"))
+}
+
+// BenchmarkNotifyFanout measures one Notify/Publish over N subscribers
+// on each stack, sequential vs pooled delivery.
+func BenchmarkNotifyFanout(b *testing.B) {
+	b.Run("wsn", benchWSNFanout)
+	b.Run("wse", benchWSEFanout)
+}
+
+func benchWSNFanout(b *testing.B) {
+	for _, count := range fanoutCounts {
+		count := count
+		b.Run(fmt.Sprintf("%dsubs", count), func(b *testing.B) {
+			c := container.New(container.SecurityNone)
+			defer c.Close()
+			setupClient := container.NewClient(container.ClientConfig{})
+			deliverClient := container.NewClient(container.ClientConfig{Link: netlat.LAN})
+			p := wsn.NewProducer(xmldb.NewMemory(xmldb.CostModel{}), "subs",
+				func() string { return c.BaseURL() + "/manager" }, deliverClient)
+			svc := &container.Service{Path: "/producer", Actions: map[string]container.ActionFunc{}}
+			for a, fn := range p.ProducerPortType().Actions() {
+				svc.Actions[a] = fn
+			}
+			c.Register(svc)
+			c.Register(p.ManagerService("/manager"))
+			if _, err := c.Start(); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < count; i++ {
+				cons, err := wsn.NewConsumer(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cons.Close()
+				if _, err := wsn.Subscribe(setupClient, c.EPR("/producer"), cons.EPR(),
+					wsn.SubscribeOptions{Topic: wsn.Concrete("bench/tick")}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			msg := fanoutPayload()
+			for _, mode := range []struct {
+				name    string
+				workers int
+			}{{"seq", 1}, {"par", parWidth}} {
+				mode := mode
+				b.Run(mode.name, func(b *testing.B) {
+					p.Workers = mode.workers
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						n, err := p.Notify("bench/tick", msg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if n != count {
+							b.Fatalf("delivered %d, want %d", n, count)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+func benchWSEFanout(b *testing.B) {
+	for _, count := range fanoutCounts {
+		count := count
+		b.Run(fmt.Sprintf("%dsubs", count), func(b *testing.B) {
+			c := container.New(container.SecurityNone)
+			defer c.Close()
+			store, err := wse.NewStore("")
+			if err != nil {
+				b.Fatal(err)
+			}
+			setupClient := container.NewClient(container.ClientConfig{})
+			deliverClient := container.NewClient(container.ClientConfig{Link: netlat.LAN})
+			src := wse.NewSource(store, func() string { return c.BaseURL() + "/manager" }, deliverClient)
+			defer src.TCP.Close()
+			c.Register(src.SourceService("/source"))
+			c.Register(src.ManagerService("/manager"))
+			if _, err := c.Start(); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < count; i++ {
+				sink, err := wse.NewHTTPSink(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sink.Close()
+				if _, err := wse.Subscribe(setupClient, c.EPR("/source"), wse.SubscribeOptions{
+					NotifyTo: sink.EPR(), Filter: wse.TopicFilter("bench/*")}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			msg := fanoutPayload()
+			for _, mode := range []struct {
+				name    string
+				workers int
+			}{{"seq", 1}, {"par", parWidth}} {
+				mode := mode
+				b.Run(mode.name, func(b *testing.B) {
+					src.Workers = mode.workers
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						n, err := src.Publish("bench/tick", msg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if n != count {
+							b.Fatalf("delivered %d, want %d", n, count)
+						}
+					}
+				})
+			}
+		})
+	}
+}

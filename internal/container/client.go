@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"altstacks/internal/netlat"
 	"altstacks/internal/soap"
@@ -148,6 +149,21 @@ func (c *Client) WithoutKeepAlives() *Client {
 	}
 	cp := *c
 	cp.HTTP = &http.Client{Transport: closingTransport{base}}
+	return &cp
+}
+
+// WithTimeout returns a client whose exchanges abort after d — the
+// per-delivery cap the notification fan-out paths use so one stalled
+// consumer cannot hold a worker (and with it the batch) indefinitely.
+// A non-positive d returns the client unchanged.
+func (c *Client) WithTimeout(d time.Duration) *Client {
+	if d <= 0 {
+		return c
+	}
+	hc := *c.httpClient()
+	hc.Timeout = d
+	cp := *c
+	cp.HTTP = &hc
 	return &cp
 }
 

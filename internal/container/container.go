@@ -102,7 +102,10 @@ type Container struct {
 	// TLS carries the server credentials under SecurityTLS.
 	TLS *tls.Config
 
-	mu       sync.Mutex
+	// mu is read-locked on every request for the service lookup and
+	// write-locked only by wiring-time Register/OnClose/Close, so
+	// concurrent requests never serialize on routing.
+	mu       sync.RWMutex
 	services map[string]*Service
 	server   *http.Server
 	listener net.Listener
@@ -188,9 +191,9 @@ func (c *Container) Close() {
 }
 
 func (c *Container) serveHTTP(w http.ResponseWriter, r *http.Request) {
-	c.mu.Lock()
+	c.mu.RLock()
 	svc := c.services[r.URL.Path]
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	if svc == nil {
 		http.NotFound(w, r)
 		return

@@ -1,0 +1,55 @@
+// Package fanout is the bounded worker pool shared by the two stacks'
+// notification dispatch paths (wsn.Producer.Notify and
+// wse.Source.Publish). Both deliver one message to N matched
+// subscribers; delivery is network I/O, so overlapping the deliveries
+// — rather than paying N sequential round trips — is what makes
+// large fan-outs scale (the messaging-layer throughput the DIRAC and
+// EU DataGrid writeups identify as the lifeline of grid middleware).
+package fanout
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs fn(i) for every i in [0, n) on a pool of at most width
+// workers and returns when all calls have finished. A width of 0 (or
+// less) selects GOMAXPROCS. Work is handed out by an atomic cursor, so
+// a slow item never blocks an idle worker, and each index runs exactly
+// once. With width 1 (or n 1) the calls run sequentially on the
+// caller's goroutine — the zero-overhead degenerate case the figure
+// benchmarks keep by default.
+func Do(n, width int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	if width > n {
+		width = n
+	}
+	if width == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,50 @@
+package fanout
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoRunsEveryIndexExactlyOnce(t *testing.T) {
+	for _, width := range []int{0, 1, 3, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		Do(n, width, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("width %d: index %d ran %d times", width, i, got)
+			}
+		}
+	}
+}
+
+func TestDoZeroAndNegativeN(t *testing.T) {
+	ran := false
+	Do(0, 4, func(int) { ran = true })
+	Do(-3, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for non-positive n")
+	}
+}
+
+func TestDoOverlapsSlowItems(t *testing.T) {
+	// With 8 workers, 8 sleeps of 50 ms overlap: well under the 400 ms
+	// a sequential pass would take even on one CPU, since the sleeps
+	// yield the processor.
+	start := time.Now()
+	Do(8, 8, func(int) { time.Sleep(50 * time.Millisecond) })
+	if d := time.Since(start); d > 300*time.Millisecond {
+		t.Fatalf("8 overlapped 50ms items took %v", d)
+	}
+}
+
+func TestDoWidthOneIsSequentialInOrder(t *testing.T) {
+	var order []int
+	Do(5, 1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order = %v", order)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package wse
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"altstacks/internal/container"
+	"altstacks/internal/wsa"
+	"altstacks/internal/xmlutil"
+)
+
+// slowSink is a push-mode endpoint whose event handler stalls, for
+// exercising the per-delivery timeout.
+func slowSink(t *testing.T, delay time.Duration) wsa.EPR {
+	t.Helper()
+	c := container.New(container.SecurityNone)
+	c.Register(&container.Service{
+		Path: "/slow",
+		Actions: map[string]container.ActionFunc{
+			ActionEvent: func(*container.Ctx) (*xmlutil.Element, error) {
+				time.Sleep(delay)
+				return xmlutil.New(NS, "EventAck"), nil
+			},
+		},
+	})
+	if _, err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c.EPR("/slow")
+}
+
+// TestPublishFanOutMixedSinks drives the concurrent fan-out through a
+// subscriber set mixing healthy, unreachable, and topic-filtered
+// sinks: healthy sinks are all delivered to, the dead subscription is
+// cancelled exactly once (one SubscriptionEnd, removed from the
+// store), and the filtered subscription is untouched.
+func TestPublishFanOutMixedSinks(t *testing.T) {
+	src, client, source := startSource(t, "")
+	src.Workers = 8
+
+	good := []*HTTPSink{httpSink(t), httpSink(t)}
+	for _, s := range good {
+		if _, err := Subscribe(client, source, SubscribeOptions{
+			NotifyTo: s.EPR(), Filter: TopicFilter("job/*")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Dead sink with a live EndTo: delivery fails, the SubscriptionEnd
+	// must land on endSink exactly once.
+	endSink := httpSink(t)
+	if _, err := Subscribe(client, source, SubscribeOptions{
+		NotifyTo: wsa.NewEPR("http://127.0.0.1:1/sink"),
+		EndTo:    endSink.EPR(),
+		Filter:   TopicFilter("job/*")}); err != nil {
+		t.Fatal(err)
+	}
+	// Filtered sink: never matched, never touched.
+	filtered := httpSink(t)
+	if _, err := Subscribe(client, source, SubscribeOptions{
+		NotifyTo: filtered.EPR(), Filter: TopicFilter("audit/*")}); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := src.Publish("job/done", jobDone("0"))
+	if n != 2 {
+		t.Fatalf("delivered %d, want 2", n)
+	}
+	if err == nil {
+		t.Fatal("expected a delivery error from the unreachable sink")
+	}
+	for _, s := range good {
+		if ev := recvEvent(t, s.Ch); ev.Topic != "job/done" {
+			t.Fatalf("topic = %q", ev.Topic)
+		}
+	}
+
+	// Exactly one SubscriptionEnd, with the delivery-failure status.
+	select {
+	case status := <-endSink.Ends:
+		if status != StatusDeliveryFailure {
+			t.Fatalf("SubscriptionEnd status = %q", status)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no SubscriptionEnd arrived")
+	}
+	select {
+	case status := <-endSink.Ends:
+		t.Fatalf("second SubscriptionEnd arrived: %q", status)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	// The dead subscription is gone; the healthy and filtered ones
+	// survive, so the next Publish is clean.
+	if remaining := len(src.Store.All()); remaining != 3 {
+		t.Fatalf("store holds %d subscriptions, want 3", remaining)
+	}
+	n, err = src.Publish("job/done", jobDone("1"))
+	if n != 2 || err != nil {
+		t.Fatalf("second Publish = %d, %v; want 2, nil", n, err)
+	}
+}
+
+// TestPublishDeliveryTimeoutBoundsSlowSink checks that one stalled
+// push-mode sink costs the batch at most DeliveryTimeout and is then
+// cancelled, while healthy deliveries land.
+func TestPublishDeliveryTimeoutBoundsSlowSink(t *testing.T) {
+	src, client, source := startSource(t, "")
+	src.Workers = 4
+	src.DeliveryTimeout = 150 * time.Millisecond
+
+	slow := slowSink(t, 2*time.Second)
+	fast := []*HTTPSink{httpSink(t), httpSink(t)}
+	for _, epr := range []wsa.EPR{slow, fast[0].EPR(), fast[1].EPR()} {
+		if _, err := Subscribe(client, source, SubscribeOptions{NotifyTo: epr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	n, err := src.Publish("job/done", jobDone("0"))
+	elapsed := time.Since(start)
+	if n != 2 {
+		t.Fatalf("delivered %d, want 2", n)
+	}
+	if err == nil {
+		t.Fatal("expected timeout error from slow sink")
+	}
+	if elapsed > 1500*time.Millisecond {
+		t.Fatalf("Publish took %v; timeout did not bound the slow delivery", elapsed)
+	}
+	for _, s := range fast {
+		recvEvent(t, s.Ch)
+	}
+	// The slow subscription was cancelled on failure.
+	if remaining := len(src.Store.All()); remaining != 2 {
+		t.Fatalf("store holds %d subscriptions, want 2", remaining)
+	}
+}
+
+// TestPublishConcurrentTCPFramesDoNotInterleave hammers one TCP sink
+// from concurrent Publish calls: the per-address channel lock must
+// keep every frame intact, so all events parse and carry the right
+// payload. Run under -race this also proves the deliverer's
+// connection cache is sound.
+func TestPublishConcurrentTCPFramesDoNotInterleave(t *testing.T) {
+	src, client, source := startSource(t, "")
+	src.Workers = 8
+
+	sink, err := NewTCPSink(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sink.Close)
+	if _, err := Subscribe(client, source, SubscribeOptions{
+		NotifyTo: wsa.NewEPR(sink.Addr()), Mode: DeliveryModeTCP}); err != nil {
+		t.Fatal(err)
+	}
+
+	const publishers, each = 4, 5
+	var wg sync.WaitGroup
+	wg.Add(publishers)
+	for g := 0; g < publishers; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := src.Publish("job/done", jobDone("7")); err != nil {
+					t.Errorf("Publish: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < publishers*each; i++ {
+		ev := recvEvent(t, sink.Ch)
+		if ev.Topic != "job/done" || ev.Message.ChildText(nsE, "Code") != "7" {
+			t.Fatalf("event %d corrupted: topic=%q body=%s", i, ev.Topic, ev.Message.Marshal())
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"altstacks/internal/container"
+	"altstacks/internal/fanout"
 	"altstacks/internal/soap"
 	"altstacks/internal/uuid"
 	"altstacks/internal/wsa"
@@ -30,6 +31,13 @@ type Source struct {
 	TCP *TCPDeliverer
 	// Now is the clock, overridable in tests.
 	Now func() time.Time
+	// Workers bounds the Publish delivery worker pool; 0 selects
+	// GOMAXPROCS. Width 1 forces the pre-overhaul sequential dispatch.
+	Workers int
+	// DeliveryTimeout caps each outbound delivery (HTTP exchange or TCP
+	// frame write) so one slow sink cannot stall a fan-out batch; 0
+	// means no per-delivery cap.
+	DeliveryTimeout time.Duration
 
 	sent atomic.Int64
 }
@@ -195,10 +203,16 @@ func (s *Source) unsubscribe(ctx *container.Ctx) (*xmlutil.Element, error) {
 // matches, returning the delivery count. A subscription whose delivery
 // fails is cancelled and, when it named an EndTo, sent a
 // SubscriptionEnd with StatusDeliveryFailure.
+//
+// Expiry and filter checks run up front; the matched deliveries then
+// fan out over a bounded worker pool. Each failed subscription is
+// cancelled by the one worker that owns its delivery, so cancellation
+// (and its SubscriptionEnd) happens exactly once, and the returned
+// error is the first failure in subscription order — the same
+// semantics as the sequential dispatch this replaces.
 func (s *Source) Publish(topic string, message *xmlutil.Element) (int, error) {
 	now := s.now()
-	delivered := 0
-	var firstErr error
+	var matched []*Subscription
 	for _, sub := range s.Store.All() {
 		if sub.Expired(now) {
 			continue
@@ -207,11 +221,32 @@ func (s *Source) Publish(topic string, message *xmlutil.Element) (int, error) {
 		if err != nil || !ok {
 			continue
 		}
-		if err := s.deliver(sub, topic, message); err != nil {
+		matched = append(matched, sub)
+	}
+	if len(matched) == 0 {
+		return 0, nil
+	}
+
+	// Both channels serialize a fresh envelope per delivery from a
+	// shared body: soap.Envelope clones the body at marshal time, so
+	// one tree serves every subscriber and the old clone-per-subscriber
+	// is avoided.
+	httpClient := s.HTTP.WithTimeout(s.DeliveryTimeout)
+	errs := make([]error, len(matched))
+	fanout.Do(len(matched), s.Workers, func(i int) {
+		sub := matched[i]
+		if err := s.deliver(httpClient, sub, topic, message); err != nil {
+			errs[i] = err
+			s.cancel(sub, StatusDeliveryFailure, err.Error())
+		}
+	})
+	delivered := 0
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
-			s.cancel(sub, StatusDeliveryFailure, err.Error())
 			continue
 		}
 		delivered++
@@ -233,21 +268,21 @@ func (s *Source) filterMatches(f Filter, topic string, message *xmlutil.Element)
 	}
 }
 
-func (s *Source) deliver(sub *Subscription, topic string, message *xmlutil.Element) error {
+func (s *Source) deliver(client *container.Client, sub *Subscription, topic string, message *xmlutil.Element) error {
 	s.sent.Add(1)
-	env := soap.New(message.Clone())
-	env.AddHeader(
-		xmlutil.NewText(NS, "Topic", topic),
-		xmlutil.NewText(wsa.NS, "Action", ActionEvent),
-	)
 	switch sub.Mode {
 	case DeliveryModeTCP:
-		return s.TCP.Deliver(sub.NotifyTo.Address, env)
+		env := soap.New(message)
+		env.AddHeader(
+			xmlutil.NewText(NS, "Topic", topic),
+			xmlutil.NewText(wsa.NS, "Action", ActionEvent),
+		)
+		return s.TCP.Deliver(sub.NotifyTo.Address, env, s.DeliveryTimeout)
 	default:
 		// Push over HTTP: a normal one-way SOAP POST to the sink, with
 		// the topic riding in a header block.
-		_, err := s.HTTP.CallWithHeaders(sub.NotifyTo, ActionEvent,
-			[]*xmlutil.Element{xmlutil.NewText(NS, "Topic", topic)}, message.Clone())
+		_, err := client.CallWithHeaders(sub.NotifyTo, ActionEvent,
+			[]*xmlutil.Element{xmlutil.NewText(NS, "Topic", topic)}, message)
 		return err
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"altstacks/internal/soap"
 	"altstacks/internal/xmlutil"
@@ -125,25 +126,37 @@ func (s *TCPSink) readLoop(conn net.Conn) {
 }
 
 // TCPDeliverer is the source-side channel: it keeps one persistent
-// connection per sink address and writes framed envelopes.
+// connection per sink address and writes framed envelopes. Deliveries
+// to different addresses proceed concurrently (the Publish fan-out
+// runs them on a worker pool); deliveries to the same address are
+// serialized per connection so frames never interleave on the wire.
 type TCPDeliverer struct {
 	// WrapConn, when set, wraps each new connection (the netlat hook
 	// for distributed scenarios).
 	WrapConn func(net.Conn) net.Conn
 
 	mu    sync.Mutex
-	conns map[string]net.Conn
+	conns map[string]*tcpChannel
+}
+
+// tcpChannel is the per-address connection slot; its lock serializes
+// frame writes and redials for that sink.
+type tcpChannel struct {
+	mu   sync.Mutex
+	conn net.Conn
 }
 
 // NewTCPDeliverer returns an empty deliverer.
 func NewTCPDeliverer() *TCPDeliverer {
-	return &TCPDeliverer{conns: map[string]net.Conn{}}
+	return &TCPDeliverer{conns: map[string]*tcpChannel{}}
 }
 
 // Deliver writes one framed envelope to the sink at addr
 // ("tcp://host:port"). The connection is cached; a stale connection is
-// re-dialed once.
-func (d *TCPDeliverer) Deliver(addr string, env *soap.Envelope) error {
+// re-dialed once. A positive timeout bounds the frame write (plus any
+// wait for the per-address channel) so a sink that stops reading
+// cannot stall a delivery worker forever.
+func (d *TCPDeliverer) Deliver(addr string, env *soap.Envelope, timeout time.Duration) error {
 	data := env.Marshal()
 	if len(data) > maxFrame {
 		return fmt.Errorf("wse: event frame too large (%d bytes)", len(data))
@@ -152,57 +165,71 @@ func (d *TCPDeliverer) Deliver(addr string, env *soap.Envelope) error {
 	binary.BigEndian.PutUint32(frame, uint32(len(data)))
 	copy(frame[4:], data)
 
+	ch := d.channel(addr)
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
 	for attempt := 0; attempt < 2; attempt++ {
-		conn, err := d.conn(addr, attempt > 0)
-		if err != nil {
+		if err := d.dialLocked(ch, addr, attempt > 0); err != nil {
 			return err
 		}
-		if _, err := conn.Write(frame); err == nil {
+		if timeout > 0 {
+			ch.conn.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck
+		}
+		if _, err := ch.conn.Write(frame); err == nil {
 			return nil
 		}
-		d.drop(addr)
+		ch.conn.Close()
+		ch.conn = nil
 	}
 	return fmt.Errorf("wse: delivery to %s failed after reconnect", addr)
 }
 
-func (d *TCPDeliverer) conn(addr string, fresh bool) (net.Conn, error) {
+func (d *TCPDeliverer) channel(addr string) *tcpChannel {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if !fresh {
-		if c, ok := d.conns[addr]; ok {
-			return c, nil
-		}
+	if d.conns == nil {
+		d.conns = map[string]*tcpChannel{}
+	}
+	ch, ok := d.conns[addr]
+	if !ok {
+		ch = &tcpChannel{}
+		d.conns[addr] = ch
+	}
+	return ch
+}
+
+// dialLocked ensures ch holds a live connection, redialing when fresh
+// is set or no connection is cached. Callers hold ch.mu.
+func (d *TCPDeliverer) dialLocked(ch *tcpChannel, addr string, fresh bool) error {
+	if !fresh && ch.conn != nil {
+		return nil
 	}
 	host := strings.TrimPrefix(addr, "tcp://")
 	c, err := net.Dial("tcp", host)
 	if err != nil {
-		return nil, fmt.Errorf("wse: dial sink %s: %w", addr, err)
+		return fmt.Errorf("wse: dial sink %s: %w", addr, err)
 	}
 	if d.WrapConn != nil {
 		c = d.WrapConn(c)
 	}
-	if old, ok := d.conns[addr]; ok {
-		old.Close()
+	if ch.conn != nil {
+		ch.conn.Close()
 	}
-	d.conns[addr] = c
-	return c, nil
-}
-
-func (d *TCPDeliverer) drop(addr string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if c, ok := d.conns[addr]; ok {
-		c.Close()
-		delete(d.conns, addr)
-	}
+	ch.conn = c
+	return nil
 }
 
 // Close tears down all cached connections.
 func (d *TCPDeliverer) Close() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for addr, c := range d.conns {
-		c.Close()
+	for addr, ch := range d.conns {
+		ch.mu.Lock()
+		if ch.conn != nil {
+			ch.conn.Close()
+			ch.conn = nil
+		}
+		ch.mu.Unlock()
 		delete(d.conns, addr)
 	}
 }

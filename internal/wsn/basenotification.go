@@ -3,11 +3,13 @@ package wsn
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"altstacks/internal/container"
+	"altstacks/internal/fanout"
 	"altstacks/internal/soap"
 	"altstacks/internal/wsa"
 	"altstacks/internal/wsrf"
@@ -101,19 +103,31 @@ type Producer struct {
 	// (subscribe, pause, resume, destroy). The broker uses it to drive
 	// demand-based publishing.
 	OnChange func()
+	// Workers bounds the Notify delivery worker pool; 0 selects
+	// GOMAXPROCS. Width 1 forces the pre-overhaul sequential dispatch.
+	Workers int
+	// DeliveryTimeout caps each outbound delivery so one slow consumer
+	// cannot stall a fan-out batch; 0 means no per-delivery cap.
+	DeliveryTimeout time.Duration
 
 	sent atomic.Int64
 	// lastMessage caches the most recent message per topic for the
 	// spec's GetCurrentMessage operation.
 	lastMu      sync.Mutex
 	lastMessage map[string]*xmlutil.Element
-	// knownEmpty caches "no live subscriptions" so hot paths that
-	// publish on every state change (the counter's Set) skip the
-	// backend scan entirely — part of the "more extensive optimization
-	// effort" the paper credits WSRF.NET with (§4.1.3). Any
-	// subscription change clears it.
-	knownEmpty atomic.Bool
-	mu         sync.Mutex
+	// The subscription cache: Notify runs on every counter Set, but the
+	// subscription set only changes on subscribe/pause/resume/destroy,
+	// so steady-state publishing must not re-pay the backend's
+	// Query+Read cost model per message — the "more extensive
+	// optimization effort" the paper credits WSRF.NET with (§4.1.3).
+	// subGen is bumped by changed(); a cached list is valid only while
+	// its generation still matches, so any mutation (even one racing a
+	// fill) invalidates.
+	subGen      atomic.Uint64
+	subMu       sync.Mutex
+	subCache    []*Subscription
+	subCacheGen uint64
+	subCacheOK  bool
 }
 
 // NewProducer builds a producer whose subscription resources live in
@@ -166,6 +180,11 @@ func (p *Producer) getCurrentMessage(ctx *container.Ctx) (*xmlutil.Element, erro
 	p.lastMu.Lock()
 	msg := p.lastMessage[topic]
 	p.lastMu.Unlock()
+	if msg == nil {
+		// Cold producer (for example, after a restart): the current
+		// message is resource state and survives in the database.
+		msg = p.loadCurrentMessage(topic)
+	}
 	if msg == nil {
 		return nil, soap.Faultf(soap.FaultClient, "no current message on topic %q", topic)
 	}
@@ -280,26 +299,33 @@ func (p *Producer) setPaused(paused bool) container.ActionFunc {
 }
 
 func (p *Producer) changed() {
-	p.knownEmpty.Store(false)
+	p.subGen.Add(1)
 	if p.OnChange != nil {
 		p.OnChange()
 	}
 }
 
-// Subscriptions returns the decoded live subscription set.
+// Subscriptions returns the decoded live subscription set. The result
+// is served from the generation cache whenever no subscription change
+// has occurred since the last fill, so steady-state callers (Notify on
+// every counter Set, the broker's demand recomputation) perform zero
+// database reads. Callers must treat the returned slice and its
+// entries as read-only.
 func (p *Producer) Subscriptions() ([]*Subscription, error) {
-	if p.knownEmpty.Load() {
-		return nil, nil
+	gen := p.subGen.Load()
+	p.subMu.Lock()
+	if p.subCacheOK && p.subCacheGen == gen {
+		subs := p.subCache
+		p.subMu.Unlock()
+		return subs, nil
 	}
+	p.subMu.Unlock()
+
 	ids, err := p.Subs.IDs()
 	if err != nil {
 		return nil, err
 	}
-	if len(ids) == 0 {
-		p.knownEmpty.Store(true)
-		return nil, nil
-	}
-	var out []*Subscription
+	out := make([]*Subscription, 0, len(ids))
 	for _, id := range ids {
 		r, err := p.Subs.Load(id)
 		if err != nil {
@@ -311,6 +337,12 @@ func (p *Producer) Subscriptions() ([]*Subscription, error) {
 		}
 		out = append(out, sub)
 	}
+	// Publish the fill under the generation observed before the reads:
+	// if a subscription changed mid-fill, subGen has moved on and this
+	// entry is already stale, so the next call re-reads.
+	p.subMu.Lock()
+	p.subCache, p.subCacheGen, p.subCacheOK = out, gen, true
+	p.subMu.Unlock()
 	return out, nil
 }
 
@@ -337,6 +369,12 @@ func (p *Producer) HasActiveSubscriber(topic string) bool {
 // order, the paused flag, the topic filter, the message-content
 // filter, and the producer-properties filter (paper §2.1 lists all
 // three filter kinds).
+// Matching runs up front on the caller's goroutine (filters touch
+// shared producer state and are cheap); the matched deliveries then
+// fan out over a bounded worker pool, since each one is an independent
+// HTTP exchange whose latency dominates the batch. Delivery count and
+// first-error (in subscription order) semantics are identical to the
+// sequential dispatch this replaces.
 func (p *Producer) Notify(topic string, message *xmlutil.Element) (int, error) {
 	p.lastMu.Lock()
 	if p.lastMessage == nil {
@@ -348,14 +386,47 @@ func (p *Producer) Notify(topic string, message *xmlutil.Element) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	delivered := 0
-	var firstErr error
+	var matched []*Subscription
 	for _, sub := range subs {
-		match, err := p.matches(sub, topic, message)
-		if err != nil || !match {
+		ok, err := p.matches(sub, topic, message)
+		if err != nil || !ok {
 			continue
 		}
-		if err := p.deliver(sub, topic, message); err != nil {
+		matched = append(matched, sub)
+	}
+	if len(matched) == 0 {
+		return 0, nil
+	}
+	// WSRF.NET keeps all service state in the database, and the topic's
+	// current message (the GetCurrentMessage property) is state: each
+	// dispatched notification writes it through — an Update with no
+	// preceding read, mirroring the Set path's write-through cache.
+	// Demand applies as it does to dispatch itself: a publish no active
+	// subscription matches materializes nothing. With the subscription
+	// scan cached away, this write is where the paper's "dominated by
+	// Xindice" observation keeps holding on the Notify path (§4.1.3).
+	p.storeCurrentMessage(topic, message)
+
+	// One wrapped body serves every non-raw delivery, and the payload
+	// serves raw ones directly: soap.Envelope clones the body at
+	// marshal time, so sharing the tree across concurrent deliveries is
+	// safe and the old clone-per-subscriber is pure waste.
+	wrapped := xmlutil.New(NSNT, "Notify").Add(
+		xmlutil.New(NSNT, "NotificationMessage").Add(
+			xmlutil.NewText(NSNT, "Topic", topic).SetAttr("", "Dialect", DialectConcrete),
+			xmlutil.New(NSNT, "Message").Add(message),
+		),
+	)
+	client := p.Deliver.WithTimeout(p.DeliveryTimeout)
+
+	errs := make([]error, len(matched))
+	fanout.Do(len(matched), p.Workers, func(i int) {
+		errs[i] = p.deliver(client, matched[i], wrapped, message)
+	})
+	delivered := 0
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -364,6 +435,40 @@ func (p *Producer) Notify(topic string, message *xmlutil.Element) (int, error) {
 		delivered++
 	}
 	return delivered, firstErr
+}
+
+// currentCollection is where per-topic current messages persist,
+// beside the subscription collection.
+func (p *Producer) currentCollection() string { return p.Subs.Collection + "-current" }
+
+// topicDocID makes a topic path safe as a document id (file backends
+// map ids to file names).
+func topicDocID(topic string) string { return strings.ReplaceAll(topic, "/", "_") }
+
+func (p *Producer) storeCurrentMessage(topic string, message *xmlutil.Element) {
+	if p.Subs == nil || p.Subs.DB == nil {
+		return
+	}
+	doc := xmlutil.New(NSNT, "CurrentMessage").Add(
+		xmlutil.NewText(NSNT, "Topic", topic),
+		xmlutil.New(NSNT, "Message").Add(message),
+	)
+	_ = p.Subs.DB.Put(p.currentCollection(), topicDocID(topic), doc)
+}
+
+func (p *Producer) loadCurrentMessage(topic string) *xmlutil.Element {
+	if p.Subs == nil || p.Subs.DB == nil {
+		return nil
+	}
+	doc, err := p.Subs.DB.Get(p.currentCollection(), topicDocID(topic))
+	if err != nil {
+		return nil
+	}
+	m := doc.Child(NSNT, "Message")
+	if m == nil || len(m.Children) == 0 {
+		return nil
+	}
+	return m.Children[0]
 }
 
 func (p *Producer) matches(sub *Subscription, topic string, message *xmlutil.Element) (bool, error) {
@@ -394,23 +499,17 @@ func (p *Producer) matches(sub *Subscription, topic string, message *xmlutil.Ele
 	return true, nil
 }
 
-func (p *Producer) deliver(sub *Subscription, topic string, message *xmlutil.Element) error {
+func (p *Producer) deliver(client *container.Client, sub *Subscription, wrapped, raw *xmlutil.Element) error {
 	p.sent.Add(1)
 	if sub.UseRaw {
 		// Raw delivery: the payload is posted bare. The paper flags this
 		// mode as an interoperability hazard ("the information passed
 		// with a notification … is not well-defined", §3.1); it is
 		// provided for completeness.
-		_, err := p.Deliver.Call(sub.Consumer, ActionNotify, message.Clone())
+		_, err := client.Call(sub.Consumer, ActionNotify, raw)
 		return err
 	}
-	wrapped := xmlutil.New(NSNT, "Notify").Add(
-		xmlutil.New(NSNT, "NotificationMessage").Add(
-			xmlutil.NewText(NSNT, "Topic", topic).SetAttr("", "Dialect", DialectConcrete),
-			xmlutil.New(NSNT, "Message").Add(message.Clone()),
-		),
-	)
-	_, err := p.Deliver.Call(sub.Consumer, ActionNotify, wrapped)
+	_, err := client.Call(sub.Consumer, ActionNotify, wrapped)
 	return err
 }
 

@@ -11,10 +11,12 @@
 package xmlutil
 
 import (
+	"bytes"
 	"encoding/xml"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Element is one XML element: a resolved name, namespace-resolved
@@ -210,11 +212,18 @@ var wellKnownPrefixes = map[string]string{
 	"http://www.w3.org/2000/09/xmldsig#":                                                 "ds",
 }
 
-// nsContext tracks URI→prefix assignments during serialization.
+// nsContext tracks URI→prefix assignments during serialization. The
+// used set is the reverse (prefix-side) index, so collision checks are
+// a map probe instead of a scan over every assignment so far.
 type nsContext struct {
 	prefix map[string]string
+	used   map[string]bool
 	order  []string
 	next   int
+}
+
+func newNSContext() *nsContext {
+	return &nsContext{prefix: map[string]string{}, used: map[string]bool{}}
 }
 
 func (c *nsContext) get(uri string) string {
@@ -234,17 +243,30 @@ func (c *nsContext) get(uri string) string {
 		}
 	}
 	c.prefix[uri] = p
+	c.used[p] = true
 	c.order = append(c.order, uri)
 	return p
 }
 
-func (c *nsContext) taken(p string) bool {
-	for _, u := range c.order {
-		if c.prefix[u] == p {
-			return true
-		}
-	}
-	return false
+func (c *nsContext) taken(p string) bool { return c.used[p] }
+
+// bufPool recycles serialization buffers. Marshal is the single
+// hottest call in both stacks — every request, response, notification,
+// database write, and signature digest funnels through it — so the
+// working buffer must not be reallocated per message.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// serialize renders e into a pooled buffer and returns a fresh copy of
+// the bytes (the one unavoidable copy: the buffer goes back to the
+// pool).
+func (e *Element) serialize(ctx *nsContext, canonical bool) []byte {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	e.write(b, ctx, true, canonical)
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	bufPool.Put(b)
+	return out
 }
 
 // Marshal serializes the element tree to XML. All namespaces used in
@@ -252,7 +274,7 @@ func (c *nsContext) taken(p string) bool {
 // deterministically in preorder first-use order, so output for a given
 // tree is stable across runs.
 func (e *Element) Marshal() []byte {
-	ctx := &nsContext{prefix: map[string]string{}}
+	ctx := newNSContext()
 	// Pre-assign prefixes in preorder so declarations are stable.
 	e.Walk(func(el *Element) bool {
 		ctx.get(el.Name.Space)
@@ -263,9 +285,7 @@ func (e *Element) Marshal() []byte {
 		}
 		return true
 	})
-	var b strings.Builder
-	e.write(&b, ctx, true, false)
-	return []byte(b.String())
+	return e.serialize(ctx, false)
 }
 
 // Canonical serializes the element tree in a normalized form suitable
@@ -295,16 +315,14 @@ func (e *Element) Canonical() []byte {
 		}
 	}
 	sort.Strings(sorted)
-	ctx := &nsContext{prefix: map[string]string{}}
+	ctx := newNSContext()
 	for _, u := range sorted {
 		ctx.get(u)
 	}
-	var b strings.Builder
-	e.write(&b, ctx, true, true)
-	return []byte(b.String())
+	return e.serialize(ctx, true)
 }
 
-func (e *Element) write(b *strings.Builder, ctx *nsContext, root, canonical bool) {
+func (e *Element) write(b *bytes.Buffer, ctx *nsContext, root, canonical bool) {
 	name := e.qname(ctx)
 	b.WriteByte('<')
 	b.WriteString(name)
@@ -363,9 +381,21 @@ func (e *Element) qname(ctx *nsContext) string {
 	return ctx.prefix[e.Name.Space] + ":" + e.Name.Local
 }
 
-func escapeInto(b *strings.Builder, s string) {
-	for _, r := range s {
-		switch r {
+// escapeNeeded lists every byte escapeInto rewrites; all are ASCII, so
+// spans between occurrences can be copied wholesale without decoding
+// runes. Typical SOAP content (URIs, ids, numbers) contains none, and
+// then the whole string is a single WriteString.
+const escapeNeeded = "&<>\"'"
+
+func escapeInto(b *bytes.Buffer, s string) {
+	for {
+		i := strings.IndexAny(s, escapeNeeded)
+		if i < 0 {
+			b.WriteString(s)
+			return
+		}
+		b.WriteString(s[:i])
+		switch s[i] {
 		case '&':
 			b.WriteString("&amp;")
 		case '<':
@@ -376,8 +406,7 @@ func escapeInto(b *strings.Builder, s string) {
 			b.WriteString("&quot;")
 		case '\'':
 			b.WriteString("&apos;")
-		default:
-			b.WriteRune(r)
 		}
+		s = s[i+1:]
 	}
 }

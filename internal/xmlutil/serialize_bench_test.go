@@ -1,0 +1,65 @@
+package xmlutil
+
+import "testing"
+
+// soapLikeDoc builds a document shaped like the envelopes on the wire:
+// a handful of namespaces, addressing-style headers, a modest signed
+// body — the Marshal workload every operation in Figures 2-4 and 6
+// pays at least twice (request and response).
+func soapLikeDoc() *Element {
+	const (
+		nsSoap = "http://schemas.xmlsoap.org/soap/envelope/"
+		nsWSA  = "http://schemas.xmlsoap.org/ws/2004/08/addressing"
+		nsApp  = "urn:counter"
+	)
+	header := New(nsSoap, "Header").Add(
+		NewText(nsWSA, "Action", nsApp+"/Set"),
+		NewText(nsWSA, "To", "http://127.0.0.1:8080/counter"),
+		NewText(nsWSA, "MessageID", "uuid:0f8d7a62-aaaa-bbbb-cccc-0123456789ab"),
+		NewText(nsApp, "CounterID", "f81d4fae-7dec-11d0-a765-00a0c91e6bf6").
+			SetAttr(nsSoap, "mustUnderstand", "1"),
+	)
+	body := New(nsSoap, "Body").Add(
+		New(nsApp, "SetResourceProperties").Add(
+			New(nsApp, "Update").Add(
+				NewText(nsApp, "cv", "123456").SetAttr("", "kind", "counter value"),
+			),
+		),
+	)
+	return New(nsSoap, "Envelope").Add(header, body)
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	doc := soapLikeDoc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := doc.Marshal(); len(out) == 0 {
+			b.Fatal("empty marshal")
+		}
+	}
+}
+
+func BenchmarkCanonical(b *testing.B) {
+	doc := soapLikeDoc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := doc.Canonical(); len(out) == 0 {
+			b.Fatal("empty canonical form")
+		}
+	}
+}
+
+func BenchmarkMarshalEscapeHeavy(b *testing.B) {
+	// Text with embedded escapes exercises the span fast path's slow
+	// branch; text without them should be a straight copy.
+	doc := soapLikeDoc()
+	doc.Children[1].Children[0].Add(
+		NewText("urn:counter", "note", `a < b && c > "d" — O'Reilly & sons, repeatedly & <again>`))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc.Marshal()
+	}
+}
