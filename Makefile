@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench ci
+.PHONY: all build vet test race bench-smoke bench fuzz-smoke check ci
 
 all: build
 
@@ -30,4 +30,12 @@ bench-smoke:
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./...
 
-ci: build vet race bench-smoke
+# Short fuzz pass over the hand-rolled XML parser: it sits on the
+# network boundary and must never panic on adversarial bytes.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzParse -fuzztime 10s ./internal/xmlutil/
+
+# Everything a change should pass before review.
+check: build vet race bench-smoke fuzz-smoke
+
+ci: check

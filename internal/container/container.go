@@ -15,6 +15,7 @@
 package container
 
 import (
+	"bytes"
 	"crypto/tls"
 	"crypto/x509"
 	"fmt"
@@ -190,6 +191,19 @@ func (c *Container) Close() {
 	}
 }
 
+const (
+	// maxRequestBody bounds inbound message size.
+	maxRequestBody = 16 << 20
+	// maxPooledBody keeps only ordinarily-sized buffers in the pool; a
+	// rare near-limit message must not pin 16 MiB per pool slot.
+	maxPooledBody = 1 << 20
+)
+
+// bodyPool recycles request read buffers. soap.Parse copies the bytes
+// it keeps (the parsed tree never aliases the input slice), so the
+// buffer can be reused as soon as the parse returns.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func (c *Container) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	c.mu.RLock()
 	svc := c.services[r.URL.Path]
@@ -202,12 +216,18 @@ func (c *Container) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "SOAP endpoints accept POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
-	if err != nil {
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledBody {
+			bodyPool.Put(buf)
+		}
+	}()
+	if _, err := buf.ReadFrom(io.LimitReader(r.Body, maxRequestBody)); err != nil {
 		http.Error(w, "read error", http.StatusBadRequest)
 		return
 	}
-	env, err := soap.Parse(body)
+	env, err := soap.Parse(buf.Bytes())
 	if err != nil {
 		c.writeFault(w, "", faultOf(err))
 		return

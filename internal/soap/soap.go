@@ -77,13 +77,26 @@ func (e *Envelope) Header(space, local string) *xmlutil.Element {
 // IsFault reports whether the envelope carries a fault body.
 func (e *Envelope) IsFault() bool { return e.Fault != nil }
 
-// Element renders the envelope as an element tree.
-func (e *Envelope) Element() *xmlutil.Element {
+// Element renders the envelope as an element tree. The returned tree
+// is fully independent of the envelope.
+func (e *Envelope) Element() *xmlutil.Element { return e.element(true) }
+
+// element builds the envelope tree; with clone false the header and
+// body subtrees are shared with the envelope, which is safe for
+// read-only uses (serialization) and skips a deep copy of the whole
+// message — the dominant allocation in the signed request path.
+func (e *Envelope) element(clone bool) *xmlutil.Element {
+	keep := func(el *xmlutil.Element) *xmlutil.Element {
+		if clone {
+			return el.Clone()
+		}
+		return el
+	}
 	env := xmlutil.New(NS, "Envelope")
 	if len(e.Headers) > 0 {
 		hdr := xmlutil.New(NS, "Header")
 		for _, h := range e.Headers {
-			hdr.Add(h.Clone())
+			hdr.Add(keep(h))
 		}
 		env.Add(hdr)
 	}
@@ -98,18 +111,18 @@ func (e *Envelope) Element() *xmlutil.Element {
 			f.Add(xmlutil.NewText("", "faultactor", e.Fault.Actor))
 		}
 		if e.Fault.Detail != nil {
-			f.Add(xmlutil.New("", "detail").Add(e.Fault.Detail.Clone()))
+			f.Add(xmlutil.New("", "detail").Add(keep(e.Fault.Detail)))
 		}
 		body.Add(f)
 	case e.Body != nil:
-		body.Add(e.Body.Clone())
+		body.Add(keep(e.Body))
 	}
 	env.Add(body)
 	return env
 }
 
 // Marshal serializes the envelope to bytes.
-func (e *Envelope) Marshal() []byte { return e.Element().Marshal() }
+func (e *Envelope) Marshal() []byte { return e.element(false).Marshal() }
 
 // Parse decodes a SOAP envelope from bytes.
 func Parse(data []byte) (*Envelope, error) {

@@ -25,6 +25,8 @@ import (
 	"crypto/x509"
 	"encoding/base64"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"altstacks/internal/certs"
@@ -54,10 +56,23 @@ const MaxMessageAge = 5 * time.Minute
 // Signer signs outgoing envelopes with an X.509 identity.
 type Signer struct {
 	ID *certs.Identity
+
+	// tokenOnce caches the base64 BinarySecurityToken text: the
+	// certificate never changes for the life of the Signer, so the
+	// ~2.4 KB encode is paid once, not per message.
+	tokenOnce sync.Once
+	token     string
 }
 
 // NewSigner returns a Signer for the identity.
 func NewSigner(id *certs.Identity) *Signer { return &Signer{ID: id} }
+
+func (s *Signer) securityToken() string {
+	s.tokenOnce.Do(func() {
+		s.token = base64.StdEncoding.EncodeToString(s.ID.CertDER)
+	})
+	return s.token
+}
 
 // Sign attaches a wsse:Security header to the envelope containing a
 // timestamp, the signer's certificate as a BinarySecurityToken, and an
@@ -80,7 +95,7 @@ func (s *Signer) Sign(env *soap.Envelope) error {
 		reference("#Body", bodyDigest),
 		reference("#Timestamp", tsDigest),
 	)
-	sig, err := s.signBytes(signedInfo.Canonical())
+	sig, err := s.signElement(signedInfo)
 	if err != nil {
 		return err
 	}
@@ -88,8 +103,7 @@ func (s *Signer) Sign(env *soap.Envelope) error {
 		SetAttr(soap.NS, "mustUnderstand", "1").
 		Add(
 			ts,
-			xmlutil.NewText(NSWSE, "BinarySecurityToken",
-				base64.StdEncoding.EncodeToString(s.ID.CertDER)).
+			xmlutil.NewText(NSWSE, "BinarySecurityToken", s.securityToken()).
 				SetAttr("", "ValueType", tokenProfile),
 			xmlutil.New(NSDS, "Signature").Add(
 				signedInfo,
@@ -100,8 +114,8 @@ func (s *Signer) Sign(env *soap.Envelope) error {
 	return nil
 }
 
-func (s *Signer) signBytes(data []byte) ([]byte, error) {
-	h := sha256.Sum256(data)
+func (s *Signer) signElement(el *xmlutil.Element) ([]byte, error) {
+	h := el.CanonicalSum256()
 	sig, err := rsa.SignPKCS1v15(rand.Reader, s.ID.Key, crypto.SHA256, h[:])
 	if err != nil {
 		return nil, fmt.Errorf("wssec: sign: %w", err)
@@ -109,16 +123,16 @@ func (s *Signer) signBytes(data []byte) ([]byte, error) {
 	return sig, nil
 }
 
-func reference(uri string, digest []byte) *xmlutil.Element {
+func reference(uri string, digest [sha256.Size]byte) *xmlutil.Element {
 	return xmlutil.New(NSDS, "Reference").SetAttr("", "URI", uri).Add(
 		xmlutil.New(NSDS, "DigestMethod").SetAttr("", "Algorithm", algDigest),
-		xmlutil.NewText(NSDS, "DigestValue", base64.StdEncoding.EncodeToString(digest)),
+		xmlutil.NewText(NSDS, "DigestValue", base64.StdEncoding.EncodeToString(digest[:])),
 	)
 }
 
-func digestOf(el *xmlutil.Element) []byte {
-	sum := sha256.Sum256(el.Canonical())
-	return sum[:]
+// digestOf hashes the canonical form directly, never materializing it.
+func digestOf(el *xmlutil.Element) [sha256.Size]byte {
+	return el.CanonicalSum256()
 }
 
 // bodyElement returns the element the "#Body" reference covers: the
@@ -131,15 +145,144 @@ func bodyElement(env *soap.Envelope) *xmlutil.Element {
 	return env.Element().Child(soap.NS, "Body")
 }
 
+// Trust-cache defaults; see Verifier.CacheTTL / Verifier.CacheSize.
+const (
+	DefaultTrustTTL       = 5 * time.Minute
+	DefaultTrustCacheSize = 1024
+)
+
+// trustEntry is one memoized chain validation: the parsed certificate
+// and how long the derived trust may be reused.
+type trustEntry struct {
+	cert    *x509.Certificate
+	expires time.Time
+}
+
 // Verifier checks WS-Security headers on incoming envelopes.
+//
+// Certificate parsing and chain validation are memoized in a bounded
+// trust cache keyed by the SHA-256 of the token DER: the same client
+// certificate arrives on every message of a session, and re-deriving
+// its trust chain per message is pure overhead. The per-message
+// RSA signature check, timestamp freshness, and reference digests are
+// NEVER cached — they are the paper's measured security cost and they
+// differ per message. Replacing Roots invalidates the cache; entries
+// also expire after CacheTTL and never outlive the certificate.
 type Verifier struct {
 	Roots *x509.CertPool
 	// Now allows tests to pin the clock; nil means time.Now.
 	Now func() time.Time
+	// CacheTTL bounds how long one chain validation is trusted.
+	// 0 means DefaultTrustTTL; negative disables the cache.
+	CacheTTL time.Duration
+	// CacheSize caps distinct cached certificates (0 means
+	// DefaultTrustCacheSize). The cache evicts arbitrarily beyond it.
+	CacheSize int
+
+	mu         sync.Mutex
+	trust      map[[sha256.Size]byte]trustEntry
+	trustRoots *x509.CertPool // pool the cached entries were verified against
+
+	chainVerifications atomic.Int64
 }
 
 // NewVerifier returns a Verifier trusting the given roots.
 func NewVerifier(roots *x509.CertPool) *Verifier { return &Verifier{Roots: roots} }
+
+// TrustCacheStats reports cache effectiveness for tests and metrics.
+type TrustCacheStats struct {
+	// ChainVerifications counts full x509 chain validations performed
+	// (cache misses); steady-state traffic from known clients should
+	// not increase it.
+	ChainVerifications int64
+	// Entries is the current number of cached certificates.
+	Entries int
+}
+
+// CacheStats returns a snapshot of trust-cache counters.
+func (v *Verifier) CacheStats() TrustCacheStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return TrustCacheStats{
+		ChainVerifications: v.chainVerifications.Load(),
+		Entries:            len(v.trust),
+	}
+}
+
+func (v *Verifier) now() time.Time {
+	if v.Now != nil {
+		return v.Now()
+	}
+	return time.Now()
+}
+
+// trustedCert resolves the BinarySecurityToken DER to a
+// chain-validated certificate, consulting the trust cache first.
+func (v *Verifier) trustedCert(der []byte) (*x509.Certificate, error) {
+	key := sha256.Sum256(der)
+	now := v.now()
+	if v.CacheTTL >= 0 {
+		v.mu.Lock()
+		// A swapped root pool (rotation, revocation) orphans every
+		// cached trust derivation.
+		if v.trustRoots != v.Roots {
+			v.trust = nil
+			v.trustRoots = v.Roots
+		}
+		if e, ok := v.trust[key]; ok && now.Before(e.expires) {
+			v.mu.Unlock()
+			return e.cert, nil
+		}
+		v.mu.Unlock()
+	}
+
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("wssec: token parse: %w", err)
+	}
+	v.chainVerifications.Add(1)
+	if _, err := cert.Verify(x509.VerifyOptions{
+		Roots:     v.Roots,
+		KeyUsages: []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	}); err != nil {
+		return nil, fmt.Errorf("wssec: untrusted certificate: %w", err)
+	}
+	if v.CacheTTL < 0 {
+		return cert, nil
+	}
+
+	ttl := v.CacheTTL
+	if ttl == 0 {
+		ttl = DefaultTrustTTL
+	}
+	expires := now.Add(ttl)
+	// Trust must not outlive the certificate itself.
+	if cert.NotAfter.Before(expires) {
+		expires = cert.NotAfter
+	}
+	capacity := v.CacheSize
+	if capacity <= 0 {
+		capacity = DefaultTrustCacheSize
+	}
+	v.mu.Lock()
+	if v.trustRoots == v.Roots {
+		if v.trust == nil {
+			v.trust = make(map[[sha256.Size]byte]trustEntry)
+		}
+		// Arbitrary eviction: the cache holds one entry per client
+		// certificate, so churn here means more distinct clients than
+		// capacity, not a hot/cold working set worth LRU bookkeeping.
+		for k := range v.trust {
+			if len(v.trust) < capacity {
+				break
+			}
+			delete(v.trust, k)
+		}
+		v.trust[key] = trustEntry{cert: cert, expires: expires}
+	}
+	v.mu.Unlock()
+	return cert, nil
+}
 
 // Verify validates the envelope's wsse:Security header: certificate
 // chain, timestamp freshness, body and timestamp digests, and the
@@ -158,15 +301,9 @@ func (v *Verifier) Verify(env *soap.Envelope) (*x509.Certificate, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wssec: token decode: %w", err)
 	}
-	cert, err := x509.ParseCertificate(der)
+	cert, err := v.trustedCert(der)
 	if err != nil {
-		return nil, fmt.Errorf("wssec: token parse: %w", err)
-	}
-	if _, err := cert.Verify(x509.VerifyOptions{
-		Roots:     v.Roots,
-		KeyUsages: []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
-	}); err != nil {
-		return nil, fmt.Errorf("wssec: untrusted certificate: %w", err)
+		return nil, err
 	}
 
 	ts := sec.Child(NSWSU, "Timestamp")
@@ -193,7 +330,7 @@ func (v *Verifier) Verify(env *soap.Envelope) (*x509.Certificate, error) {
 	if !ok {
 		return nil, fmt.Errorf("wssec: certificate key is %T, want RSA", cert.PublicKey)
 	}
-	h := sha256.Sum256(signedInfo.Canonical())
+	h := signedInfo.CanonicalSum256()
 	if err := rsa.VerifyPKCS1v15(pub, crypto.SHA256, h[:], sigVal); err != nil {
 		return nil, fmt.Errorf("wssec: signature invalid: %w", err)
 	}
@@ -205,7 +342,7 @@ func (v *Verifier) Verify(env *soap.Envelope) (*x509.Certificate, error) {
 		if err != nil {
 			return nil, fmt.Errorf("wssec: digest decode for %s: %w", uri, err)
 		}
-		var got []byte
+		var got [sha256.Size]byte
 		switch uri {
 		case "#Body":
 			got = digestOf(bodyElement(env))
@@ -214,7 +351,7 @@ func (v *Verifier) Verify(env *soap.Envelope) (*x509.Certificate, error) {
 		default:
 			return nil, fmt.Errorf("wssec: unknown reference %q", uri)
 		}
-		if !bytes.Equal(got, want) {
+		if !bytes.Equal(got[:], want) {
 			return nil, fmt.Errorf("wssec: digest mismatch for %s (message altered)", uri)
 		}
 	}
@@ -222,10 +359,7 @@ func (v *Verifier) Verify(env *soap.Envelope) (*x509.Certificate, error) {
 }
 
 func (v *Verifier) checkFreshness(ts *xmlutil.Element) error {
-	now := time.Now()
-	if v.Now != nil {
-		now = v.Now()
-	}
+	now := v.now()
 	created, err := time.Parse(time.RFC3339Nano, ts.ChildText(NSWSU, "Created"))
 	if err != nil {
 		return fmt.Errorf("wssec: bad Created: %w", err)

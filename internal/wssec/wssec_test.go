@@ -20,23 +20,25 @@ var (
 	eve     *certs.Identity
 )
 
+func pkiInit() {
+	var err error
+	if ca, err = certs.NewAuthority(); err != nil {
+		panic(err)
+	}
+	if alice, err = ca.Issue("CN=alice"); err != nil {
+		panic(err)
+	}
+	if mallory, err = certs.NewAuthority(); err != nil {
+		panic(err)
+	}
+	if eve, err = mallory.Issue("CN=eve"); err != nil {
+		panic(err)
+	}
+}
+
 func pki(t *testing.T) (*certs.Authority, *certs.Identity) {
 	t.Helper()
-	pkiOnce.Do(func() {
-		var err error
-		if ca, err = certs.NewAuthority(); err != nil {
-			panic(err)
-		}
-		if alice, err = ca.Issue("CN=alice"); err != nil {
-			panic(err)
-		}
-		if mallory, err = certs.NewAuthority(); err != nil {
-			panic(err)
-		}
-		if eve, err = mallory.Issue("CN=eve"); err != nil {
-			panic(err)
-		}
-	})
+	pkiOnce.Do(pkiInit)
 	return ca, alice
 }
 

@@ -1,0 +1,59 @@
+package xmldb
+
+import (
+	"fmt"
+	"testing"
+
+	"altstacks/internal/xmlutil"
+)
+
+// benchCollection loads n counter-style documents into a fresh
+// zero-cost database (the CostModel pause would swamp the Go-side work
+// this benchmark isolates; production paths charge it on top).
+func benchCollection(b *testing.B, n int) *DB {
+	b.Helper()
+	db := NewMemory(CostModel{})
+	for i := 0; i < n; i++ {
+		doc := xmlutil.New("", "Counter").Add(
+			xmlutil.NewText("", "cv", fmt.Sprint(i)),
+			xmlutil.NewText("", "owner", fmt.Sprintf("CN=user-%03d", i%16)),
+		)
+		if err := db.Create("c", fmt.Sprintf("id-%04d", i), doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkQueryScan is the QueryResourceProperties workload: one
+// XPath-lite expression evaluated across every document in a
+// collection, repeatedly, with the collection unchanged between scans
+// — the shape under which the parsed-document and compiled-expression
+// caches should eliminate all per-scan recompilation and re-parsing.
+func BenchmarkQueryScan(b *testing.B) {
+	db := benchCollection(b, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits, err := db.Query("c", "/Counter[cv>=50]")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(hits) != 50 {
+			b.Fatalf("hits = %d", len(hits))
+		}
+	}
+}
+
+// BenchmarkGetHot measures repeated reads of one document from an
+// unchanged collection.
+func BenchmarkGetHot(b *testing.B) {
+	db := benchCollection(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get("c", "id-0003"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package xmldb
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"altstacks/internal/xmlutil"
+)
+
+func id(i int) string { return fmt.Sprintf("id-%04d", i) }
+
+func counterValue(t *testing.T, doc *xmlutil.Element) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(doc.ChildText("urn:c", "Value"), 10, 64)
+	if err != nil {
+		t.Fatalf("counter value: %v", err)
+	}
+	return v
+}
+
+// countingBackend counts raw Get calls, to prove the conditional
+// writes removed the existence pre-read.
+type countingBackend struct {
+	Backend
+	gets atomic.Int64
+}
+
+func (c *countingBackend) Get(col, id string) ([]byte, bool, error) {
+	c.gets.Add(1)
+	return c.Backend.Get(col, id)
+}
+
+// TestQueryReusesParsedDocuments pins the cache's core promise:
+// repeated queries over an unchanged collection parse each document
+// exactly once.
+func TestQueryReusesParsedDocuments(t *testing.T) {
+	db := NewMemory(CostModel{})
+	for i := 0; i < 8; i++ {
+		if err := db.Create("c", id(i), counterDoc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 5; round++ {
+		hits, err := db.Query("c", "/Counter")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) != 8 {
+			t.Fatalf("round %d: hits = %d", round, len(hits))
+		}
+	}
+	if s := db.Stats(); s.Parses != 8 {
+		t.Fatalf("parses = %d, want 8 (one per document across 5 query rounds)", s.Parses)
+	}
+}
+
+// TestGetReusesParsedDocument: repeated Gets of an unchanged document
+// parse once but still count as reads.
+func TestGetReusesParsedDocument(t *testing.T) {
+	db := NewMemory(CostModel{})
+	if err := db.Create("c", "1", counterDoc(7)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := db.Get("c", "1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := db.Stats()
+	if s.Parses != 1 {
+		t.Fatalf("parses = %d, want 1", s.Parses)
+	}
+	if s.Reads != 4 {
+		t.Fatalf("reads = %d, want 4 (cache hits still count as reads)", s.Reads)
+	}
+	cs := db.CollectionStats("c")
+	if cs.Parses != 1 || cs.Reads != 4 {
+		t.Fatalf("collection stats = %+v", cs)
+	}
+}
+
+// TestWriteInvalidatesDocCache: every mutation path (Update, Put,
+// Delete+Create) bumps the collection generation and forces a re-parse.
+func TestWriteInvalidatesDocCache(t *testing.T) {
+	db := NewMemory(CostModel{})
+	if err := db.Create("c", "1", counterDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+	read := func(want int64) {
+		t.Helper()
+		doc, err := db.Get("c", "1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := counterValue(t, doc); got != want {
+			t.Fatalf("value = %d, want %d", got, want)
+		}
+	}
+	read(1)
+	if err := db.Update("c", "1", counterDoc(2)); err != nil {
+		t.Fatal(err)
+	}
+	read(2)
+	if err := db.Put("c", "1", counterDoc(3)); err != nil {
+		t.Fatal(err)
+	}
+	read(3)
+	if err := db.Delete("c", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Create("c", "1", counterDoc(4)); err != nil {
+		t.Fatal(err)
+	}
+	read(4)
+	if s := db.Stats(); s.Parses != 4 {
+		t.Fatalf("parses = %d, want 4 (each write invalidates)", s.Parses)
+	}
+}
+
+// TestCachedGetReturnsPrivateClone: mutating a returned tree must not
+// leak into later reads — the cache hands out clones, never the
+// master copy.
+func TestCachedGetReturnsPrivateClone(t *testing.T) {
+	db := NewMemory(CostModel{})
+	if err := db.Create("c", "1", counterDoc(5)); err != nil {
+		t.Fatal(err)
+	}
+	first, err := db.Get("c", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.ChildLocal("Value").SetText("999")
+	second, err := db.Get("c", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counterValue(t, second) != 5 {
+		t.Fatal("caller mutation leaked into the document cache")
+	}
+	// Same for Query matches.
+	hits, err := db.Query("c", "/Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits[0].Matches[0].ChildLocal("Value").SetText("888")
+	third, err := db.Get("c", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counterValue(t, third) != 5 {
+		t.Fatal("query-match mutation leaked into the document cache")
+	}
+}
+
+// TestCachedQueryStillChargesCostModel: the cache removes parse work,
+// never modeled Xindice latency — the figure shapes depend on it.
+func TestCachedQueryStillChargesCostModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const queryCost = 25 * time.Millisecond
+	db := NewMemory(CostModel{Query: queryCost})
+	if err := db.Create("c", "1", counterDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("c", "/Counter"); err != nil { // warm
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := db.Query("c", "/Counter"); err != nil { // cache-hot
+		t.Fatal(err)
+	}
+	if hot := time.Since(start); hot < queryCost {
+		t.Fatalf("cache-hot query took %v, want >= %v (cost model must still apply)", hot, queryCost)
+	}
+	if s := db.Stats(); s.Queries != 2 {
+		t.Fatalf("queries = %d, want 2 (cache hits still count)", s.Queries)
+	}
+}
+
+// TestMalformedQueryDoesNotPolluteStats: compilation happens before
+// the operation is counted or the modeled latency charged.
+func TestMalformedQueryDoesNotPolluteStats(t *testing.T) {
+	db := NewMemory(CostModel{Query: 250 * time.Millisecond})
+	start := time.Now()
+	if _, err := db.Query("c", "///"); err == nil {
+		t.Fatal("malformed expression accepted")
+	}
+	if took := time.Since(start); took > 100*time.Millisecond {
+		t.Fatalf("malformed query paid modeled latency (%v)", took)
+	}
+	if s := db.Stats(); s.Queries != 0 {
+		t.Fatalf("queries = %d, want 0 (compile failures are not operations)", s.Queries)
+	}
+	if s := db.CollectionStats("c"); s.Queries != 0 {
+		t.Fatalf("collection queries = %d, want 0", s.Queries)
+	}
+}
+
+// TestCondPutSkipsPreRead: Create/Update/Delete no longer issue the
+// existence probe as a separate backend Get.
+func TestCondPutSkipsPreRead(t *testing.T) {
+	be := &countingBackend{Backend: NewMemoryBackend()}
+	db := New(be, CostModel{})
+	if err := db.Create("c", "1", counterDoc(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update("c", "1", counterDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("c", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if be.gets.Load() != 0 {
+		t.Fatalf("backend gets = %d, want 0 (existence probes must use CondPut/CondDelete)", be.gets.Load())
+	}
+}

@@ -36,6 +36,22 @@ func (f *faultyBackend) Delete(c, id string) error {
 	return f.Backend.Delete(c, id)
 }
 
+func (f *faultyBackend) CondPut(c, id string, doc []byte, wantExists bool) (bool, error) {
+	// The existence probe now lives inside the conditional write, so a
+	// failing read surfaces here too.
+	if f.failGet || f.failPut {
+		return false, errDisk
+	}
+	return f.Backend.CondPut(c, id, doc, wantExists)
+}
+
+func (f *faultyBackend) CondDelete(c, id string) (bool, error) {
+	if f.failDelete {
+		return false, errDisk
+	}
+	return f.Backend.CondDelete(c, id)
+}
+
 func (f *faultyBackend) IDs(c string) ([]string, error) {
 	if f.failIDs {
 		return nil, errDisk

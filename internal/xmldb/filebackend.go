@@ -60,6 +60,42 @@ func (f *FileBackend) Get(collection, id string) ([]byte, bool, error) {
 	return data, true, nil
 }
 
+// CondPut implements Backend: the existence probe and the write happen
+// under one writer lock, so it is atomic with respect to the other
+// Backend methods on this store.
+func (f *FileBackend) CondPut(collection, id string, doc []byte, wantExists bool) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.path(collection, id)
+	_, err := os.Stat(p)
+	exists := err == nil
+	if err != nil && !os.IsNotExist(err) {
+		return false, err
+	}
+	if exists != wantExists {
+		return false, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return false, err
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, doc, 0o644); err != nil {
+		return false, err
+	}
+	return true, os.Rename(tmp, p)
+}
+
+// CondDelete implements Backend.
+func (f *FileBackend) CondDelete(collection, id string) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	err := os.Remove(f.path(collection, id))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
 // Delete implements Backend.
 func (f *FileBackend) Delete(collection, id string) error {
 	f.mu.Lock()

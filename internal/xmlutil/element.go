@@ -12,6 +12,7 @@ package xmlutil
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/xml"
 	"fmt"
 	"sort"
@@ -226,6 +227,19 @@ func newNSContext() *nsContext {
 	return &nsContext{prefix: map[string]string{}, used: map[string]bool{}}
 }
 
+// reset readies a recycled context for a new document, keeping the map
+// buckets and order slice capacity.
+func (c *nsContext) reset() {
+	if c.prefix == nil {
+		c.prefix = map[string]string{}
+		c.used = map[string]bool{}
+	}
+	clear(c.prefix)
+	clear(c.used)
+	c.order = c.order[:0]
+	c.next = 0
+}
+
 func (c *nsContext) get(uri string) string {
 	if uri == "" {
 		return ""
@@ -236,10 +250,10 @@ func (c *nsContext) get(uri string) string {
 	p, ok := wellKnownPrefixes[uri]
 	if !ok || c.taken(p) {
 		c.next++
-		p = fmt.Sprintf("ns%d", c.next)
+		p = genPrefix(c.next)
 		for c.taken(p) {
 			c.next++
-			p = fmt.Sprintf("ns%d", c.next)
+			p = genPrefix(c.next)
 		}
 	}
 	c.prefix[uri] = p
@@ -249,6 +263,18 @@ func (c *nsContext) get(uri string) string {
 }
 
 func (c *nsContext) taken(p string) bool { return c.used[p] }
+
+// genPrefixes interns the generated prefixes every document reuses, so
+// prefix assignment allocates nothing in the common case.
+var genPrefixes = [16]string{"ns0", "ns1", "ns2", "ns3", "ns4", "ns5", "ns6", "ns7",
+	"ns8", "ns9", "ns10", "ns11", "ns12", "ns13", "ns14", "ns15"}
+
+func genPrefix(n int) string {
+	if n >= 0 && n < len(genPrefixes) {
+		return genPrefixes[n]
+	}
+	return fmt.Sprintf("ns%d", n)
+}
 
 // bufPool recycles serialization buffers. Marshal is the single
 // hottest call in both stacks — every request, response, notification,
@@ -274,7 +300,8 @@ func (e *Element) serialize(ctx *nsContext, canonical bool) []byte {
 // deterministically in preorder first-use order, so output for a given
 // tree is stable across runs.
 func (e *Element) Marshal() []byte {
-	ctx := newNSContext()
+	ctx := ctxPool.Get().(*nsContext)
+	ctx.reset()
 	// Pre-assign prefixes in preorder so declarations are stable.
 	e.Walk(func(el *Element) bool {
 		ctx.get(el.Name.Space)
@@ -285,8 +312,26 @@ func (e *Element) Marshal() []byte {
 		}
 		return true
 	})
-	return e.serialize(ctx, false)
+	out := e.serialize(ctx, false)
+	ctxPool.Put(ctx)
+	return out
 }
+
+// ctxPool and canonPool recycle the namespace-assignment state between
+// serializations: the signature path canonicalizes several message
+// parts per request, and fresh maps for each were a measurable share
+// of the signed round trip's allocations.
+var ctxPool = sync.Pool{New: func() any { return newNSContext() }}
+
+type canonState struct {
+	ctx    nsContext
+	uris   map[string]bool
+	sorted []string
+}
+
+var canonPool = sync.Pool{New: func() any {
+	return &canonState{uris: map[string]bool{}}
+}}
 
 // Canonical serializes the element tree in a normalized form suitable
 // for digesting and signing: same prefix discipline as Marshal, but
@@ -298,28 +343,55 @@ func (e *Element) Canonical() []byte {
 	// Prefixes are assigned in sorted-URI order so the canonical form is
 	// invariant under attribute reordering (prefix assignment must not
 	// depend on document order, which reordering perturbs).
-	uris := map[string]bool{}
+	b, st := e.canonicalBuffer()
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	bufPool.Put(b)
+	canonPool.Put(st)
+	return out
+}
+
+// CanonicalSum256 returns the SHA-256 digest of the canonical form
+// without materializing the serialized bytes outside the pooled
+// buffer — the signature layer digests several message parts per
+// request and never needs the bytes themselves.
+func (e *Element) CanonicalSum256() [sha256.Size]byte {
+	b, st := e.canonicalBuffer()
+	sum := sha256.Sum256(b.Bytes())
+	bufPool.Put(b)
+	canonPool.Put(st)
+	return sum
+}
+
+// canonicalBuffer renders the canonical form into pooled state; the
+// caller must return both to their pools when done with the bytes.
+func (e *Element) canonicalBuffer() (*bytes.Buffer, *canonState) {
+	st := canonPool.Get().(*canonState)
+	st.ctx.reset()
+	clear(st.uris)
+	st.sorted = st.sorted[:0]
 	e.Walk(func(el *Element) bool {
-		uris[el.Name.Space] = true
+		st.uris[el.Name.Space] = true
 		for _, a := range el.Attrs {
 			if a.Name.Space != "" {
-				uris[a.Name.Space] = true
+				st.uris[a.Name.Space] = true
 			}
 		}
 		return true
 	})
-	sorted := make([]string, 0, len(uris))
-	for u := range uris {
+	for u := range st.uris {
 		if u != "" {
-			sorted = append(sorted, u)
+			st.sorted = append(st.sorted, u)
 		}
 	}
-	sort.Strings(sorted)
-	ctx := newNSContext()
-	for _, u := range sorted {
-		ctx.get(u)
+	sort.Strings(st.sorted)
+	for _, u := range st.sorted {
+		st.ctx.get(u)
 	}
-	return e.serialize(ctx, true)
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	e.write(b, &st.ctx, true, true)
+	return b, st
 }
 
 func (e *Element) write(b *bytes.Buffer, ctx *nsContext, root, canonical bool) {
