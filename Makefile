@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench fuzz-smoke check ci
+.PHONY: all build vet test race race-delivery bench-smoke bench fuzz-smoke check ci
 
 all: build
 
@@ -20,6 +20,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The delivery-robustness packages (retry/eviction fan-out paths and
+# the fault-injection harness) re-run race-pinned and named explicitly:
+# their semantics — exactly-once eviction, health-ledger locking — are
+# concurrency claims, and this step keeps them from hiding inside the
+# blanket race pass.
+race-delivery:
+	$(GO) test -race -count=1 ./internal/wsn ./internal/wse ./internal/faultinject
 
 # One iteration of every benchmark: exercises the harnesses end to end
 # without asking CI for stable timings.
@@ -36,6 +44,6 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzParse -fuzztime 10s ./internal/xmlutil/
 
 # Everything a change should pass before review.
-check: build vet race bench-smoke fuzz-smoke
+check: build vet race race-delivery bench-smoke fuzz-smoke
 
 ci: check

@@ -16,9 +16,12 @@ package altstacks_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"altstacks/internal/container"
+	"altstacks/internal/faultinject"
 	"altstacks/internal/netlat"
+	"altstacks/internal/retry"
 	"altstacks/internal/wse"
 	"altstacks/internal/wsn"
 	"altstacks/internal/xmldb"
@@ -149,4 +152,185 @@ func benchWSEFanout(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---- Dead-subscriber fan-out cost ----
+
+// BenchmarkNotifyDeadSubscriber measures what one dead subscriber in a
+// 100-subscriber fan-out costs, in three phases per stack:
+//
+//   - healthy: all subscribers alive (the baseline)
+//   - retrying: one subscriber hangs every call; each publish pays the
+//     full retry budget (attempts × DeliveryTimeout plus backoff) for it
+//   - evicted: the dead subscription has been evicted (EvictAfter); the
+//     fan-out is back to baseline over the 99 survivors
+//
+// The dead endpoint is a faultinject drop plan (the call blocks until
+// the delivery timeout), the failure mode a silently dead host shows.
+//
+// Run: go test -bench=NotifyDeadSubscriber
+func BenchmarkNotifyDeadSubscriber(b *testing.B) {
+	b.Run("wsn", benchWSNDeadSubscriber)
+	b.Run("wse", benchWSEDeadSubscriber)
+}
+
+const (
+	deadBenchSubs    = 100
+	deadBenchTimeout = 50 * time.Millisecond
+)
+
+var deadBenchRetry = retry.Policy{
+	MaxAttempts: 3,
+	BaseBackoff: time.Millisecond,
+	MaxBackoff:  4 * time.Millisecond,
+}
+
+func benchWSNDeadSubscriber(b *testing.B) {
+	c := container.New(container.SecurityNone)
+	defer c.Close()
+	setupClient := container.NewClient(container.ClientConfig{})
+	deliverClient := container.NewClient(container.ClientConfig{Link: netlat.LAN})
+	p := wsn.NewProducer(xmldb.NewMemory(xmldb.CostModel{}), "subs",
+		func() string { return c.BaseURL() + "/manager" }, deliverClient)
+	in := faultinject.New()
+	p.Deliver = in.WrapClient(p.Deliver)
+	p.Workers = parWidth
+	p.DeliveryTimeout = deadBenchTimeout
+	p.Retry = deadBenchRetry
+	p.EvictAfter = 0 // managed per phase
+	svc := &container.Service{Path: "/producer", Actions: map[string]container.ActionFunc{}}
+	for a, fn := range p.ProducerPortType().Actions() {
+		svc.Actions[a] = fn
+	}
+	c.Register(svc)
+	c.Register(p.ManagerService("/manager"))
+	if _, err := c.Start(); err != nil {
+		b.Fatal(err)
+	}
+	var deadAddr string
+	for i := 0; i < deadBenchSubs; i++ {
+		cons, err := wsn.NewConsumer(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cons.Close()
+		if i == 0 {
+			deadAddr = cons.EPR().Address
+		}
+		if _, err := wsn.Subscribe(setupClient, c.EPR("/producer"), cons.EPR(),
+			wsn.SubscribeOptions{Topic: wsn.Concrete("bench/tick")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	msg := fanoutPayload()
+
+	b.Run("healthy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if n, err := p.Notify("bench/tick", msg); n != deadBenchSubs || err != nil {
+				b.Fatalf("Notify = %d, %v", n, err)
+			}
+		}
+	})
+	b.Run("retrying", func(b *testing.B) {
+		in.Set(deadAddr, faultinject.Plan{DropFirst: 1 << 30})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if n, err := p.Notify("bench/tick", msg); n != deadBenchSubs-1 || err == nil {
+				b.Fatalf("Notify = %d, %v", n, err)
+			}
+		}
+	})
+	b.Run("evicted", func(b *testing.B) {
+		// Warm-up publish to trigger the eviction; idempotent because the
+		// testing package runs this closure once with b.N=1 before the
+		// measured run, and the second pass finds the subscription gone.
+		p.EvictAfter = 1
+		if _, err := p.Notify("bench/tick", msg); err != nil && p.DeliveryStats().Evictions == 0 {
+			b.Fatalf("evicting publish did not evict: %v", err)
+		}
+		if subs, _ := p.Subscriptions(); len(subs) != deadBenchSubs-1 {
+			b.Fatalf("%d subscriptions, want %d", len(subs), deadBenchSubs-1)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if n, err := p.Notify("bench/tick", msg); n != deadBenchSubs-1 || err != nil {
+				b.Fatalf("Notify = %d, %v", n, err)
+			}
+		}
+	})
+}
+
+func benchWSEDeadSubscriber(b *testing.B) {
+	c := container.New(container.SecurityNone)
+	defer c.Close()
+	store, err := wse.NewStore("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	setupClient := container.NewClient(container.ClientConfig{})
+	deliverClient := container.NewClient(container.ClientConfig{Link: netlat.LAN})
+	src := wse.NewSource(store, func() string { return c.BaseURL() + "/manager" }, deliverClient)
+	defer src.TCP.Close()
+	in := faultinject.New()
+	src.HTTP = in.WrapClient(src.HTTP)
+	src.Workers = parWidth
+	src.DeliveryTimeout = deadBenchTimeout
+	src.Retry = deadBenchRetry
+	src.EvictAfter = 0 // managed per phase
+	c.Register(src.SourceService("/source"))
+	c.Register(src.ManagerService("/manager"))
+	if _, err := c.Start(); err != nil {
+		b.Fatal(err)
+	}
+	var deadAddr string
+	for i := 0; i < deadBenchSubs; i++ {
+		sink, err := wse.NewHTTPSink(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sink.Close()
+		if i == 0 {
+			deadAddr = sink.EPR().Address
+		}
+		if _, err := wse.Subscribe(setupClient, c.EPR("/source"), wse.SubscribeOptions{
+			NotifyTo: sink.EPR(), Filter: wse.TopicFilter("bench/*")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	msg := fanoutPayload()
+
+	b.Run("healthy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if n, err := src.Publish("bench/tick", msg); n != deadBenchSubs || err != nil {
+				b.Fatalf("Publish = %d, %v", n, err)
+			}
+		}
+	})
+	b.Run("retrying", func(b *testing.B) {
+		in.Set(deadAddr, faultinject.Plan{DropFirst: 1 << 30})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if n, err := src.Publish("bench/tick", msg); n != deadBenchSubs-1 || err == nil {
+				b.Fatalf("Publish = %d, %v", n, err)
+			}
+		}
+	})
+	b.Run("evicted", func(b *testing.B) {
+		// Warm-up publish to trigger the eviction; idempotent because the
+		// testing package runs this closure once with b.N=1 before the
+		// measured run, and the second pass finds the subscription gone.
+		src.EvictAfter = 1
+		if _, err := src.Publish("bench/tick", msg); err != nil && src.DeliveryStats().Evictions == 0 {
+			b.Fatalf("evicting publish did not evict: %v", err)
+		}
+		if remaining := len(src.Store.All()); remaining != deadBenchSubs-1 {
+			b.Fatalf("%d subscriptions, want %d", remaining, deadBenchSubs-1)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if n, err := src.Publish("bench/tick", msg); n != deadBenchSubs-1 || err != nil {
+				b.Fatalf("Publish = %d, %v", n, err)
+			}
+		}
+	})
 }

@@ -1,0 +1,232 @@
+package gridbox
+
+import (
+	"testing"
+	"time"
+
+	"altstacks/internal/container"
+	"altstacks/internal/faultinject"
+	"altstacks/internal/retry"
+	"altstacks/internal/wse"
+	"altstacks/internal/wsn"
+)
+
+// Fault-injection coverage for the VO-wide notification paths: job-exit
+// events fan out from the exec service to every VO member subscribed to
+// them, so one flaky or dead member must neither lose its own events
+// (retries) nor poison everyone else's (eviction).
+
+var fastPolicy = retry.Policy{
+	MaxAttempts: 3,
+	BaseBackoff: time.Millisecond,
+	MaxBackoff:  4 * time.Millisecond,
+}
+
+// waitFor polls cond until it holds or the deadline passes. Job-exit
+// notifications fan out on a background goroutine (and RunJob has a
+// status-poll safety net that can return first), so delivery stats and
+// evictions settle asynchronously relative to RunJob.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestWSRFVOFlakyMemberSurvivesRetries runs a real job through the
+// WSRF stack with a VO member whose consumer fails its first two
+// calls: the member still receives the JobExited notification, the
+// job workflow is unaffected, and the member is not evicted.
+func TestWSRFVOFlakyMemberSurvivesRetries(t *testing.T) {
+	w := startWSRFWorld(t)
+	w.vo.Producer.Retry = fastPolicy
+	in := faultinject.New()
+	w.vo.Producer.Deliver = in.WrapClient(w.vo.Producer.Deliver)
+
+	flaky, err := wsn.NewConsumer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(flaky.Close)
+	sub := container.NewClient(container.ClientConfig{})
+	if _, err := wsn.Subscribe(sub, w.vo.c.EPR("/exec"), flaky.EPR(),
+		wsn.SubscribeOptions{Topic: wsn.Simple(TopicJobExited)}); err != nil {
+		t.Fatal(err)
+	}
+	in.Set(flaky.EPR().Address, faultinject.Plan{FailFirst: 2})
+
+	res, err := w.client.RunJob(testSpec(), map[string]string{"in.dat": "x"}, 10*time.Second)
+	if err != nil {
+		t.Fatalf("RunJob with flaky member: %v", err)
+	}
+	if !res.Status.Done() {
+		t.Fatalf("job status = %+v", res.Status)
+	}
+
+	select {
+	case n := <-flaky.Ch:
+		if n.Topic != TopicJobExited {
+			t.Fatalf("flaky member got topic %q", n.Topic)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("flaky member never received the job-exit notification")
+	}
+	waitFor(t, "retry accounting", func() bool {
+		return w.vo.Producer.DeliveryStats().Retries >= 2
+	})
+	if ev := w.vo.Producer.DeliveryStats().Evictions; ev != 0 {
+		t.Fatalf("evictions = %d; a recovering member must not be evicted", ev)
+	}
+}
+
+// TestWSRFVODeadMemberEvictedWithoutPoisoningPublish runs jobs with a
+// permanently dead VO member: every job still completes (the client's
+// own notification is delivered), the dead member is evicted after
+// EvictAfter failed publishes, and later jobs no longer contact it.
+func TestWSRFVODeadMemberEvictedWithoutPoisoningPublish(t *testing.T) {
+	w := startWSRFWorld(t)
+	w.vo.Producer.Retry = fastPolicy
+	w.vo.Producer.EvictAfter = 2
+	in := faultinject.New()
+	w.vo.Producer.Deliver = in.WrapClient(w.vo.Producer.Deliver)
+
+	dead, err := wsn.NewConsumer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dead.Close)
+	sub := container.NewClient(container.ClientConfig{})
+	if _, err := wsn.Subscribe(sub, w.vo.c.EPR("/exec"), dead.EPR(),
+		wsn.SubscribeOptions{Topic: wsn.Simple(TopicJobExited)}); err != nil {
+		t.Fatal(err)
+	}
+	in.Set(dead.EPR().Address, faultinject.Plan{FailAll: true})
+
+	// Two jobs: the dead member fails both publishes and is evicted on
+	// the second; both jobs complete regardless.
+	for i := 0; i < 2; i++ {
+		if _, err := w.client.RunJob(testSpec(), nil, 10*time.Second); err != nil {
+			t.Fatalf("RunJob %d with dead member: %v", i, err)
+		}
+		// The exit notification fans out in the background; let each
+		// job's failed publish land on the ledger before the next.
+		want := int64(i + 1)
+		waitFor(t, "failed publish accounting", func() bool {
+			return w.vo.Producer.DeliveryStats().Failures >= want
+		})
+	}
+	waitFor(t, "the eviction", func() bool {
+		return w.vo.Producer.DeliveryStats().Evictions == 1
+	})
+
+	// A third job publishes without touching the evicted member.
+	calls := in.Calls(dead.EPR().Address)
+	// The subscription resource is already destroyed, so even a publish
+	// still in flight cannot route to the dead member again.
+	if _, err := w.client.RunJob(testSpec(), nil, 10*time.Second); err != nil {
+		t.Fatalf("RunJob after eviction: %v", err)
+	}
+	if got := in.Calls(dead.EPR().Address); got != calls {
+		t.Fatalf("evicted member contacted again (%d calls, was %d)", got, calls)
+	}
+}
+
+// TestWSTVOFlakyMemberSurvivesRetries is the WS-Eventing twin: a VO
+// member sink that fails its first two calls still receives the
+// per-job exit event thanks to delivery retries.
+func TestWSTVOFlakyMemberSurvivesRetries(t *testing.T) {
+	w := startWSTWorld(t)
+	w.vo.Source.Retry = fastPolicy
+	in := faultinject.New()
+	w.vo.Source.HTTP = in.WrapClient(w.vo.Source.HTTP)
+
+	flaky, err := wse.NewHTTPSink(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(flaky.Close)
+	sub := container.NewClient(container.ClientConfig{})
+	if _, err := wse.Subscribe(sub, w.vo.c.EPR("/execution-events"), wse.SubscribeOptions{
+		NotifyTo: flaky.EPR(),
+		Filter:   wse.TopicFilter(TopicJobPrefix + "**"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in.Set(flaky.EPR().Address, faultinject.Plan{FailFirst: 2})
+
+	if _, err := w.client.RunJob(testSpec(), map[string]string{"in.dat": "x"}, 10*time.Second); err != nil {
+		t.Fatalf("RunJob with flaky member: %v", err)
+	}
+	select {
+	case ev := <-flaky.Ch:
+		if ev.Topic == "" {
+			t.Fatal("flaky member got event without topic")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("flaky member never received the job event")
+	}
+	waitFor(t, "retry accounting", func() bool {
+		return w.vo.Source.DeliveryStats().Retries >= 2
+	})
+	if ev := w.vo.Source.DeliveryStats().Evictions; ev != 0 {
+		t.Fatalf("evictions = %d; a recovering member must not be evicted", ev)
+	}
+}
+
+// TestWSTVODeadMemberEvictedWithoutPoisoningPublish is the WS-Eventing
+// twin of the eviction test: jobs keep completing with a dead member
+// sink on the VO event source, and the member is evicted after
+// EvictAfter consecutive failed publishes.
+func TestWSTVODeadMemberEvictedWithoutPoisoningPublish(t *testing.T) {
+	w := startWSTWorld(t)
+	w.vo.Source.Retry = fastPolicy
+	w.vo.Source.EvictAfter = 2
+	in := faultinject.New()
+	w.vo.Source.HTTP = in.WrapClient(w.vo.Source.HTTP)
+
+	dead, err := wse.NewHTTPSink(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dead.Close)
+	sub := container.NewClient(container.ClientConfig{})
+	if _, err := wse.Subscribe(sub, w.vo.c.EPR("/execution-events"), wse.SubscribeOptions{
+		NotifyTo: dead.EPR(),
+		Filter:   wse.TopicFilter(TopicJobPrefix + "**"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := len(w.vo.Source.Store.All())
+	in.Set(dead.EPR().Address, faultinject.Plan{FailAll: true})
+
+	for i := 0; i < 2; i++ {
+		if _, err := w.client.RunJob(testSpec(), nil, 10*time.Second); err != nil {
+			t.Fatalf("RunJob %d with dead member: %v", i, err)
+		}
+		want := int64(i + 1)
+		waitFor(t, "failed publish accounting", func() bool {
+			return w.vo.Source.DeliveryStats().Failures >= want
+		})
+	}
+	waitFor(t, "the eviction", func() bool {
+		return w.vo.Source.DeliveryStats().Evictions == 1
+	})
+	if after := len(w.vo.Source.Store.All()); after != before-1 {
+		t.Fatalf("store holds %d subscriptions, want %d", after, before-1)
+	}
+
+	// The subscription is already out of the store, so even a publish
+	// still in flight cannot route to the dead member again.
+	calls := in.Calls(dead.EPR().Address)
+	if _, err := w.client.RunJob(testSpec(), nil, 10*time.Second); err != nil {
+		t.Fatalf("RunJob after eviction: %v", err)
+	}
+	if got := in.Calls(dead.EPR().Address); got != calls {
+		t.Fatalf("evicted member contacted again (%d calls, was %d)", got, calls)
+	}
+}

@@ -1,0 +1,93 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestZeroPolicySingleAttempt(t *testing.T) {
+	calls := 0
+	attempts, err := Do(context.Background(), Policy{}, func(context.Context) error {
+		calls++
+		return errors.New("boom")
+	})
+	if attempts != 1 || calls != 1 {
+		t.Fatalf("attempts=%d calls=%d, want 1/1", attempts, calls)
+	}
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	attempts, err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("attempts=%d err=%v, want 3/nil", attempts, err)
+	}
+}
+
+func TestExhaustsAttemptCap(t *testing.T) {
+	p := Policy{MaxAttempts: 4, BaseBackoff: time.Millisecond}
+	sentinel := errors.New("down")
+	attempts, err := Do(context.Background(), p, func(context.Context) error { return sentinel })
+	if attempts != 4 || !errors.Is(err, sentinel) {
+		t.Fatalf("attempts=%d err=%v, want 4/sentinel", attempts, err)
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	p := Policy{BaseBackoff: 40 * time.Millisecond, MaxBackoff: 100 * time.Millisecond}
+	for n, want := range []time.Duration{40, 80, 100, 100} {
+		want *= time.Millisecond
+		for i := 0; i < 50; i++ {
+			d := p.Backoff(n)
+			if d < want/2 || d > want {
+				t.Fatalf("Backoff(%d) = %v outside [%v, %v]", n, d, want/2, want)
+			}
+		}
+	}
+}
+
+func TestContextCancelStopsRetrying(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 100, BaseBackoff: 10 * time.Millisecond}
+	calls := 0
+	attempts, err := Do(ctx, p, func(context.Context) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return errors.New("down")
+	})
+	if attempts > 3 {
+		t.Fatalf("kept retrying after cancel: %d attempts", attempts)
+	}
+	if err == nil {
+		t.Fatal("expected the operation error")
+	}
+}
+
+func TestAttemptTimeoutBoundsEachTry(t *testing.T) {
+	p := Policy{MaxAttempts: 2, BaseBackoff: time.Millisecond, AttemptTimeout: 20 * time.Millisecond}
+	start := time.Now()
+	attempts, err := Do(context.Background(), p, func(ctx context.Context) error {
+		<-ctx.Done() // an op that hangs until its per-attempt deadline
+		return ctx.Err()
+	})
+	if attempts != 2 || err == nil {
+		t.Fatalf("attempts=%d err=%v", attempts, err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("attempt timeout did not bound the hang: %v", elapsed)
+	}
+}

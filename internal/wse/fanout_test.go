@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"altstacks/internal/container"
+	"altstacks/internal/retry"
 	"altstacks/internal/wsa"
 	"altstacks/internal/xmlutil"
 )
@@ -34,11 +35,13 @@ func slowSink(t *testing.T, delay time.Duration) wsa.EPR {
 // TestPublishFanOutMixedSinks drives the concurrent fan-out through a
 // subscriber set mixing healthy, unreachable, and topic-filtered
 // sinks: healthy sinks are all delivered to, the dead subscription is
-// cancelled exactly once (one SubscriptionEnd, removed from the
-// store), and the filtered subscription is untouched.
+// evicted exactly once (one SubscriptionEnd, removed from the store),
+// and the filtered subscription is untouched. EvictAfter is 1 so a
+// single failed publish (retries exhausted) evicts immediately.
 func TestPublishFanOutMixedSinks(t *testing.T) {
 	src, client, source := startSource(t, "")
 	src.Workers = 8
+	src.EvictAfter = 1
 
 	good := []*HTTPSink{httpSink(t), httpSink(t)}
 	for _, s := range good {
@@ -104,11 +107,14 @@ func TestPublishFanOutMixedSinks(t *testing.T) {
 
 // TestPublishDeliveryTimeoutBoundsSlowSink checks that one stalled
 // push-mode sink costs the batch at most DeliveryTimeout and is then
-// cancelled, while healthy deliveries land.
+// evicted, while healthy deliveries land. Retries are disabled so the
+// timing assertion pins a single bounded attempt.
 func TestPublishDeliveryTimeoutBoundsSlowSink(t *testing.T) {
 	src, client, source := startSource(t, "")
 	src.Workers = 4
 	src.DeliveryTimeout = 150 * time.Millisecond
+	src.Retry = retry.Policy{MaxAttempts: 1}
+	src.EvictAfter = 1
 
 	slow := slowSink(t, 2*time.Second)
 	fast := []*HTTPSink{httpSink(t), httpSink(t)}

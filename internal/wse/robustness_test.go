@@ -1,0 +1,239 @@
+package wse
+
+import (
+	"testing"
+	"time"
+
+	"altstacks/internal/faultinject"
+	"altstacks/internal/retry"
+	"altstacks/internal/wsa"
+)
+
+// fastRetry swaps the source's backoff for a millisecond-scale one so
+// the robustness tests exercise the full retry loop without real waits.
+func fastRetry(src *Source) {
+	src.Retry = retry.Policy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+}
+
+// TestPublishRetriesTransientSink pins the flaky-but-alive case over
+// HTTP push: a sink that fails its first two calls is reached on the
+// third attempt of the same Publish, and the subscription's failure
+// ledger stays clean.
+func TestPublishRetriesTransientSink(t *testing.T) {
+	src, client, source := startSource(t, "")
+	fastRetry(src)
+	in := faultinject.New()
+	src.HTTP = in.WrapClient(src.HTTP)
+
+	sink := httpSink(t)
+	if _, err := Subscribe(client, source, SubscribeOptions{NotifyTo: sink.EPR()}); err != nil {
+		t.Fatal(err)
+	}
+	in.Set(sink.EPR().Address, faultinject.Plan{FailFirst: 2})
+
+	n, err := src.Publish("t", jobDone("0"))
+	if n != 1 || err != nil {
+		t.Fatalf("Publish = %d, %v; want 1, nil", n, err)
+	}
+	recvEvent(t, sink.Ch)
+
+	st := src.DeliveryStats()
+	if st.Attempts != 3 || st.Retries != 2 || st.Deliveries != 1 || st.Failures != 0 {
+		t.Fatalf("stats = %+v; want 3 attempts, 2 retries, 1 delivery, 0 failures", st)
+	}
+	id := src.Store.All()[0].ID
+	if h := src.Health(id); h.ConsecutiveFailures != 0 || h.LastError != "" {
+		t.Fatalf("health after retried success = %+v; want clean", h)
+	}
+}
+
+// TestPublishEvictionEmitsExactlyOneEnd pins the eviction contract: the
+// subscription survives failures below EvictAfter, and crossing the
+// threshold removes it with exactly one SubscriptionEnd
+// (StatusDeliveryFailure) to its EndTo.
+func TestPublishEvictionEmitsExactlyOneEnd(t *testing.T) {
+	src, client, source := startSource(t, "")
+	fastRetry(src)
+	src.EvictAfter = 2
+	in := faultinject.New()
+	src.HTTP = in.WrapClient(src.HTTP)
+
+	dead := httpSink(t)
+	endSink := httpSink(t)
+	if _, err := Subscribe(client, source, SubscribeOptions{
+		NotifyTo: dead.EPR(),
+		EndTo:    endSink.EPR(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in.Set(dead.EPR().Address, faultinject.Plan{FailAll: true})
+
+	// Below the threshold: no end notice, the subscription stays.
+	if n, err := src.Publish("t", jobDone("0")); n != 0 || err == nil {
+		t.Fatalf("first Publish = %d, %v; want 0 and an error", n, err)
+	}
+	select {
+	case status := <-endSink.Ends:
+		t.Fatalf("premature SubscriptionEnd below threshold: %q", status)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if len(src.Store.All()) != 1 {
+		t.Fatal("subscription removed below EvictAfter")
+	}
+
+	// Crossing the threshold evicts with exactly one end notice.
+	if n, err := src.Publish("t", jobDone("1")); n != 0 || err == nil {
+		t.Fatalf("second Publish = %d, %v; want 0 and an error", n, err)
+	}
+	select {
+	case status := <-endSink.Ends:
+		if status != StatusDeliveryFailure {
+			t.Fatalf("SubscriptionEnd status = %q", status)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no SubscriptionEnd arrived at eviction")
+	}
+	select {
+	case status := <-endSink.Ends:
+		t.Fatalf("second SubscriptionEnd arrived: %q", status)
+	case <-time.After(200 * time.Millisecond):
+	}
+	if len(src.Store.All()) != 0 {
+		t.Fatal("evicted subscription still in store")
+	}
+	if ev := src.DeliveryStats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+// TestPublishRecoveryResetsFailureCount pins the recovering-sink
+// guarantee: one failed publish leaves a ledger entry, the next
+// successful one clears it, and the subscription is never evicted.
+func TestPublishRecoveryResetsFailureCount(t *testing.T) {
+	src, client, source := startSource(t, "")
+	fastRetry(src)
+	src.EvictAfter = 2
+	in := faultinject.New()
+	src.HTTP = in.WrapClient(src.HTTP)
+
+	sink := httpSink(t)
+	if _, err := Subscribe(client, source, SubscribeOptions{NotifyTo: sink.EPR()}); err != nil {
+		t.Fatal(err)
+	}
+	id := src.Store.All()[0].ID
+	in.Set(sink.EPR().Address, faultinject.Plan{FailFirst: src.Retry.MaxAttempts})
+
+	if n, err := src.Publish("t", jobDone("0")); n != 0 || err == nil {
+		t.Fatalf("Publish = %d, %v; want 0 and an error", n, err)
+	}
+	if h := src.Health(id); h.ConsecutiveFailures != 1 || h.LastError == "" {
+		t.Fatalf("health after failed publish = %+v; want 1 consecutive failure", h)
+	}
+	// The persisted record agrees (the ledger rides in the store file).
+	if h, ok := src.Store.GetHealth(id); !ok || h.ConsecutiveFailures != 1 {
+		t.Fatalf("persisted health = %+v, %v; want the recorded failure", h, ok)
+	}
+
+	if n, err := src.Publish("t", jobDone("1")); n != 1 || err != nil {
+		t.Fatalf("recovery Publish = %d, %v; want 1, nil", n, err)
+	}
+	recvEvent(t, sink.Ch)
+	if h := src.Health(id); h.ConsecutiveFailures != 0 || h.LastError != "" || h.LastSuccess.IsZero() {
+		t.Fatalf("health after recovery = %+v; want reset with a success timestamp", h)
+	}
+	if len(src.Store.All()) != 1 {
+		t.Fatal("recovering sink was evicted")
+	}
+}
+
+// TestHTTPSinkOverflowDropsWithCount pins the satellite fix for the
+// full-buffer sink: the sink still ACKs (so the source's delivery
+// succeeds and no retry storm starts) but the discarded events are
+// counted rather than vanishing silently.
+func TestHTTPSinkOverflowDropsWithCount(t *testing.T) {
+	src, client, source := startSource(t, "")
+	sink, err := NewHTTPSink(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sink.Close)
+	if _, err := Subscribe(client, source, SubscribeOptions{NotifyTo: sink.EPR()}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing drains Ch, so only the first event fits.
+	for i := 0; i < 3; i++ {
+		if n, err := src.Publish("t", jobDone("0")); n != 1 || err != nil {
+			t.Fatalf("Publish %d = %d, %v; a full sink must still ACK", i, n, err)
+		}
+	}
+	if d := sink.Dropped.Load(); d != 2 {
+		t.Fatalf("sink dropped %d events, want 2", d)
+	}
+	recvEvent(t, sink.Ch)
+}
+
+// TestShutdownBoundedByHungEndTo pins the satellite fix for unbounded
+// Shutdown: an EndTo consumer that accepts the connection and then
+// hangs costs at most DeliveryTimeout, not forever.
+func TestShutdownBoundedByHungEndTo(t *testing.T) {
+	src, client, source := startSource(t, "")
+	src.DeliveryTimeout = 100 * time.Millisecond
+	in := faultinject.New()
+	src.HTTP = in.WrapClient(src.HTTP)
+
+	sink := httpSink(t)
+	if _, err := Subscribe(client, source, SubscribeOptions{
+		NotifyTo: sink.EPR(),
+		EndTo:    sink.EPR(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Every call to the sink from here on hangs until the caller's
+	// timeout expires.
+	in.Set(sink.EPR().Address, faultinject.Plan{DropFirst: 1 << 20})
+
+	start := time.Now()
+	src.Shutdown()
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Shutdown took %v; DeliveryTimeout did not bound the hung EndTo", elapsed)
+	}
+	if len(src.Store.All()) != 0 {
+		t.Fatal("subscription survived shutdown")
+	}
+}
+
+// TestTCPEvictionViaConnWrapper drives the eviction path through the
+// raw-TCP channel: injected frame-write failures (surviving the
+// deliverer's own redial) exhaust the retry budget and evict the
+// subscription.
+func TestTCPEvictionViaConnWrapper(t *testing.T) {
+	src, client, source := startSource(t, "")
+	src.Retry = retry.Policy{MaxAttempts: 1}
+	src.EvictAfter = 1
+	in := faultinject.New()
+	src.TCP.WrapConn = in.ConnWrapper()
+
+	sink, err := NewTCPSink(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sink.Close)
+	if _, err := Subscribe(client, source, SubscribeOptions{
+		NotifyTo: wsa.NewEPR(sink.Addr()),
+		Mode:     DeliveryModeTCP,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in.Set(sink.Addr(), faultinject.Plan{FailAll: true})
+
+	if n, err := src.Publish("t", jobDone("0")); n != 0 || err == nil {
+		t.Fatalf("Publish = %d, %v; want 0 and an injected error", n, err)
+	}
+	if len(src.Store.All()) != 0 {
+		t.Fatal("dead TCP subscription not evicted")
+	}
+	if ev := src.DeliveryStats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}

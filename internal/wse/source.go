@@ -1,12 +1,15 @@
 package wse
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"altstacks/internal/container"
 	"altstacks/internal/fanout"
+	"altstacks/internal/retry"
 	"altstacks/internal/soap"
 	"altstacks/internal/uuid"
 	"altstacks/internal/wsa"
@@ -16,6 +19,14 @@ import (
 
 // DefaultExpiry is the lifetime granted when a Subscribe names none.
 const DefaultExpiry = time.Hour
+
+// Default delivery-robustness knobs, applied by NewSource.
+const (
+	DefaultMaxAttempts = 3
+	DefaultBaseBackoff = 25 * time.Millisecond
+	DefaultMaxBackoff  = 500 * time.Millisecond
+	DefaultEvictAfter  = 3
+)
 
 // Source is an Event Source Service plus its Subscription Manager.
 type Source struct {
@@ -34,26 +45,169 @@ type Source struct {
 	// Workers bounds the Publish delivery worker pool; 0 selects
 	// GOMAXPROCS. Width 1 forces the pre-overhaul sequential dispatch.
 	Workers int
-	// DeliveryTimeout caps each outbound delivery (HTTP exchange or TCP
-	// frame write) so one slow sink cannot stall a fan-out batch; 0
-	// means no per-delivery cap.
+	// DeliveryTimeout caps each outbound delivery attempt (HTTP
+	// exchange or TCP frame write) so one slow sink cannot stall a
+	// fan-out batch; 0 means no per-attempt cap.
 	DeliveryTimeout time.Duration
+	// Retry governs per-subscriber delivery attempts within one
+	// Publish: exponential backoff with jitter between attempts. The
+	// zero policy performs a single attempt.
+	Retry retry.Policy
+	// EvictAfter cancels a subscription after this many consecutive
+	// failed publishes (each one already retried per Retry), sending
+	// SubscriptionEnd with StatusDeliveryFailure to its EndTo. 0
+	// disables eviction.
+	EvictAfter int
 
 	sent atomic.Int64
+
+	// Per-subscription delivery health, authoritative while the source
+	// runs; transitions write through to the store so a restart resumes
+	// the count.
+	healthMu sync.Mutex
+	health   map[string]*SubscriptionHealth
+
+	stats deliveryCounters
 }
 
-// NewSource builds an event source.
+// DeliveryStats is a snapshot of a source's delivery counters.
+type DeliveryStats struct {
+	// Attempts counts individual delivery attempts, retries included.
+	Attempts int64
+	// Retries counts attempts beyond the first per delivery.
+	Retries int64
+	// Deliveries counts publishes that reached a subscriber.
+	Deliveries int64
+	// Failures counts deliveries whose attempts were exhausted.
+	Failures int64
+	// FilterErrors counts subscriptions skipped by a failing filter
+	// evaluation — a delivery fault, not a silent non-match.
+	FilterErrors int64
+	// Evictions counts subscriptions cancelled for delivery failure.
+	Evictions int64
+}
+
+type deliveryCounters struct {
+	attempts, retries, deliveries, failures, filterErrors, evictions atomic.Int64
+}
+
+// NewSource builds an event source with the default retry and
+// eviction policy (3 attempts per delivery, eviction after 3
+// consecutive failed publishes).
 func NewSource(store *Store, managerEndpoint func() string, httpClient *container.Client) *Source {
 	return &Source{
 		Store:           store,
 		ManagerEndpoint: managerEndpoint,
 		HTTP:            httpClient,
 		TCP:             NewTCPDeliverer(),
+		Retry: retry.Policy{
+			MaxAttempts: DefaultMaxAttempts,
+			BaseBackoff: DefaultBaseBackoff,
+			MaxBackoff:  DefaultMaxBackoff,
+		},
+		EvictAfter: DefaultEvictAfter,
 	}
 }
 
 // MessagesSent reports events pushed, for the benchmark harness.
 func (s *Source) MessagesSent() int64 { return s.sent.Load() }
+
+// DeliveryStats snapshots the source's delivery counters.
+func (s *Source) DeliveryStats() DeliveryStats {
+	return DeliveryStats{
+		Attempts:     s.stats.attempts.Load(),
+		Retries:      s.stats.retries.Load(),
+		Deliveries:   s.stats.deliveries.Load(),
+		Failures:     s.stats.failures.Load(),
+		FilterErrors: s.stats.filterErrors.Load(),
+		Evictions:    s.stats.evictions.Load(),
+	}
+}
+
+// Health returns the current delivery-health record for a
+// subscription (zero record for unknown or never-delivered ids).
+func (s *Source) Health(id string) SubscriptionHealth {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	if h, ok := s.health[id]; ok {
+		return *h
+	}
+	if h, ok := s.Store.GetHealth(id); ok {
+		return h
+	}
+	return SubscriptionHealth{}
+}
+
+// healthEntry returns (seeding from the store if needed) the mutable
+// health record for id. Callers hold healthMu.
+func (s *Source) healthEntry(id string) *SubscriptionHealth {
+	if s.health == nil {
+		s.health = map[string]*SubscriptionHealth{}
+	}
+	h, ok := s.health[id]
+	if !ok {
+		seed, _ := s.Store.GetHealth(id)
+		h = &seed
+		s.health[id] = h
+	}
+	return h
+}
+
+func (s *Source) dropHealth(id string) {
+	s.healthMu.Lock()
+	delete(s.health, id)
+	s.healthMu.Unlock()
+}
+
+// recordSuccess resets the consecutive-failure count; the write-back
+// to the store happens only on a transition (a recovery), so healthy
+// steady-state publishing never rewrites the flat file.
+func (s *Source) recordSuccess(sub *Subscription) {
+	now := s.now()
+	s.healthMu.Lock()
+	h := s.healthEntry(sub.ID)
+	recovered := h.ConsecutiveFailures != 0 || h.LastError != ""
+	h.ConsecutiveFailures = 0
+	h.LastError = ""
+	h.LastSuccess = now
+	snap := *h
+	s.healthMu.Unlock()
+	if recovered {
+		_ = s.Store.SetHealth(sub.ID, snap)
+	}
+}
+
+// recordFault counts one failed publish against the subscription and
+// evicts it once the consecutive-failure count reaches EvictAfter.
+func (s *Source) recordFault(sub *Subscription, cause error) {
+	now := s.now()
+	s.healthMu.Lock()
+	h := s.healthEntry(sub.ID)
+	h.ConsecutiveFailures++
+	h.LastError = cause.Error()
+	h.LastFailure = now
+	evict := s.EvictAfter > 0 && h.ConsecutiveFailures >= s.EvictAfter
+	snap := *h
+	s.healthMu.Unlock()
+	_ = s.Store.SetHealth(sub.ID, snap)
+	if evict {
+		s.evict(sub, cause)
+	}
+}
+
+// evict cancels a dead subscription. The store delete is the
+// exactly-once gate: whichever caller removes the subscription sends
+// the single SubscriptionEnd; racing evictors and explicit cancels
+// find it already gone and do nothing.
+func (s *Source) evict(sub *Subscription, cause error) {
+	ok, _ := s.Store.Delete(sub.ID)
+	if !ok {
+		return
+	}
+	s.dropHealth(sub.ID)
+	s.stats.evictions.Add(1)
+	s.sendEnd(s.endClient(), sub, StatusDeliveryFailure, cause.Error())
+}
 
 func (s *Source) now() time.Time {
 	if s.Now != nil {
@@ -196,20 +350,23 @@ func (s *Source) unsubscribe(ctx *container.Ctx) (*xmlutil.Element, error) {
 	if _, err := s.Store.Delete(sub.ID); err != nil {
 		return nil, err
 	}
+	s.dropHealth(sub.ID)
 	return xmlutil.New(NS, "UnsubscribeResponse"), nil
 }
 
 // Publish pushes an event to every live subscription whose filter
-// matches, returning the delivery count. A subscription whose delivery
-// fails is cancelled and, when it named an EndTo, sent a
-// SubscriptionEnd with StatusDeliveryFailure.
+// matches, returning the delivery count. Each delivery is retried per
+// the Retry policy; a subscription whose publishes keep failing
+// EvictAfter times in a row is cancelled with exactly one
+// SubscriptionEnd (StatusDeliveryFailure) to its EndTo, so one dead
+// consumer stops taxing every subsequent fan-out.
 //
-// Expiry and filter checks run up front; the matched deliveries then
-// fan out over a bounded worker pool. Each failed subscription is
-// cancelled by the one worker that owns its delivery, so cancellation
-// (and its SubscriptionEnd) happens exactly once, and the returned
-// error is the first failure in subscription order — the same
-// semantics as the sequential dispatch this replaces.
+// Expiry and filter checks run up front; a filter whose evaluation
+// errors counts as a delivery fault against its subscription (feeding
+// the same eviction ledger) rather than silently not matching. The
+// matched deliveries then fan out over a bounded worker pool; the
+// returned error is the first failure in subscription order — the
+// same semantics as the sequential dispatch this replaces.
 func (s *Source) Publish(topic string, message *xmlutil.Element) (int, error) {
 	now := s.now()
 	var matched []*Subscription
@@ -218,7 +375,12 @@ func (s *Source) Publish(topic string, message *xmlutil.Element) (int, error) {
 			continue
 		}
 		ok, err := s.filterMatches(sub.Filter, topic, message)
-		if err != nil || !ok {
+		if err != nil {
+			s.stats.filterErrors.Add(1)
+			s.recordFault(sub, fmt.Errorf("wse: filter evaluation for subscription %s: %w", sub.ID, err))
+			continue
+		}
+		if !ok {
 			continue
 		}
 		matched = append(matched, sub)
@@ -235,9 +397,13 @@ func (s *Source) Publish(topic string, message *xmlutil.Element) (int, error) {
 	errs := make([]error, len(matched))
 	fanout.Do(len(matched), s.Workers, func(i int) {
 		sub := matched[i]
-		if err := s.deliver(httpClient, sub, topic, message); err != nil {
+		if err := s.deliverWithRetry(httpClient, sub, topic, message); err != nil {
 			errs[i] = err
-			s.cancel(sub, StatusDeliveryFailure, err.Error())
+			s.stats.failures.Add(1)
+			s.recordFault(sub, err)
+		} else {
+			s.stats.deliveries.Add(1)
+			s.recordSuccess(sub)
 		}
 	})
 	delivered := 0
@@ -268,8 +434,23 @@ func (s *Source) filterMatches(f Filter, topic string, message *xmlutil.Element)
 	}
 }
 
-func (s *Source) deliver(client *container.Client, sub *Subscription, topic string, message *xmlutil.Element) error {
+// deliverWithRetry runs one subscriber's delivery under the retry
+// policy, counting attempts and retries. sent counts once per
+// delivered message (not per attempt) so MessagesSent keeps measuring
+// fan-out amplification, not retry noise.
+func (s *Source) deliverWithRetry(client *container.Client, sub *Subscription, topic string, message *xmlutil.Element) error {
 	s.sent.Add(1)
+	attempts, err := retry.Do(context.Background(), s.Retry, func(context.Context) error {
+		return s.deliverOnce(client, sub, topic, message)
+	})
+	s.stats.attempts.Add(int64(attempts))
+	if attempts > 1 {
+		s.stats.retries.Add(int64(attempts - 1))
+	}
+	return err
+}
+
+func (s *Source) deliverOnce(client *container.Client, sub *Subscription, topic string, message *xmlutil.Element) error {
 	switch sub.Mode {
 	case DeliveryModeTCP:
 		env := soap.New(message)
@@ -287,13 +468,19 @@ func (s *Source) deliver(client *container.Client, sub *Subscription, topic stri
 	}
 }
 
-// cancel removes a subscription and notifies its EndTo endpoint.
-func (s *Source) cancel(sub *Subscription, status, reason string) {
-	_, _ = s.Store.Delete(sub.ID)
-	s.sendEnd(sub, status, reason)
+// cancel removes a subscription and notifies its EndTo endpoint over
+// the given (timeout-bounded) client. The store delete gates the end
+// notice, so concurrent cancels and evictions send at most one.
+func (s *Source) cancel(client *container.Client, sub *Subscription, status, reason string) {
+	ok, _ := s.Store.Delete(sub.ID)
+	if !ok {
+		return
+	}
+	s.dropHealth(sub.ID)
+	s.sendEnd(client, sub, status, reason)
 }
 
-func (s *Source) sendEnd(sub *Subscription, status, reason string) {
+func (s *Source) sendEnd(client *container.Client, sub *Subscription, status, reason string) {
 	if sub.EndTo.IsZero() {
 		return
 	}
@@ -301,14 +488,26 @@ func (s *Source) sendEnd(sub *Subscription, status, reason string) {
 		xmlutil.NewText(NS, "Status", status),
 		xmlutil.NewText(NS, "Reason", reason),
 	)
-	_, _ = s.HTTP.Call(sub.EndTo, ActionSubscriptionEnd, end)
+	_, _ = client.Call(sub.EndTo, ActionSubscriptionEnd, end)
+}
+
+// endClient bounds end-notice deliveries with the per-delivery
+// timeout: an EndTo endpoint is just another consumer and may be as
+// dead as the subscription being ended.
+func (s *Source) endClient() *container.Client {
+	return s.HTTP.WithTimeout(s.DeliveryTimeout)
 }
 
 // Shutdown cancels every live subscription with SourceShuttingDown.
+// End notices go through the fan-out pool and are each bounded by
+// DeliveryTimeout, so one hung EndTo consumer delays shutdown by at
+// most one timeout instead of stalling it forever.
 func (s *Source) Shutdown() {
-	for _, sub := range s.Store.All() {
-		s.cancel(sub, StatusSourceShuttingDown, "event source shutting down")
-	}
+	subs := s.Store.All()
+	client := s.endClient()
+	fanout.Do(len(subs), s.Workers, func(i int) {
+		s.cancel(client, subs[i], StatusSourceShuttingDown, "event source shutting down")
+	})
 	s.TCP.Close()
 }
 
@@ -429,10 +628,19 @@ func Unsubscribe(c *container.Client, manager wsa.EPR) error {
 // HTTPSink is a push-mode consumer endpoint: a minimal container
 // service that surfaces delivered events (and SubscriptionEnd
 // messages) on a channel.
+//
+// Overflow behavior is drop-with-count: when Ch is full the event is
+// discarded, Dropped is incremented, and the delivery is still ACKed —
+// the sink deliberately sheds load rather than backpressuring the
+// source's fan-out pool. Consumers that need every event must size the
+// buffer (or drain) accordingly and can watch Dropped for loss.
 type HTTPSink struct {
 	C    *container.Container
 	Ch   chan Event
 	Ends chan string // SubscriptionEnd status URIs
+	// Dropped counts events (and end notices) discarded because their
+	// channel was full.
+	Dropped atomic.Int64
 }
 
 // NewHTTPSink starts a push-mode sink on a fresh loopback port.
@@ -453,6 +661,7 @@ func NewHTTPSink(buffer int) (*HTTPSink, error) {
 				select {
 				case s.Ch <- ev:
 				default:
+					s.Dropped.Add(1)
 				}
 				return xmlutil.New(NS, "EventAck"), nil
 			},
@@ -460,6 +669,7 @@ func NewHTTPSink(buffer int) (*HTTPSink, error) {
 				select {
 				case s.Ends <- ctx.Envelope.Body.ChildText(NS, "Status"):
 				default:
+					s.Dropped.Add(1)
 				}
 				return xmlutil.New(NS, "SubscriptionEndAck"), nil
 			},

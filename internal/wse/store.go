@@ -64,6 +64,32 @@ func (s *Store) Get(id string) *Subscription {
 	return s.subs[id]
 }
 
+// SetHealth writes a subscription's delivery-health record through to
+// the store (and its flat file). Unknown ids are a no-op: the
+// subscription may have been cancelled while its last delivery was in
+// flight.
+func (s *Store) SetHealth(id string, h SubscriptionHealth) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub, ok := s.subs[id]
+	if !ok {
+		return nil
+	}
+	sub.Health = h
+	return s.flushLocked()
+}
+
+// GetHealth returns the persisted health record for a subscription.
+func (s *Store) GetHealth(id string) (SubscriptionHealth, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub, ok := s.subs[id]
+	if !ok {
+		return SubscriptionHealth{}, false
+	}
+	return sub.Health, true
+}
+
 // Delete removes a subscription; it reports whether it existed.
 func (s *Store) Delete(id string) (bool, error) {
 	s.mu.Lock()

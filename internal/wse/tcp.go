@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"altstacks/internal/soap"
@@ -30,10 +31,14 @@ type Event struct {
 }
 
 // TCPSink is the consumer-side SoapReceiver: it accepts connections
-// and surfaces each framed envelope as an Event on Ch.
+// and surfaces each framed envelope as an Event on Ch. Like HTTPSink,
+// overflow is drop-with-count: a full Ch discards the event and bumps
+// Dropped rather than blocking the wire.
 type TCPSink struct {
 	ln net.Listener
 	Ch chan Event
+	// Dropped counts events discarded because Ch was full.
+	Dropped atomic.Int64
 
 	mu    sync.Mutex
 	conns map[net.Conn]bool
@@ -121,6 +126,7 @@ func (s *TCPSink) readLoop(conn net.Conn) {
 		case s.Ch <- ev:
 		default:
 			// Best-effort: drop on overflow rather than block the wire.
+			s.Dropped.Add(1)
 		}
 	}
 }

@@ -24,6 +24,7 @@ package wse
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -106,6 +107,27 @@ func matchTopic(pattern, topic string) bool {
 	return len(ps) == len(ts)
 }
 
+// SubscriptionHealth is the delivery-health record kept per
+// subscription: how many publishes in a row have failed to reach the
+// consumer, what the last failure looked like, and when delivery last
+// worked. It is persisted with the subscription (on transitions, not
+// on every success) so a restarted source resumes counting toward
+// eviction instead of granting a dead subscriber a fresh allowance.
+type SubscriptionHealth struct {
+	// ConsecutiveFailures counts failed publishes since the last
+	// successful delivery; any success resets it to zero.
+	ConsecutiveFailures int
+	LastError           string
+	LastSuccess         time.Time
+	LastFailure         time.Time
+}
+
+// IsZero reports a never-touched health record.
+func (h SubscriptionHealth) IsZero() bool {
+	return h.ConsecutiveFailures == 0 && h.LastError == "" &&
+		h.LastSuccess.IsZero() && h.LastFailure.IsZero()
+}
+
 // Subscription is one registered event consumer.
 type Subscription struct {
 	ID       string
@@ -116,6 +138,10 @@ type Subscription struct {
 	Mode    string
 	Filter  Filter
 	Expires time.Time
+	// Health is the persisted delivery-health record; the source's
+	// in-memory tracker is authoritative while running and writes
+	// through here on transitions.
+	Health SubscriptionHealth
 }
 
 // Expired reports whether the subscription has lapsed at the given time.
@@ -135,6 +161,20 @@ func (s *Subscription) encode() *xmlutil.Element {
 	}
 	if !s.Expires.IsZero() {
 		el.Add(xmlutil.NewText(NS, "Expires", s.Expires.UTC().Format(time.RFC3339Nano)))
+	}
+	if !s.Health.IsZero() {
+		h := xmlutil.New(NS, "Health")
+		h.Add(xmlutil.NewText(NS, "ConsecutiveFailures", strconv.Itoa(s.Health.ConsecutiveFailures)))
+		if s.Health.LastError != "" {
+			h.Add(xmlutil.NewText(NS, "LastError", s.Health.LastError))
+		}
+		if !s.Health.LastSuccess.IsZero() {
+			h.Add(xmlutil.NewText(NS, "LastSuccess", s.Health.LastSuccess.UTC().Format(time.RFC3339Nano)))
+		}
+		if !s.Health.LastFailure.IsZero() {
+			h.Add(xmlutil.NewText(NS, "LastFailure", s.Health.LastFailure.UTC().Format(time.RFC3339Nano)))
+		}
+		el.Add(h)
 	}
 	return el
 }
@@ -168,6 +208,16 @@ func decodeSubscription(el *xmlutil.Element) (*Subscription, error) {
 			return nil, fmt.Errorf("wse: subscription %s: bad Expires: %w", s.ID, err)
 		}
 		s.Expires = t
+	}
+	if h := el.Child(NS, "Health"); h != nil {
+		s.Health.ConsecutiveFailures, _ = strconv.Atoi(h.ChildText(NS, "ConsecutiveFailures"))
+		s.Health.LastError = h.ChildText(NS, "LastError")
+		if v := h.ChildText(NS, "LastSuccess"); v != "" {
+			s.Health.LastSuccess, _ = time.Parse(time.RFC3339Nano, v)
+		}
+		if v := h.ChildText(NS, "LastFailure"); v != "" {
+			s.Health.LastFailure, _ = time.Parse(time.RFC3339Nano, v)
+		}
 	}
 	return s, nil
 }

@@ -230,6 +230,7 @@ func TestExpiredSubscriptionSkipped(t *testing.T) {
 
 func TestDeliveryFailureSendsSubscriptionEnd(t *testing.T) {
 	src, client, source := startSource(t, "")
+	src.EvictAfter = 1
 	endSink := httpSink(t)
 	// NotifyTo points at a dead endpoint; EndTo at a live sink.
 	dead := wsa.NewEPR("http://127.0.0.1:1/never")
@@ -352,6 +353,7 @@ func TestNotificationManagerTrigger(t *testing.T) {
 
 func TestTCPReconnectAfterSinkRestart(t *testing.T) {
 	src, client, source := startSource(t, "")
+	src.EvictAfter = 1
 	sink, err := NewTCPSink(16)
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package wsn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"altstacks/internal/container"
 	"altstacks/internal/fanout"
+	"altstacks/internal/retry"
 	"altstacks/internal/soap"
 	"altstacks/internal/wsa"
 	"altstacks/internal/wsrf"
@@ -27,6 +29,14 @@ const (
 	ActionPause             = NSNT + "/PauseSubscription"
 	ActionResume            = NSNT + "/ResumeSubscription"
 	ActionGetCurrentMessage = NSNT + "/GetCurrentMessage"
+)
+
+// Default delivery-robustness knobs, applied by NewProducer.
+const (
+	DefaultMaxAttempts = 3
+	DefaultBaseBackoff = 25 * time.Millisecond
+	DefaultMaxBackoff  = 500 * time.Millisecond
+	DefaultEvictAfter  = 3
 )
 
 // Subscription is the decoded state of one subscription resource.
@@ -106,11 +116,25 @@ type Producer struct {
 	// Workers bounds the Notify delivery worker pool; 0 selects
 	// GOMAXPROCS. Width 1 forces the pre-overhaul sequential dispatch.
 	Workers int
-	// DeliveryTimeout caps each outbound delivery so one slow consumer
-	// cannot stall a fan-out batch; 0 means no per-delivery cap.
+	// DeliveryTimeout caps each outbound delivery attempt so one slow
+	// consumer cannot stall a fan-out batch; 0 means no per-attempt cap.
 	DeliveryTimeout time.Duration
+	// Retry governs per-consumer delivery attempts within one Notify:
+	// exponential backoff with jitter between attempts. The zero policy
+	// performs a single attempt.
+	Retry retry.Policy
+	// EvictAfter destroys a subscription resource after this many
+	// consecutive failed publishes (each already retried per Retry) —
+	// the producer-side termination WS-BaseNotification expresses
+	// through the subscription's lifetime path. 0 disables eviction.
+	EvictAfter int
 
 	sent atomic.Int64
+	// Per-subscription delivery health; transitions persist to the
+	// "<collection>-health" sibling collection (see delivery.go).
+	healthMu sync.Mutex
+	health   map[string]*SubscriptionHealth
+	stats    deliveryCounters
 	// lastMessage caches the most recent message per topic for the
 	// spec's GetCurrentMessage operation.
 	lastMu      sync.Mutex
@@ -146,10 +170,19 @@ func NewProducer(db *xmldb.DB, collection string, managerEndpoint func() string,
 		// the structural disadvantage versus WS-Eventing's persistent
 		// TCP channel (paper §4.1.3).
 		Deliver: deliver.WithoutKeepAlives(),
+		Retry: retry.Policy{
+			MaxAttempts: DefaultMaxAttempts,
+			BaseBackoff: DefaultBaseBackoff,
+			MaxBackoff:  DefaultMaxBackoff,
+		},
+		EvictAfter: DefaultEvictAfter,
 	}
 	// Unsubscribe (Destroy through the manager) must also recompute
-	// demand-based publishing state.
-	p.Subs.AfterDestroy = func(string) { p.changed() }
+	// demand-based publishing state and drop the delivery ledger.
+	p.Subs.AfterDestroy = func(id string) {
+		p.dropHealth(id)
+		p.changed()
+	}
 	return p
 }
 
@@ -368,13 +401,20 @@ func (p *Producer) HasActiveSubscriber(topic string) bool {
 // and returns how many deliveries were made. Matching applies, in
 // order, the paused flag, the topic filter, the message-content
 // filter, and the producer-properties filter (paper §2.1 lists all
-// three filter kinds).
+// three filter kinds). A filter whose evaluation errors no longer
+// silently drops the subscriber from the fan-out: it is counted as a
+// delivery fault against that subscription (FilterErrors in the
+// stats), feeding the same health ledger — and eviction threshold —
+// as failed deliveries.
 // Matching runs up front on the caller's goroutine (filters touch
 // shared producer state and are cheap); the matched deliveries then
 // fan out over a bounded worker pool, since each one is an independent
-// HTTP exchange whose latency dominates the batch. Delivery count and
-// first-error (in subscription order) semantics are identical to the
-// sequential dispatch this replaces.
+// HTTP exchange whose latency dominates the batch. Each delivery is
+// retried per the Retry policy; a subscriber that fails EvictAfter
+// consecutive publishes is evicted (its subscription resource
+// destroyed) so it stops taxing every subsequent fan-out. Delivery
+// count and first-error (in subscription order) semantics are
+// identical to the sequential dispatch this replaces.
 func (p *Producer) Notify(topic string, message *xmlutil.Element) (int, error) {
 	p.lastMu.Lock()
 	if p.lastMessage == nil {
@@ -389,7 +429,12 @@ func (p *Producer) Notify(topic string, message *xmlutil.Element) (int, error) {
 	var matched []*Subscription
 	for _, sub := range subs {
 		ok, err := p.matches(sub, topic, message)
-		if err != nil || !ok {
+		if err != nil {
+			p.stats.filterErrors.Add(1)
+			p.recordFault(sub.ID, fmt.Errorf("wsn: filter evaluation for subscription %s: %w", sub.ID, err))
+			continue
+		}
+		if !ok {
 			continue
 		}
 		matched = append(matched, sub)
@@ -421,7 +466,15 @@ func (p *Producer) Notify(topic string, message *xmlutil.Element) (int, error) {
 
 	errs := make([]error, len(matched))
 	fanout.Do(len(matched), p.Workers, func(i int) {
-		errs[i] = p.deliver(client, matched[i], wrapped, message)
+		sub := matched[i]
+		if err := p.deliverWithRetry(client, sub, wrapped, message); err != nil {
+			errs[i] = err
+			p.stats.failures.Add(1)
+			p.recordFault(sub.ID, err)
+			return
+		}
+		p.stats.deliveries.Add(1)
+		p.recordSuccess(sub.ID)
 	})
 	delivered := 0
 	var firstErr error
@@ -499,8 +552,24 @@ func (p *Producer) matches(sub *Subscription, topic string, message *xmlutil.Ele
 	return true, nil
 }
 
-func (p *Producer) deliver(client *container.Client, sub *Subscription, wrapped, raw *xmlutil.Element) error {
+// deliverWithRetry runs one notification delivery under the producer's
+// retry policy. The sent counter moves once per delivery (not per
+// attempt), preserving the message-amplification semantics of
+// MessagesSent; attempts and retries are accounted separately in the
+// delivery stats.
+func (p *Producer) deliverWithRetry(client *container.Client, sub *Subscription, wrapped, raw *xmlutil.Element) error {
 	p.sent.Add(1)
+	attempts, err := retry.Do(context.Background(), p.Retry, func(context.Context) error {
+		return p.deliverOnce(client, sub, wrapped, raw)
+	})
+	p.stats.attempts.Add(int64(attempts))
+	if attempts > 1 {
+		p.stats.retries.Add(int64(attempts - 1))
+	}
+	return err
+}
+
+func (p *Producer) deliverOnce(client *container.Client, sub *Subscription, wrapped, raw *xmlutil.Element) error {
 	if sub.UseRaw {
 		// Raw delivery: the payload is posted bare. The paper flags this
 		// mode as an interoperability hazard ("the information passed

@@ -1,0 +1,193 @@
+// Delivery robustness for the WS-Notification producer: per-subscription
+// health tracking, retry accounting, and dead-subscriber eviction.
+//
+// WS-BaseNotification has no SubscriptionEnd message; a producer that
+// gives up on a subscriber terminates the subscription through its
+// lifetime path instead (the subscription is itself a WS-Resource, so
+// eviction is a Destroy). Health records persist in a sibling
+// collection ("<subs>-health") — alongside the subscriptions but
+// outside their collection, so failure bookkeeping never invalidates
+// the generation-cached subscription scan that keeps steady-state
+// Notify off the database.
+package wsn
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"altstacks/internal/xmlutil"
+)
+
+// SubscriptionHealth is the per-subscription delivery ledger:
+// consecutive failed publishes (retries exhausted), the last error,
+// and the last success/failure instants. Any successful delivery
+// resets the failure count, so a flaky-but-recovering consumer is
+// never evicted.
+type SubscriptionHealth struct {
+	ConsecutiveFailures int
+	LastError           string
+	LastSuccess         time.Time
+	LastFailure         time.Time
+}
+
+// DeliveryStats is a snapshot of a producer's delivery counters.
+type DeliveryStats struct {
+	// Attempts counts individual delivery attempts, retries included.
+	Attempts int64
+	// Retries counts attempts beyond the first per delivery.
+	Retries int64
+	// Deliveries counts notifications that reached a consumer.
+	Deliveries int64
+	// Failures counts deliveries whose attempts were exhausted.
+	Failures int64
+	// FilterErrors counts subscriptions skipped by a failing filter
+	// evaluation — previously a silent vanish from the fan-out, now a
+	// counted delivery fault.
+	FilterErrors int64
+	// Evictions counts subscriptions destroyed for delivery failure.
+	Evictions int64
+}
+
+type deliveryCounters struct {
+	attempts, retries, deliveries, failures, filterErrors, evictions atomic.Int64
+}
+
+// DeliveryStats snapshots the producer's delivery counters.
+func (p *Producer) DeliveryStats() DeliveryStats {
+	return DeliveryStats{
+		Attempts:     p.stats.attempts.Load(),
+		Retries:      p.stats.retries.Load(),
+		Deliveries:   p.stats.deliveries.Load(),
+		Failures:     p.stats.failures.Load(),
+		FilterErrors: p.stats.filterErrors.Load(),
+		Evictions:    p.stats.evictions.Load(),
+	}
+}
+
+// Health returns the current delivery-health record for a
+// subscription (zero record for unknown or never-delivered ids).
+func (p *Producer) Health(id string) SubscriptionHealth {
+	p.healthMu.Lock()
+	defer p.healthMu.Unlock()
+	return *p.healthEntry(id)
+}
+
+// healthCollection is where health records persist, beside the
+// subscription collection (like the "-current" message collection).
+func (p *Producer) healthCollection() string { return p.Subs.Collection + "-health" }
+
+// healthEntry returns (seeding from the database if a persisted record
+// exists) the mutable health record for id. Callers hold healthMu.
+func (p *Producer) healthEntry(id string) *SubscriptionHealth {
+	if p.health == nil {
+		p.health = map[string]*SubscriptionHealth{}
+	}
+	h, ok := p.health[id]
+	if !ok {
+		seed := p.loadHealth(id)
+		h = &seed
+		p.health[id] = h
+	}
+	return h
+}
+
+// dropHealth forgets a subscription's ledger in memory and on disk;
+// wired to AfterDestroy so unsubscribes and evictions both clean up.
+func (p *Producer) dropHealth(id string) {
+	p.healthMu.Lock()
+	delete(p.health, id)
+	p.healthMu.Unlock()
+	if p.Subs != nil && p.Subs.DB != nil {
+		_ = p.Subs.DB.Delete(p.healthCollection(), id)
+	}
+}
+
+// recordSuccess resets the failure count; persistence happens only on
+// a recovery transition, so healthy steady-state Notify performs no
+// health writes.
+func (p *Producer) recordSuccess(id string) {
+	now := time.Now()
+	p.healthMu.Lock()
+	h := p.healthEntry(id)
+	recovered := h.ConsecutiveFailures != 0 || h.LastError != ""
+	h.ConsecutiveFailures = 0
+	h.LastError = ""
+	h.LastSuccess = now
+	snap := *h
+	p.healthMu.Unlock()
+	if recovered {
+		p.persistHealth(id, snap)
+	}
+}
+
+// recordFault counts one failed publish (delivery exhaustion or filter
+// evaluation error) against the subscription and evicts it once the
+// consecutive-failure count reaches EvictAfter.
+func (p *Producer) recordFault(id string, cause error) {
+	now := time.Now()
+	p.healthMu.Lock()
+	h := p.healthEntry(id)
+	h.ConsecutiveFailures++
+	h.LastError = cause.Error()
+	h.LastFailure = now
+	evict := p.EvictAfter > 0 && h.ConsecutiveFailures >= p.EvictAfter
+	snap := *h
+	p.healthMu.Unlock()
+	p.persistHealth(id, snap)
+	if evict {
+		p.evict(id)
+	}
+}
+
+// evict terminates a dead subscription through the lifetime path:
+// Destroy on the subscription WS-Resource. Destroy's not-found error
+// is the exactly-once gate — whichever caller actually removes the
+// resource counts the eviction; racing evictors and explicit
+// unsubscribes find it gone and do nothing. AfterDestroy invalidates
+// the subscription cache, so the next Notify no longer scans the
+// evicted consumer.
+func (p *Producer) evict(id string) {
+	if err := p.Subs.Destroy(id); err != nil {
+		return
+	}
+	p.stats.evictions.Add(1)
+}
+
+func (p *Producer) persistHealth(id string, h SubscriptionHealth) {
+	if p.Subs == nil || p.Subs.DB == nil {
+		return
+	}
+	doc := xmlutil.New(NSNT, "SubscriptionHealth").Add(
+		xmlutil.NewText(NSNT, "ConsecutiveFailures", strconv.Itoa(h.ConsecutiveFailures)))
+	if h.LastError != "" {
+		doc.Add(xmlutil.NewText(NSNT, "LastError", h.LastError))
+	}
+	if !h.LastSuccess.IsZero() {
+		doc.Add(xmlutil.NewText(NSNT, "LastSuccess", h.LastSuccess.UTC().Format(time.RFC3339Nano)))
+	}
+	if !h.LastFailure.IsZero() {
+		doc.Add(xmlutil.NewText(NSNT, "LastFailure", h.LastFailure.UTC().Format(time.RFC3339Nano)))
+	}
+	_ = p.Subs.DB.Put(p.healthCollection(), id, doc)
+}
+
+func (p *Producer) loadHealth(id string) SubscriptionHealth {
+	var h SubscriptionHealth
+	if p.Subs == nil || p.Subs.DB == nil {
+		return h
+	}
+	doc, err := p.Subs.DB.Get(p.healthCollection(), id)
+	if err != nil {
+		return h
+	}
+	h.ConsecutiveFailures, _ = strconv.Atoi(doc.ChildText(NSNT, "ConsecutiveFailures"))
+	h.LastError = doc.ChildText(NSNT, "LastError")
+	if v := doc.ChildText(NSNT, "LastSuccess"); v != "" {
+		h.LastSuccess, _ = time.Parse(time.RFC3339Nano, v)
+	}
+	if v := doc.ChildText(NSNT, "LastFailure"); v != "" {
+		h.LastFailure, _ = time.Parse(time.RFC3339Nano, v)
+	}
+	return h
+}

@@ -100,8 +100,10 @@ func TestNotifyFanOutMixedConsumers(t *testing.T) {
 	}
 	expectNone(t, filtered)
 
-	// WS-BaseNotification keeps failed subscriptions: the consumer may
-	// come back, and unsubscribing is the client's job via the manager.
+	// One failed publish is below the EvictAfter threshold, so the
+	// subscription survives: the consumer may come back, and only
+	// EvictAfter consecutive failures terminate it through the
+	// resource-lifetime path.
 	subs, err := p.Subscriptions()
 	if err != nil {
 		t.Fatal(err)

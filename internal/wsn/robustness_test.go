@@ -1,0 +1,260 @@
+package wsn
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"altstacks/internal/faultinject"
+	"altstacks/internal/retry"
+)
+
+// fastRetry swaps the producer's backoff for a millisecond-scale one so
+// the robustness tests exercise the full retry loop without real waits.
+func fastRetry(p *Producer) {
+	p.Retry = retry.Policy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+}
+
+// TestNotifyRetriesTransientConsumer pins the flaky-but-alive case: a
+// consumer that fails its first two calls is reached on the third
+// attempt of the same Notify, the delivery counts as a success, and the
+// subscription's failure ledger stays clean.
+func TestNotifyRetriesTransientConsumer(t *testing.T) {
+	p, _, client, producer := startProducerDB(t)
+	fastRetry(p)
+	in := faultinject.New()
+	p.Deliver = in.WrapClient(p.Deliver)
+
+	cons := newConsumer(t)
+	if _, err := Subscribe(client, producer, cons.EPR(),
+		SubscribeOptions{Topic: Concrete("job/exited")}); err != nil {
+		t.Fatal(err)
+	}
+	in.Set(cons.EPR().Address, faultinject.Plan{FailFirst: 2})
+
+	n, err := p.Notify("job/exited", jobExited(0))
+	if n != 1 || err != nil {
+		t.Fatalf("Notify = %d, %v; want 1, nil", n, err)
+	}
+	recv(t, cons)
+
+	st := p.DeliveryStats()
+	if st.Attempts != 3 || st.Retries != 2 || st.Deliveries != 1 || st.Failures != 0 {
+		t.Fatalf("stats = %+v; want 3 attempts, 2 retries, 1 delivery, 0 failures", st)
+	}
+	subs, err := p.Subscriptions()
+	if err != nil || len(subs) != 1 {
+		t.Fatalf("subscriptions = %d, %v; want 1 surviving", len(subs), err)
+	}
+	if h := p.Health(subs[0].ID); h.ConsecutiveFailures != 0 || h.LastError != "" {
+		t.Fatalf("health after retried success = %+v; want clean", h)
+	}
+}
+
+// TestNotifyEvictsDeadConsumer pins the dead-subscriber path end to
+// end: after EvictAfter consecutive failed publishes (each retried to
+// exhaustion) the subscription resource is destroyed, exactly one
+// eviction is counted, the dead endpoint is never contacted again, and
+// the surviving consumer's deliveries are unaffected.
+func TestNotifyEvictsDeadConsumer(t *testing.T) {
+	p, _, client, producer := startProducerDB(t)
+	fastRetry(p)
+	p.EvictAfter = 2
+	in := faultinject.New()
+	p.Deliver = in.WrapClient(p.Deliver)
+
+	dead := newConsumer(t)
+	good := newConsumer(t)
+	for _, cons := range []*Consumer{dead, good} {
+		if _, err := Subscribe(client, producer, cons.EPR(),
+			SubscribeOptions{Topic: Concrete("job/exited")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in.Set(dead.EPR().Address, faultinject.Plan{FailAll: true})
+
+	// First failed publish: below the threshold, the subscription stays.
+	n, err := p.Notify("job/exited", jobExited(0))
+	if n != 1 || err == nil {
+		t.Fatalf("first Notify = %d, %v; want 1 delivered and the dead consumer's error", n, err)
+	}
+	recv(t, good)
+	if subs, _ := p.Subscriptions(); len(subs) != 2 {
+		t.Fatalf("%d subscriptions after one failure; want 2 (below EvictAfter)", len(subs))
+	}
+
+	// Second consecutive failure crosses EvictAfter: evicted.
+	if n, err = p.Notify("job/exited", jobExited(1)); n != 1 || err == nil {
+		t.Fatalf("second Notify = %d, %v; want 1 delivered and an error", n, err)
+	}
+	recv(t, good)
+	subs, err := p.Subscriptions()
+	if err != nil || len(subs) != 1 {
+		t.Fatalf("subscriptions after eviction = %d, %v; want 1", len(subs), err)
+	}
+	if ev := p.DeliveryStats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+
+	// Post-eviction: the dead endpoint absorbs no further traffic and
+	// the fan-out is clean again.
+	callsAtEviction := in.Calls(dead.EPR().Address)
+	if n, err = p.Notify("job/exited", jobExited(2)); n != 1 || err != nil {
+		t.Fatalf("post-eviction Notify = %d, %v; want 1, nil", n, err)
+	}
+	recv(t, good)
+	if calls := in.Calls(dead.EPR().Address); calls != callsAtEviction {
+		t.Fatalf("evicted consumer was contacted again (%d calls, was %d)", calls, callsAtEviction)
+	}
+}
+
+// TestNotifyConcurrentEvictionCountsOnce races many publishes against a
+// permanently dead consumer with EvictAfter 1: whichever fan-out
+// actually destroys the subscription resource counts the eviction, the
+// rest find it gone. Run under -race this also proves the health
+// ledger's locking.
+func TestNotifyConcurrentEvictionCountsOnce(t *testing.T) {
+	p, _, client, producer := startProducerDB(t)
+	p.Retry = retry.Policy{MaxAttempts: 1}
+	p.EvictAfter = 1
+	in := faultinject.New()
+	p.Deliver = in.WrapClient(p.Deliver)
+
+	dead := newConsumer(t)
+	if _, err := Subscribe(client, producer, dead.EPR(),
+		SubscribeOptions{Topic: Concrete("job/exited")}); err != nil {
+		t.Fatal(err)
+	}
+	in.Set(dead.EPR().Address, faultinject.Plan{FailAll: true})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = p.Notify("job/exited", jobExited(0))
+		}()
+	}
+	wg.Wait()
+
+	if ev := p.DeliveryStats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want exactly 1", ev)
+	}
+	if subs, _ := p.Subscriptions(); len(subs) != 0 {
+		t.Fatalf("%d subscriptions survived eviction, want 0", len(subs))
+	}
+}
+
+// TestNotifyRecoveryResetsFailureCount pins the recovering-consumer
+// guarantee: a consumer that fails one whole publish but answers the
+// next is never evicted, and its consecutive-failure count drops back
+// to zero on the first success.
+func TestNotifyRecoveryResetsFailureCount(t *testing.T) {
+	p, _, client, producer := startProducerDB(t)
+	fastRetry(p)
+	p.EvictAfter = 2
+	in := faultinject.New()
+	p.Deliver = in.WrapClient(p.Deliver)
+
+	cons := newConsumer(t)
+	if _, err := Subscribe(client, producer, cons.EPR(),
+		SubscribeOptions{Topic: Concrete("job/exited")}); err != nil {
+		t.Fatal(err)
+	}
+	subs, _ := p.Subscriptions()
+	id := subs[0].ID
+
+	// Exactly one publish's worth of attempts fail.
+	in.Set(cons.EPR().Address, faultinject.Plan{FailFirst: p.Retry.MaxAttempts})
+	if n, err := p.Notify("job/exited", jobExited(0)); n != 0 || err == nil {
+		t.Fatalf("Notify = %d, %v; want 0 and an error", n, err)
+	}
+	if h := p.Health(id); h.ConsecutiveFailures != 1 || h.LastError == "" {
+		t.Fatalf("health after failed publish = %+v; want 1 consecutive failure", h)
+	}
+
+	// The consumer recovers; the ledger resets and no eviction happens.
+	if n, err := p.Notify("job/exited", jobExited(1)); n != 1 || err != nil {
+		t.Fatalf("recovery Notify = %d, %v; want 1, nil", n, err)
+	}
+	recv(t, cons)
+	if h := p.Health(id); h.ConsecutiveFailures != 0 || h.LastError != "" || h.LastSuccess.IsZero() {
+		t.Fatalf("health after recovery = %+v; want reset with a success timestamp", h)
+	}
+	if subs, _ := p.Subscriptions(); len(subs) != 1 {
+		t.Fatal("recovering consumer was evicted")
+	}
+}
+
+// TestNotifyFilterErrorCountsAsDeliveryFault pins satellite semantics
+// for failing filters: a subscription whose filter errors at evaluation
+// no longer vanishes silently from the fan-out — each errored publish
+// is a counted delivery fault, and enough of them evict the
+// subscription like any dead consumer. (Subscribe rejects malformed
+// expressions up front, so the subscription is planted directly in the
+// store, modeling state written before validation existed.)
+func TestNotifyFilterErrorCountsAsDeliveryFault(t *testing.T) {
+	p, _, _, _ := startProducerDB(t)
+	p.EvictAfter = 2
+	cons := newConsumer(t)
+	sub := &Subscription{Consumer: cons.EPR(), MessageContent: "//["}
+	if _, err := p.Subs.Create(sub.encode()); err != nil {
+		t.Fatal(err)
+	}
+	p.changed()
+
+	// The errored filter skips delivery without failing the publish.
+	if n, err := p.Notify("job/exited", jobExited(0)); n != 0 || err != nil {
+		t.Fatalf("Notify = %d, %v; want 0, nil", n, err)
+	}
+	st := p.DeliveryStats()
+	if st.FilterErrors != 1 || st.Failures != 0 {
+		t.Fatalf("stats = %+v; want 1 filter error and no delivery failures", st)
+	}
+	if subs, _ := p.Subscriptions(); len(subs) != 1 {
+		t.Fatal("subscription evicted below threshold")
+	}
+
+	// Repeated filter faults reach EvictAfter and evict.
+	if n, err := p.Notify("job/exited", jobExited(1)); n != 0 || err != nil {
+		t.Fatalf("second Notify = %d, %v; want 0, nil", n, err)
+	}
+	if subs, _ := p.Subscriptions(); len(subs) != 0 {
+		t.Fatal("bad-filter subscription survived the eviction threshold")
+	}
+	if ev := p.DeliveryStats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	expectNone(t, cons)
+}
+
+// TestHealthPersistsAcrossProducerRestart pins that the failure ledger
+// rides in the database beside the subscriptions: a new producer over
+// the same collections sees the prior consecutive-failure count, so a
+// restart does not hand every dead subscriber a fresh allowance.
+func TestHealthPersistsAcrossProducerRestart(t *testing.T) {
+	p, db, client, producer := startProducerDB(t)
+	p.Retry = retry.Policy{MaxAttempts: 1}
+	in := faultinject.New()
+	p.Deliver = in.WrapClient(p.Deliver)
+
+	cons := newConsumer(t)
+	if _, err := Subscribe(client, producer, cons.EPR(),
+		SubscribeOptions{Topic: Concrete("job/exited")}); err != nil {
+		t.Fatal(err)
+	}
+	subs, _ := p.Subscriptions()
+	id := subs[0].ID
+	in.Set(cons.EPR().Address, faultinject.Plan{FailAll: true})
+	if _, err := p.Notify("job/exited", jobExited(0)); err == nil {
+		t.Fatal("expected delivery failure")
+	}
+
+	// A fresh producer over the same DB (same collection names) loads
+	// the persisted ledger on first touch.
+	p2 := NewProducer(db, "subs", func() string { return "http://unused/manager" },
+		p.Deliver)
+	if h := p2.Health(id); h.ConsecutiveFailures != 1 || h.LastError == "" {
+		t.Fatalf("restarted producer health = %+v; want the persisted failure", h)
+	}
+}
