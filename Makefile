@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-delivery bench-smoke bench fuzz-smoke check ci
+.PHONY: all build vet lint test race race-delivery bench-smoke bench fuzz-smoke check ci
 
 all: build
 
@@ -15,11 +15,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific analyzers (internal/lint): pooling, lock-scope,
+# context-flow, fault-surfacing, and raw-XML invariants. Exits non-zero
+# on any finding; suppress intentional violations with
+# `//lint:ignore ogsalint/<name> reason`.
+lint:
+	$(GO) run ./cmd/ogsalint ./...
+
+# Tests run shuffled so inter-test ordering dependencies can't hide.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -shuffle=on -race ./...
 
 # The delivery-robustness packages (retry/eviction fan-out paths and
 # the fault-injection harness) re-run race-pinned and named explicitly:
@@ -44,6 +52,6 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzParse -fuzztime 10s ./internal/xmlutil/
 
 # Everything a change should pass before review.
-check: build vet race race-delivery bench-smoke fuzz-smoke
+check: build vet lint race race-delivery bench-smoke fuzz-smoke
 
 ci: check

@@ -24,6 +24,7 @@ import (
 	"altstacks/internal/gridbox"
 	"altstacks/internal/netlat"
 	"altstacks/internal/xmldb"
+	"altstacks/internal/xmlutil"
 )
 
 func main() {
@@ -92,7 +93,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := user.UploadFile(dir, "scene.xml", "<scene><sphere r='1'/></scene>"); err != nil {
+	scene := xmlutil.New("", "scene").Add(
+		xmlutil.New("", "sphere").SetAttr("", "r", "1"))
+	if err := user.UploadFile(dir, "scene.xml", scene.String()); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("steps 5,7: directory resource created, scene.xml staged")

@@ -2,6 +2,7 @@ package container
 
 import (
 	"bytes"
+	"context"
 	"crypto/tls"
 	"fmt"
 	"io"
@@ -60,8 +61,17 @@ func NewClient(cfg ClientConfig) *Client {
 
 // Call invokes action on the endpoint, sending body and returning the
 // response body element. SOAP faults come back as *soap.Fault errors.
+// Cancellation-sensitive callers (the notification fan-outs, anything
+// inside a handler) should use CallContext instead.
 func (c *Client) Call(epr wsa.EPR, action string, body *xmlutil.Element) (*xmlutil.Element, error) {
-	env, err := c.CallEnvelope(epr, action, body)
+	return c.CallContext(context.Background(), epr, action, body)
+}
+
+// CallContext is Call bounded by ctx: the HTTP exchange aborts when
+// ctx is done, so retry backoff and shutdown deadlines propagate into
+// the wire exchange itself.
+func (c *Client) CallContext(ctx context.Context, epr wsa.EPR, action string, body *xmlutil.Element) (*xmlutil.Element, error) {
+	env, err := c.callEnvelope(ctx, epr, action, nil, body)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +81,12 @@ func (c *Client) Call(epr wsa.EPR, action string, body *xmlutil.Element) (*xmlut
 // CallWithHeaders is Call with extra application header blocks (for
 // example the wse:Topic header on event deliveries).
 func (c *Client) CallWithHeaders(epr wsa.EPR, action string, headers []*xmlutil.Element, body *xmlutil.Element) (*xmlutil.Element, error) {
-	env, err := c.callEnvelope(epr, action, headers, body)
+	return c.CallWithHeadersContext(context.Background(), epr, action, headers, body)
+}
+
+// CallWithHeadersContext is CallWithHeaders bounded by ctx.
+func (c *Client) CallWithHeadersContext(ctx context.Context, epr wsa.EPR, action string, headers []*xmlutil.Element, body *xmlutil.Element) (*xmlutil.Element, error) {
+	env, err := c.callEnvelope(ctx, epr, action, headers, body)
 	if err != nil {
 		return nil, err
 	}
@@ -81,10 +96,10 @@ func (c *Client) CallWithHeaders(epr wsa.EPR, action string, headers []*xmlutil.
 // CallEnvelope is Call but returns the whole response envelope, for
 // callers that need response headers.
 func (c *Client) CallEnvelope(epr wsa.EPR, action string, body *xmlutil.Element) (*soap.Envelope, error) {
-	return c.callEnvelope(epr, action, nil, body)
+	return c.callEnvelope(context.Background(), epr, action, nil, body)
 }
 
-func (c *Client) callEnvelope(epr wsa.EPR, action string, headers []*xmlutil.Element, body *xmlutil.Element) (*soap.Envelope, error) {
+func (c *Client) callEnvelope(ctx context.Context, epr wsa.EPR, action string, headers []*xmlutil.Element, body *xmlutil.Element) (*soap.Envelope, error) {
 	if epr.Address == "" {
 		return nil, fmt.Errorf("container: call to empty EPR address")
 	}
@@ -97,7 +112,7 @@ func (c *Client) callEnvelope(epr wsa.EPR, action string, headers []*xmlutil.Ele
 		}
 	}
 	data := env.Marshal()
-	req, err := http.NewRequest(http.MethodPost, epr.Address, bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, epr.Address, bytes.NewReader(data))
 	if err != nil {
 		return nil, fmt.Errorf("container: build request: %w", err)
 	}

@@ -16,6 +16,7 @@ package container
 
 import (
 	"bytes"
+	"context"
 	"crypto/tls"
 	"crypto/x509"
 	"fmt"
@@ -59,6 +60,11 @@ func (m SecurityMode) String() string {
 
 // Ctx carries one request through a service action.
 type Ctx struct {
+	// Context is the request's context: it is canceled when the client
+	// disconnects or the container shuts down, and handlers must thread
+	// it into any delivery work they trigger (notifications, retries)
+	// so that work stays bounded by the request that caused it.
+	Context context.Context
 	// Envelope is the parsed request.
 	Envelope *soap.Envelope
 	// Info holds the WS-Addressing message information headers.
@@ -233,7 +239,7 @@ func (c *Container) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info := wsa.Extract(env)
-	resp, fault := c.dispatch(svc, env, info)
+	resp, fault := c.dispatch(r.Context(), svc, env, info)
 	if fault != nil {
 		c.writeFault(w, info.MessageID, fault)
 		return
@@ -243,8 +249,8 @@ func (c *Container) serveHTTP(w http.ResponseWriter, r *http.Request) {
 
 // dispatch runs the security handler and the action handler, mirroring
 // the Figure 1 pipeline.
-func (c *Container) dispatch(svc *Service, env *soap.Envelope, info wsa.Info) (*soap.Envelope, *soap.Fault) {
-	ctx := &Ctx{Envelope: env, Info: info}
+func (c *Container) dispatch(reqCtx context.Context, svc *Service, env *soap.Envelope, info wsa.Info) (*soap.Envelope, *soap.Fault) {
+	ctx := &Ctx{Context: reqCtx, Envelope: env, Info: info}
 	// Security/Policy Handler.
 	if c.Mode == SecuritySign {
 		if c.Verifier == nil {
@@ -306,6 +312,9 @@ func (c *Container) writeResponse(w http.ResponseWriter, status int, env *soap.E
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
 	w.WriteHeader(status)
+	// A failed response write means the client hung up: there is no one
+	// left to fault to, and the ResponseWriter has no ledger.
+	//lint:ignore ogsalint/soapfault client disconnects are benign; no recipient remains for a fault
 	w.Write(data) //nolint:errcheck // client disconnects are benign
 }
 

@@ -68,6 +68,9 @@ func InstallWSRF(c *container.Container, db *xmldb.DB, deliver *container.Client
 			// the value of the counter is changed"). Dispatch runs as
 			// part of SetResourceProperties processing, as WSRF.NET's
 			// did; delivery to the consumer is the asynchronous part.
+			// Delivery outcomes land per-subscriber in the producer's
+			// health ledger; the summary error must not fail the Set.
+			//lint:ignore ogsalint/soapfault delivery faults are recorded per-subscriber in the producer's health ledger
 			_, _ = s.Producer.Notify(TopicValueChanged, changeMessage(r.ID, v))
 			return nil
 		},

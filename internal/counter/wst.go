@@ -46,8 +46,12 @@ func InstallWST(c *container.Container, db *xmldb.DB, store *wse.Store, deliver 
 					return nil, err
 				}
 				// Event dispatch inside Put processing, mirroring the
-				// WSRF counter; the TCP push itself is one-way.
-				_, _ = s.Source.Publish(eventTopic(id), changeMessage(id, v))
+				// WSRF counter; the TCP push itself is one-way. Delivery
+				// outcomes land per-subscriber in the source's health
+				// ledger (eviction included), so the summary error must
+				// not fail the Put that triggered the event.
+				//lint:ignore ogsalint/soapfault delivery faults are recorded per-subscriber in the source's health ledger
+				_, _ = s.Source.PublishContext(ctx.Context, eventTopic(id), changeMessage(id, v))
 				return rep, nil
 			},
 		},

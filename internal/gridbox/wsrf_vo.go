@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"altstacks/internal/container"
@@ -74,7 +75,18 @@ type WSRFVO struct {
 	Procs        *procsim.Table
 	Producer     *wsn.Producer
 	Sweeper      *rl.Sweeper
+
+	// cleanupErrors counts failed best-effort teardown outcalls (the
+	// automatic unreserve of §4.2.1) that have no request to fault to.
+	cleanupErrors atomic.Int64
 }
+
+// CleanupErrors reports how many background teardown steps (automatic
+// unreserve on job exit) have failed since the VO started.
+func (vo *WSRFVO) CleanupErrors() int64 { return vo.cleanupErrors.Load() }
+
+// noteCleanupError records a failed background teardown step.
+func (vo *WSRFVO) noteCleanupError(error) { vo.cleanupErrors.Add(1) }
 
 // Collections used by the WSRF VO.
 const (
@@ -152,9 +164,19 @@ func InstallWSRFVO(c *container.Container, cfg WSRFVOConfig) (*WSRFVO, error) {
 		// (§4.2.1).
 		OnDestroy: func(r *wsrf.Resource) error {
 			procID := r.State.ChildText(NS, "ProcID")
-			if procID != "" {
-				_ = vo.Procs.Kill(procID)
-				_ = vo.Procs.Remove(procID)
+			if procID == "" {
+				return nil
+			}
+			// An unknown process just means the exit-state record was
+			// already cleaned; anything else must fault the Destroy.
+			if err := vo.Procs.Kill(procID); err != nil {
+				if errors.Is(err, procsim.ErrNoProcess) {
+					return nil
+				}
+				return err
+			}
+			if err := vo.Procs.Remove(procID); err != nil && !errors.Is(err, procsim.ErrNoProcess) {
+				return err
 			}
 			return nil
 		},
@@ -592,7 +614,11 @@ func (vo *WSRFVO) startJob(ctx *container.Ctx) (*xmlutil.Element, error) {
 		ExitCode:    spec.ExitCode,
 		OutputFiles: spec.OutputFiles,
 	}); err != nil {
-		_ = vo.Jobs.Destroy(procID)
+		// The spawn failure is the client's fault to see; a failed
+		// rollback of the just-created job resource rides along.
+		if derr := vo.Jobs.Destroy(procID); derr != nil {
+			return nil, errors.Join(err, fmt.Errorf("job resource rollback failed: %w", derr))
+		}
 		return nil, err
 	}
 	return xmlutil.New(NS, "StartJobResponse").Add(
@@ -632,13 +658,19 @@ func (vo *WSRFVO) onJobExit(st procsim.Status) {
 		xmlutil.NewText(NS, "ExitCode", strconv.Itoa(st.ExitCode)),
 		jobEPR.Element(NS, "JobEPR"),
 	)
+	// Delivery runs off a process-exit callback, so there is no request
+	// context and no fault channel; per-consumer outcomes land in the
+	// producer's health ledger.
+	//lint:ignore ogsalint/soapfault delivery faults are recorded per-subscriber in the producer's health ledger
 	_, _ = vo.Producer.Notify(TopicJobExited, msg)
 
 	// Automatic unreserve (outcall to the reservation service).
 	if resEl := r.State.Child(NS, "ReservationEPR"); resEl != nil {
 		if resEPR, err := wsa.ParseEPR(resEl); err == nil {
 			rlc := rl.Client{C: vo.cfg.Local}
-			_ = rlc.Destroy(resEPR)
+			if err := rlc.Destroy(resEPR); err != nil {
+				vo.noteCleanupError(err)
+			}
 		}
 	}
 }

@@ -573,7 +573,11 @@ func (vo *WSTVO) execCreate(ctx *container.Ctx) (*xmlutil.Element, error) {
 		ExitCode:    spec.ExitCode,
 		OutputFiles: spec.OutputFiles,
 	}); err != nil {
-		_ = vo.cfg.DB.Delete(colWSTJobs, procID)
+		// Surface a failed rollback of the stored representation beside
+		// the spawn failure instead of dropping it.
+		if derr := vo.cfg.DB.Delete(colWSTJobs, procID); derr != nil && !errors.Is(derr, xmldb.ErrNotFound) {
+			return nil, errors.Join(err, fmt.Errorf("representation rollback failed: %w", derr))
+		}
 		return nil, err
 	}
 	epr := vo.jobEPR(procID)
@@ -627,8 +631,14 @@ func (vo *WSTVO) execDelete(ctx *container.Ctx) (*xmlutil.Element, error) {
 		}
 		return nil, err
 	}
-	_ = vo.Procs.Kill(id)
-	_ = vo.Procs.Remove(id)
+	// The representation is gone; an unknown process means the entity
+	// was already cleaned up, anything else must fault the Delete.
+	if err := vo.Procs.Kill(id); err != nil && !errors.Is(err, procsim.ErrNoProcess) {
+		return nil, err
+	}
+	if err := vo.Procs.Remove(id); err != nil && !errors.Is(err, procsim.ErrNoProcess) {
+		return nil, err
+	}
 	return xmlutil.New(wst.NS, "DeleteResponse"), nil
 }
 
@@ -640,5 +650,9 @@ func (vo *WSTVO) onJobExit(st procsim.Status) {
 		xmlutil.NewText(NS, "ExitCode", strconv.Itoa(st.ExitCode)),
 		vo.jobEPR(st.ID).Element(NS, "JobEPR"),
 	)
+	// Publishing runs off a process-exit callback, so there is no
+	// request context and no fault channel; per-subscriber outcomes
+	// land in the source's health ledger.
+	//lint:ignore ogsalint/soapfault delivery faults are recorded per-subscriber in the source's health ledger
 	_, _ = vo.Source.Publish(TopicJobPrefix+st.ID+"/exited", msg)
 }

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context threading on the delivery paths: once a
+// context.Context is in scope (a ctx parameter, or a request carrier
+// like container.Ctx that exposes one), minting a fresh
+// context.Background() or context.TODO() severs the cancellation
+// chain — Shutdown stops being bounded and per-request deadlines stop
+// propagating into retries. Passing Background/TODO directly to
+// retry.Do is flagged unconditionally: retry backoff sleeps are
+// exactly the waits a caller's context must be able to cut short.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "thread in-scope contexts through to retry.Do and deliveries instead of minting context.Background()/TODO()",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, file := range pass.Files {
+		checkCtxFlow(pass, file)
+	}
+	return nil
+}
+
+func checkCtxFlow(pass *Pass, file *ast.File) {
+	info := pass.TypesInfo
+	// funcStack tracks the enclosing function chain so "in scope"
+	// includes contexts captured from enclosing literals. reported
+	// keeps a Background() flagged as a retry.Do argument from being
+	// re-flagged by the in-scope rule when the visitor descends to it.
+	var funcStack []ast.Node
+	reported := map[ast.Node]bool{}
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			funcStack = append(funcStack, v)
+			ast.Inspect(childBody(v), visit)
+			funcStack = funcStack[:len(funcStack)-1]
+			return false
+		case *ast.CallExpr:
+			if calleeIsFunc(info, v, "altstacks/internal/retry", "Do") && len(v.Args) > 0 {
+				if name := backgroundOrTODO(info, v.Args[0]); name != "" {
+					pass.Reportf(v.Args[0].Pos(),
+						"context.%s() passed to retry.Do: thread the caller's context so cancellation bounds the backoff", name)
+					reported[ast.Unparen(v.Args[0])] = true
+				}
+			}
+			if name := backgroundOrTODO(info, v); name != "" && !reported[v] {
+				if param := ctxInScope(info, funcStack); param != "" {
+					pass.Reportf(v.Pos(),
+						"context.%s() minted while %s is in scope: thread it through instead", name, param)
+				}
+			}
+		}
+		return true
+	}
+
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd)
+	}
+}
+
+func childBody(n ast.Node) *ast.BlockStmt {
+	switch v := n.(type) {
+	case *ast.FuncDecl:
+		return v.Body
+	case *ast.FuncLit:
+		return v.Body
+	}
+	return nil
+}
+
+// backgroundOrTODO reports which of context.Background/TODO expr
+// invokes, or "".
+func backgroundOrTODO(info *types.Info, expr ast.Expr) string {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	for _, name := range [...]string{"Background", "TODO"} {
+		if calleeIsFunc(info, call, "context", name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// ctxInScope reports the name of a context already available to the
+// innermost function in stack: a parameter of type context.Context, or
+// a parameter of a struct type carrying an exported context.Context
+// field (the container.Ctx request-carrier shape). Enclosing literals'
+// parameters count — closures capture them.
+func ctxInScope(info *types.Info, stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch v := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = v.Type
+		case *ast.FuncLit:
+			ft = v.Type
+		}
+		if ft == nil || ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			tv, ok := info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			names := fieldNames(field)
+			if isContextType(tv.Type) {
+				return names
+			}
+			if carrier := ctxCarrierField(tv.Type); carrier != "" {
+				return names + "." + carrier
+			}
+		}
+	}
+	return ""
+}
+
+func fieldNames(field *ast.Field) string {
+	if len(field.Names) == 0 {
+		return "a parameter"
+	}
+	return field.Names[0].Name
+}
+
+// ctxCarrierField returns the name of an exported context.Context
+// field on t (after pointer stripping), or "".
+func ctxCarrierField(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Exported() && isContextType(f.Type()) {
+			return f.Name()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,304 @@
+// Package lint is ogsalint: a project-specific static-analysis suite
+// that mechanically enforces the container invariants PRs 1–3 piled
+// onto this codebase — pooled serializer buffers that must not escape,
+// health-ledger locks that must never be held across a delivery RPC,
+// contexts that must flow into retry.Do so Shutdown stays bounded,
+// errors on delivery paths that must reach the SOAP-fault mapper or
+// the health ledger, and XML that must go through xmlutil so escaping
+// cannot be bypassed.
+//
+// The package mirrors the shape of golang.org/x/tools/go/analysis (an
+// Analyzer runs over one type-checked package via a Pass and reports
+// Diagnostics) but is built purely on the standard library's go/ast,
+// go/parser, and go/types, because this module carries no external
+// dependencies. Type information for dependencies comes from compiler
+// export data produced by `go list -export` (see load.go), the same
+// mechanism the go command's own vet driver uses.
+//
+// Findings are suppressed with a staticcheck-style comment on the
+// flagged line or the line above it:
+//
+//	//lint:ignore ogsalint/<name> reason
+//
+// The reason is mandatory; an ignore directive without one is itself
+// reported. Suppression is handled here in the driver, so analyzers
+// stay pure reporters.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name is the short check name; diagnostics print as
+	// "ogsalint/<Name>" and suppression comments reference it the
+	// same way.
+	Name string
+	// Doc is the one-line invariant statement shown by `ogsalint -doc`.
+	Doc string
+	// Run inspects one package through pass and reports findings.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Check    string // "ogsalint/<name>"
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Check)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   "ogsalint/" + p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full ogsalint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		PoolEscape,
+		LockHeld,
+		CtxFlow,
+		SoapFault,
+		RawXML,
+	}
+}
+
+// Run applies the analyzers to one loaded package and returns the
+// surviving (non-suppressed) diagnostics in file/line order. Invalid
+// ignore directives (missing reason) are reported as driver findings.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("ogsalint/%s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	ignores, bad := collectIgnores(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ignores.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, bad...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Check < kept[j].Check
+	})
+	return kept, nil
+}
+
+// ignoreSet records, per file, the checks suppressed at each line. A
+// directive covers its own line and the line below it (the usual
+// "comment above the statement" placement).
+type ignoreSet map[string]map[int]map[string]bool
+
+func (s ignoreSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if checks := lines[ln]; checks != nil && (checks[d.Check] || checks["ogsalint/*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s*(.*)$`)
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	set := ignoreSet{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				checks, reason := m[1], strings.TrimSpace(m[2])
+				if !strings.Contains(checks, "ogsalint/") {
+					continue // someone else's lint directive
+				}
+				pos := fset.Position(c.Pos())
+				if reason == "" {
+					bad = append(bad, Diagnostic{
+						Pos:     pos,
+						Check:   "ogsalint/ignore",
+						Message: "lint:ignore directive needs a reason",
+					})
+					continue
+				}
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				cs := lines[pos.Line]
+				if cs == nil {
+					cs = map[string]bool{}
+					lines[pos.Line] = cs
+				}
+				for _, check := range strings.Split(checks, ",") {
+					cs[strings.TrimSpace(check)] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// ---- shared type-resolution helpers used by the analyzers ----
+
+// callee resolves the *types.Func a call invokes, or nil for calls
+// through function values, built-ins, and type conversions.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// calleeIsFunc reports whether call invokes the package-level function
+// pkgPath.name.
+func calleeIsFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := callee(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// calleeIsMethod reports whether call invokes a method named name
+// whose receiver's core named type is pkgPath.typeName (pointerness
+// ignored).
+func calleeIsMethod(info *types.Info, call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	f := callee(info, call)
+	if f == nil || f.Name() != name {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamed(sig.Recv().Type(), pkgPath, typeName)
+}
+
+// isNamed reports whether t (after pointer stripping) is the named
+// type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// exprString renders an expression for use in diagnostics and as a
+// stable key for lock tracking.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// enclosingFuncs walks file and calls fn for every function body —
+// declarations and literals — so analyzers can run per-function logic
+// uniformly. The enclosing FuncDecl is passed when there is one (nil
+// for literals at package scope).
+func enclosingFuncs(file *ast.File, fn func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			if v.Body != nil {
+				fn(v, nil, v.Body)
+			}
+		case *ast.FuncLit:
+			fn(nil, v, v.Body)
+		}
+		return true
+	})
+}
+
+// mentions reports whether expr (or any subexpression) is a use of the
+// object obj.
+func mentions(info *types.Info, node ast.Node, obj types.Object) bool {
+	if node == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PoolEscape enforces the pooling contract the serializer hot paths
+// rely on: a value obtained from a sync.Pool (xmlutil's buffers,
+// parser state, and namespace contexts; the container's request
+// buffers) is owned by the function that got it, for the span between
+// Get and the matching Put. Letting it out of that span — returning
+// it, storing it in a field, global, map, or slice element, sending it
+// on a channel — or touching it again after the Put hands it to a
+// concurrent Get and corrupts a message in flight. The races this
+// catches are exactly the ones -race cannot see: the pool serializes
+// the handoff, so the corruption is silent.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc:  "sync.Pool values must not escape the Get/Put span or be used after Put",
+	Run:  runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) error {
+	for _, file := range pass.Files {
+		enclosingFuncs(file, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+			checkPoolSpans(pass, body)
+		})
+	}
+	return nil
+}
+
+// poolEvent is one position-ordered fact about a pooled variable.
+type poolEvent struct {
+	pos  token.Pos
+	kind int // 0 assign (value refreshed), 1 put, 2 plain use, 3 escape
+	msg  string
+	node ast.Node
+}
+
+func checkPoolSpans(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	// Pass 1: find variables bound to a pool Get in this body.
+	pooled := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if !isPoolGet(info, as.Rhs[0]) {
+			return true
+		}
+		if obj := objectOf(info, id); obj != nil {
+			pooled[obj] = true
+		}
+		return true
+	})
+	if len(pooled) == 0 {
+		return
+	}
+
+	for obj := range pooled {
+		events := collectPoolEvents(pass, body, obj)
+		sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+		afterPut := false
+		for _, ev := range events {
+			switch ev.kind {
+			case 0: // reassignment: a fresh value starts a new span
+				afterPut = false
+			case 1:
+				afterPut = true
+			case 3:
+				pass.Reportf(ev.pos, "pooled %s escapes its Get/Put span: %s", obj.Name(), ev.msg)
+			case 2:
+				if afterPut {
+					pass.Reportf(ev.pos, "%s is used after being returned to its pool", obj.Name())
+				}
+			}
+		}
+	}
+}
+
+// collectPoolEvents walks body, classifying every appearance of obj.
+func collectPoolEvents(pass *Pass, body *ast.BlockStmt, obj types.Object) []poolEvent {
+	info := pass.TypesInfo
+	var events []poolEvent
+	// escapeUses marks idents already attributed to an escape, so the
+	// generic use-walk below does not double-report them.
+	escapeUses := map[*ast.Ident]bool{}
+
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch v := c.(type) {
+			case *ast.DeferStmt:
+				walk(v.Call, true)
+				return false
+			case *ast.ReturnStmt:
+				for _, res := range v.Results {
+					if leaksDirectly(info, res, obj) {
+						markEscape(info, res, obj, "returned to the caller", &events, escapeUses)
+					}
+				}
+			case *ast.SendStmt:
+				if leaksDirectly(info, v.Value, obj) {
+					markEscape(info, v.Value, obj, "sent on a channel", &events, escapeUses)
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range v.Lhs {
+					var rhs ast.Expr
+					if len(v.Rhs) == len(v.Lhs) {
+						rhs = v.Rhs[i]
+					} else if len(v.Rhs) == 1 {
+						rhs = v.Rhs[0]
+					}
+					if rhs == nil {
+						continue
+					}
+					if id, ok := lhs.(*ast.Ident); ok && objectOf(info, id) == obj {
+						// obj reassigned: old span ends.
+						events = append(events, poolEvent{pos: v.Pos(), kind: 0})
+						continue
+					}
+					if !leaksDirectly(info, rhs, obj) {
+						continue
+					}
+					// Mutating the pooled value's own state (st.field =
+					// append(st.field, ...)) stays inside the span; only
+					// sinks rooted elsewhere leak it.
+					if exprMentions(info, lhs, obj) {
+						continue
+					}
+					if sink := storeSink(info, lhs); sink != "" {
+						markEscape(info, rhs, obj, "stored in "+sink, &events, escapeUses)
+					}
+				}
+			case *ast.CallExpr:
+				if isPoolPutOf(info, v, obj) && !inDefer {
+					events = append(events, poolEvent{pos: v.End(), kind: 1})
+				}
+			case *ast.Ident:
+				if info.Uses[v] == obj && !escapeUses[v] {
+					events = append(events, poolEvent{pos: v.Pos(), kind: 2})
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return events
+}
+
+// leaksDirectly reports whether evaluating expr can hand obj itself
+// (or a view into it — a field, its address, a dereference) to the
+// sink, as opposed to a derived copy. A call result is treated as a
+// copy: `return b.String()` extracts a value, while `return b`,
+// `return &b`, `return b.buf`, or `return wrapper{buf: b}` all leak
+// the pooled object. This is the recall/precision line the analyzer
+// draws: calls that smuggle their argument out are missed, but the
+// serializer idiom of "copy out, then Put" stays clean.
+func leaksDirectly(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	switch v := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[v] == obj
+	case *ast.UnaryExpr:
+		return leaksDirectly(info, v.X, obj)
+	case *ast.StarExpr:
+		return leaksDirectly(info, v.X, obj)
+	case *ast.SelectorExpr:
+		return leaksDirectly(info, v.X, obj)
+	case *ast.IndexExpr:
+		return leaksDirectly(info, v.X, obj)
+	case *ast.SliceExpr:
+		return leaksDirectly(info, v.X, obj)
+	case *ast.TypeAssertExpr:
+		return leaksDirectly(info, v.X, obj)
+	case *ast.CompositeLit:
+		for _, el := range v.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if leaksDirectly(info, el, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// markEscape records an escape event if expr mentions obj, tagging the
+// mentioning idents so they are not re-reported as plain uses.
+func markEscape(info *types.Info, expr ast.Expr, obj types.Object, how string, events *[]poolEvent, escapeUses map[*ast.Ident]bool) {
+	if expr == nil || !exprMentions(info, expr, obj) {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			escapeUses[id] = true
+			*events = append(*events, poolEvent{pos: id.Pos(), kind: 3, msg: how})
+		}
+		return true
+	})
+}
+
+// storeSink classifies an assignment target that outlives the local
+// frame: a struct field, a map or slice element, or a package-level
+// variable. Plain locals return "".
+func storeSink(info *types.Info, lhs ast.Expr) string {
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return "field " + exprString(v)
+	case *ast.IndexExpr:
+		return "element " + exprString(v)
+	case *ast.StarExpr:
+		return "pointee " + exprString(v)
+	case *ast.Ident:
+		if obj := objectOf(info, v); obj != nil && obj.Parent() == obj.Pkg().Scope() {
+			return "package variable " + v.Name
+		}
+	}
+	return ""
+}
+
+// isPoolGet reports whether expr is X.Get() — possibly under a type
+// assertion — where X is a sync.Pool.
+func isPoolGet(info *types.Info, expr ast.Expr) bool {
+	e := ast.Unparen(expr)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isPoolMethod(info, call, "Get")
+}
+
+// isPoolPutOf reports whether call is X.Put(v) on a sync.Pool with v
+// being obj.
+func isPoolPutOf(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	if !isPoolMethod(info, call, "Put") || len(call.Args) != 1 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return isNamed(tv.Type, "sync", "Pool")
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func exprMentions(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	return mentions(info, expr, obj)
+}

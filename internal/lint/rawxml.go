@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// RawXML forbids hand-built XML outside internal/xmlutil. Every angle
+// bracket on the wire must come from the serializer, because the
+// serializer is where escaping lives: a fmt.Sprintf with a markup
+// format string, a string concatenation splicing data between tags, or
+// a handwritten markup literal all bypass Escape/EscapeAttr and turn
+// any '<', '&', or quote in the data into markup — the classic XML
+// injection. xmlutil itself is the one place allowed to write tags.
+var RawXML = &Analyzer{
+	Name: "rawxml",
+	Doc:  "XML must be built through internal/xmlutil, not Sprintf/concat/literals",
+	Run:  runRawXML,
+}
+
+// tagRe recognizes a plausible XML tag inside a string literal: an
+// open, close, or self-closing element with an XML-name-shaped label.
+var tagRe = regexp.MustCompile(`</?[A-Za-z_][A-Za-z0-9:._-]*(\s[^<>]*)?/?>`)
+
+// verbRe recognizes a fmt verb (anything but the literal %%).
+var verbRe = regexp.MustCompile(`%[^%]`)
+
+// hasRealTag reports whether s contains markup beyond the "<nil>"
+// that fmt prints for nil values in prose/error messages.
+func hasRealTag(s string) bool {
+	for _, m := range tagRe.FindAllString(s, -1) {
+		if m != "<nil>" {
+			return true
+		}
+	}
+	return false
+}
+
+func runRawXML(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Path() == "altstacks/internal/xmlutil" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// flagged regions suppress the bare-literal fallback for
+		// literals already attributed to a Sprintf or concat finding.
+		var flagged []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				if pos, ok := sprintfXML(pass.TypesInfo, v); ok {
+					pass.Reportf(pos, "XML built with a format string; construct the element with xmlutil so escaping cannot be bypassed")
+					flagged = append(flagged, v)
+				}
+			case *ast.BinaryExpr:
+				if v.Op == token.ADD && concatsXML(pass.TypesInfo, v) {
+					pass.Reportf(v.Pos(), "XML built by string concatenation; construct the element with xmlutil so escaping cannot be bypassed")
+					flagged = append(flagged, v)
+					return false
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			if !isTagLiteral(lit) {
+				return true
+			}
+			for _, region := range flagged {
+				if lit.Pos() >= region.Pos() && lit.End() <= region.End() {
+					return true
+				}
+			}
+			pass.Reportf(lit.Pos(), "hand-written XML literal; build the element with xmlutil and Marshal it so well-formedness and escaping are enforced")
+			return true
+		})
+	}
+	return nil
+}
+
+// sprintfXML reports whether call is a fmt formatting call whose
+// format string writes XML tags around interpolated data.
+func sprintfXML(info *types.Info, call *ast.CallExpr) (token.Pos, bool) {
+	var formatIdx int
+	switch {
+	case calleeIsFunc(info, call, "fmt", "Sprintf"), calleeIsFunc(info, call, "fmt", "Errorf"):
+		formatIdx = 0
+	case calleeIsFunc(info, call, "fmt", "Fprintf"), calleeIsFunc(info, call, "fmt", "Appendf"):
+		formatIdx = 1
+	default:
+		return 0, false
+	}
+	if len(call.Args) <= formatIdx {
+		return 0, false
+	}
+	lit, ok := ast.Unparen(call.Args[formatIdx]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return 0, false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return 0, false
+	}
+	if hasRealTag(s) && verbRe.MatchString(s) {
+		return lit.Pos(), true
+	}
+	return 0, false
+}
+
+// concatsXML reports whether the + chain rooted at be mixes a tag
+// literal with non-constant data.
+func concatsXML(info *types.Info, be *ast.BinaryExpr) bool {
+	var operands []ast.Expr
+	var flatten func(e ast.Expr)
+	flatten = func(e ast.Expr) {
+		if b, ok := ast.Unparen(e).(*ast.BinaryExpr); ok && b.Op == token.ADD {
+			flatten(b.X)
+			flatten(b.Y)
+			return
+		}
+		operands = append(operands, ast.Unparen(e))
+	}
+	flatten(be)
+	hasTag, hasDynamic := false, false
+	for _, op := range operands {
+		if lit, ok := op.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if isTagLiteral(lit) {
+				hasTag = true
+			}
+			continue
+		}
+		if tv, ok := info.Types[op]; ok && tv.Value != nil {
+			// Constant-folded operand: check its text for tags, but it
+			// is not dynamic data.
+			if hasRealTag(tv.Value.String()) {
+				hasTag = true
+			}
+			continue
+		}
+		hasDynamic = true
+	}
+	return hasTag && hasDynamic
+}
+
+// isTagLiteral reports whether a string literal contains XML markup.
+// Literals that merely mention angle brackets in prose (error messages
+// quoting "<nil>", comparison text) are kept out by requiring a
+// name-shaped tag.
+func isTagLiteral(lit *ast.BasicLit) bool {
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return false
+	}
+	if !strings.Contains(s, "<") || !strings.Contains(s, ">") {
+		return false
+	}
+	return hasRealTag(s)
+}

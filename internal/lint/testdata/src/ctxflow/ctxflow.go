@@ -1,0 +1,75 @@
+// Package ctxflow exercises ogsalint/ctxflow: in-scope contexts must
+// be threaded through, not replaced with Background/TODO.
+package ctxflow
+
+import (
+	"context"
+
+	"altstacks/internal/retry"
+)
+
+// Ctx mirrors the container's request carrier: a struct parameter
+// exposing an exported context.Context field.
+type Ctx struct {
+	Context context.Context
+	Peer    string
+}
+
+// --- flagged ---
+
+// badDeliverWithRetry models the pre-fix wsn/wse deliverWithRetry:
+// minting Background for retry.Do unhooks the backoff sleeps from
+// Shutdown and per-request deadlines.
+func badDeliverWithRetry(p retry.Policy) error {
+	_, err := retry.Do(context.Background(), p, func(context.Context) error { // want `context.Background\(\) passed to retry.Do`
+		return nil
+	})
+	return err
+}
+
+func badTODOWithParam(ctx context.Context, p retry.Policy) error {
+	_, err := retry.Do(context.TODO(), p, func(context.Context) error { // want `context.TODO\(\) passed to retry.Do`
+		return nil
+	})
+	_ = ctx
+	return err
+}
+
+func badMintWithParam(ctx context.Context) context.Context {
+	_ = ctx
+	return context.WithoutCancel(context.Background()) // want `context.Background\(\) minted while ctx is in scope`
+}
+
+func badMintWithCarrier(c *Ctx) context.Context {
+	return context.TODO() // want `context.TODO\(\) minted while c.Context is in scope`
+}
+
+func badMintInClosure(ctx context.Context) func() context.Context {
+	_ = ctx
+	return func() context.Context {
+		return context.Background() // want `context.Background\(\) minted while ctx is in scope`
+	}
+}
+
+// --- clean ---
+
+// goodThreaded passes the caller's context straight through — the
+// post-fix deliverWithRetry shape.
+func goodThreaded(ctx context.Context, p retry.Policy) error {
+	_, err := retry.Do(ctx, p, func(context.Context) error { return nil })
+	return err
+}
+
+// goodCarrierThreaded pulls the request context off the carrier.
+func goodCarrierThreaded(c *Ctx, p retry.Policy) error {
+	_, err := retry.Do(c.Context, p, func(context.Context) error { return nil })
+	return err
+}
+
+// goodRootMint has no context in scope: a daemon entry point is the
+// legitimate place to mint a root context.
+func goodRootMint(p retry.Policy) error {
+	ctx := context.Background()
+	_, err := retry.Do(ctx, p, func(context.Context) error { return nil })
+	return err
+}

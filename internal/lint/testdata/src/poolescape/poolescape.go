@@ -1,0 +1,106 @@
+// Package poolescape exercises ogsalint/poolescape: pooled values must
+// stay inside their Get/Put span.
+package poolescape
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// canonState mirrors xmlutil's pooled canonicalization scratch state —
+// the shape behind the real pre-fix finding in element.go.
+type canonState struct {
+	sorted []string
+}
+
+var statePool = sync.Pool{New: func() any { return new(canonState) }}
+
+var leakedGlobal *bytes.Buffer
+
+// --- flagged ---
+
+// leakReturn models the pre-fix canonicalBuffer: handing the pooled
+// buffer to the caller leaves the Put on a different frame's honor
+// system, and a concurrent Get sees the same bytes.
+func leakReturn() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b // want `pooled b escapes its Get/Put span: returned to the caller`
+}
+
+func leakGlobal() {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	leakedGlobal = b // want `escapes its Get/Put span: stored in package variable leakedGlobal`
+	bufPool.Put(b)
+}
+
+func leakChannel(out chan<- *bytes.Buffer) {
+	b := bufPool.Get().(*bytes.Buffer)
+	out <- b // want `escapes its Get/Put span: sent on a channel`
+	bufPool.Put(b)
+}
+
+type holder struct {
+	buf *bytes.Buffer
+}
+
+func leakField(h *holder) {
+	b := bufPool.Get().(*bytes.Buffer)
+	h.buf = b // want `escapes its Get/Put span: stored in field h.buf`
+	bufPool.Put(b)
+}
+
+func useAfterPut() string {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.WriteString("payload")
+	out := b.String()
+	bufPool.Put(b)
+	b.Reset() // want `b is used after being returned to its pool`
+	return out
+}
+
+// --- clean ---
+
+// cleanDeferPut is the canonical serializer shape: copy the result out,
+// let the deferred Put run last.
+func cleanDeferPut() string {
+	b := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(b)
+	b.Reset()
+	b.WriteString("ok")
+	return b.String()
+}
+
+// cleanCopyOut extracts a fresh allocation before the Put.
+func cleanCopyOut() []byte {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	b.WriteString("ok")
+	out := append([]byte(nil), b.Bytes()...)
+	bufPool.Put(b)
+	return out
+}
+
+// cleanSelfStore mutates the pooled value's own field — the reset/fill
+// idiom xmlutil's canonState uses. Stores into the object are not
+// stores of the object.
+func cleanSelfStore(names []string) {
+	st := statePool.Get().(*canonState)
+	st.sorted = st.sorted[:0]
+	for _, n := range names {
+		st.sorted = append(st.sorted, n)
+	}
+	statePool.Put(st)
+}
+
+// cleanSuppressed shows the justified-escape valve: a documented
+// lint:ignore with a reason keeps the finding out of the report.
+func cleanSuppressed() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	//lint:ignore ogsalint/poolescape caller returns the buffer via ReleaseBuffer
+	return b
+}

@@ -1,0 +1,51 @@
+// Package rawxml exercises ogsalint/rawxml: markup is built through
+// xmlutil, never with format strings, concatenation, or literals.
+package rawxml
+
+import "fmt"
+
+// --- flagged ---
+
+// badSprintf models the pre-fix gridjob example: splicing a job name
+// into a scene description with Sprintf bypasses Escape, so a name
+// containing '<' or '&' corrupts the document.
+func badSprintf(name string) string {
+	return fmt.Sprintf("<Scene><Job name=%q/></Scene>", name) // want `XML built with a format string`
+}
+
+func badErrorf(id string) error {
+	return fmt.Errorf("<Fault><Detail>%s</Detail></Fault>", id) // want `XML built with a format string`
+}
+
+func badConcat(topic string) string {
+	return "<TopicExpression>" + topic + "</TopicExpression>" // want `XML built by string concatenation`
+}
+
+func badLiteral() string {
+	return "<Envelope><Body/></Envelope>" // want `hand-written XML literal`
+}
+
+// --- clean ---
+
+// goodNilMention keeps fmt's "<nil>" rendering out of scope: it is
+// tag-shaped but markup it is not.
+func goodNilMention(v any) error {
+	return fmt.Errorf("unexpected <nil> field in %v", v)
+}
+
+// goodComparisonProse uses angle brackets that do not form a tag.
+func goodComparisonProse(n int) string {
+	return fmt.Sprintf("expected 0 < n && n > 0, got %d", n)
+}
+
+// goodPlainFormat has verbs but no markup.
+func goodPlainFormat(n int) string {
+	return fmt.Sprintf("%d subscriptions evicted", n)
+}
+
+// goodSuppressed is the valve for deliberately opaque payloads, such
+// as golden test vectors.
+func goodSuppressed() string {
+	//lint:ignore ogsalint/rawxml golden wire capture, compared byte-for-byte
+	return "<Captured><Frame seq=\"1\"/></Captured>"
+}

@@ -13,6 +13,7 @@
 package procsim
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,6 +23,11 @@ import (
 
 	"altstacks/internal/uuid"
 )
+
+// ErrNoProcess reports an id with no entry (live or terminal) in the
+// table. Idempotent teardown paths match it with errors.Is to tell an
+// already-cleaned process from a real failure.
+var ErrNoProcess = errors.New("procsim: no such process")
 
 // State is a process's lifecycle phase.
 type State int
@@ -211,7 +217,7 @@ func (t *Table) Kill(id string) error {
 	p, ok := t.procs[id]
 	t.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("procsim: no process %s", id)
+		return fmt.Errorf("%w: %s", ErrNoProcess, id)
 	}
 	select {
 	case <-p.done:
@@ -234,7 +240,7 @@ func (t *Table) Wait(id string, timeout time.Duration) (Status, error) {
 	p, ok := t.procs[id]
 	t.mu.Unlock()
 	if !ok {
-		return Status{}, fmt.Errorf("procsim: no process %s", id)
+		return Status{}, fmt.Errorf("%w: %s", ErrNoProcess, id)
 	}
 	select {
 	case <-p.done:
@@ -253,7 +259,7 @@ func (t *Table) Remove(id string) error {
 	defer t.mu.Unlock()
 	p, ok := t.procs[id]
 	if !ok {
-		return fmt.Errorf("procsim: no process %s", id)
+		return fmt.Errorf("%w: %s", ErrNoProcess, id)
 	}
 	select {
 	case <-p.done:

@@ -85,10 +85,19 @@ type DeliveryStats struct {
 	FilterErrors int64
 	// Evictions counts subscriptions cancelled for delivery failure.
 	Evictions int64
+	// StateWriteErrors counts failed health write-backs to the store.
+	// The in-memory ledger stays authoritative; the count signals the
+	// flat file is shedding state that would matter after a restart.
+	StateWriteErrors int64
+	// EndNoticeErrors counts SubscriptionEnd notices that could not be
+	// delivered. The subscription is already gone either way; the count
+	// records how many EndTo endpoints never learned it.
+	EndNoticeErrors int64
 }
 
 type deliveryCounters struct {
-	attempts, retries, deliveries, failures, filterErrors, evictions atomic.Int64
+	attempts, retries, deliveries, failures, filterErrors, evictions,
+	stateWriteErrors, endNoticeErrors atomic.Int64
 }
 
 // NewSource builds an event source with the default retry and
@@ -115,13 +124,28 @@ func (s *Source) MessagesSent() int64 { return s.sent.Load() }
 // DeliveryStats snapshots the source's delivery counters.
 func (s *Source) DeliveryStats() DeliveryStats {
 	return DeliveryStats{
-		Attempts:     s.stats.attempts.Load(),
-		Retries:      s.stats.retries.Load(),
-		Deliveries:   s.stats.deliveries.Load(),
-		Failures:     s.stats.failures.Load(),
-		FilterErrors: s.stats.filterErrors.Load(),
-		Evictions:    s.stats.evictions.Load(),
+		Attempts:         s.stats.attempts.Load(),
+		Retries:          s.stats.retries.Load(),
+		Deliveries:       s.stats.deliveries.Load(),
+		Failures:         s.stats.failures.Load(),
+		FilterErrors:     s.stats.filterErrors.Load(),
+		Evictions:        s.stats.evictions.Load(),
+		StateWriteErrors: s.stats.stateWriteErrors.Load(),
+		EndNoticeErrors:  s.stats.endNoticeErrors.Load(),
 	}
+}
+
+// noteStateWriteError accounts a failed health write-back; the caller
+// keeps going on the in-memory record. The (non-nil) error is taken
+// for call-site clarity; only the count is kept.
+func (s *Source) noteStateWriteError(error) {
+	s.stats.stateWriteErrors.Add(1)
+}
+
+// noteEndNoticeError accounts a SubscriptionEnd notice that never
+// reached its EndTo endpoint.
+func (s *Source) noteEndNoticeError(error) {
+	s.stats.endNoticeErrors.Add(1)
 }
 
 // Health returns the current delivery-health record for a
@@ -173,7 +197,9 @@ func (s *Source) recordSuccess(sub *Subscription) {
 	snap := *h
 	s.healthMu.Unlock()
 	if recovered {
-		_ = s.Store.SetHealth(sub.ID, snap)
+		if err := s.Store.SetHealth(sub.ID, snap); err != nil {
+			s.noteStateWriteError(err)
+		}
 	}
 }
 
@@ -189,7 +215,9 @@ func (s *Source) recordFault(sub *Subscription, cause error) {
 	evict := s.EvictAfter > 0 && h.ConsecutiveFailures >= s.EvictAfter
 	snap := *h
 	s.healthMu.Unlock()
-	_ = s.Store.SetHealth(sub.ID, snap)
+	if err := s.Store.SetHealth(sub.ID, snap); err != nil {
+		s.noteStateWriteError(err)
+	}
 	if evict {
 		s.evict(sub, cause)
 	}
@@ -368,6 +396,14 @@ func (s *Source) unsubscribe(ctx *container.Ctx) (*xmlutil.Element, error) {
 // returned error is the first failure in subscription order — the
 // same semantics as the sequential dispatch this replaces.
 func (s *Source) Publish(topic string, message *xmlutil.Element) (int, error) {
+	return s.PublishContext(context.Background(), topic, message)
+}
+
+// PublishContext is Publish bounded by ctx: cancellation cuts short
+// retry backoff and the HTTP exchanges, so a publish triggered by a
+// request dies with that request. Handlers must pass their request
+// context (container.Ctx.Context) here.
+func (s *Source) PublishContext(ctx context.Context, topic string, message *xmlutil.Element) (int, error) {
 	now := s.now()
 	var matched []*Subscription
 	for _, sub := range s.Store.All() {
@@ -397,7 +433,7 @@ func (s *Source) Publish(topic string, message *xmlutil.Element) (int, error) {
 	errs := make([]error, len(matched))
 	fanout.Do(len(matched), s.Workers, func(i int) {
 		sub := matched[i]
-		if err := s.deliverWithRetry(httpClient, sub, topic, message); err != nil {
+		if err := s.deliverWithRetry(ctx, httpClient, sub, topic, message); err != nil {
 			errs[i] = err
 			s.stats.failures.Add(1)
 			s.recordFault(sub, err)
@@ -438,10 +474,10 @@ func (s *Source) filterMatches(f Filter, topic string, message *xmlutil.Element)
 // policy, counting attempts and retries. sent counts once per
 // delivered message (not per attempt) so MessagesSent keeps measuring
 // fan-out amplification, not retry noise.
-func (s *Source) deliverWithRetry(client *container.Client, sub *Subscription, topic string, message *xmlutil.Element) error {
+func (s *Source) deliverWithRetry(ctx context.Context, client *container.Client, sub *Subscription, topic string, message *xmlutil.Element) error {
 	s.sent.Add(1)
-	attempts, err := retry.Do(context.Background(), s.Retry, func(context.Context) error {
-		return s.deliverOnce(client, sub, topic, message)
+	attempts, err := retry.Do(ctx, s.Retry, func(actx context.Context) error {
+		return s.deliverOnce(actx, client, sub, topic, message)
 	})
 	s.stats.attempts.Add(int64(attempts))
 	if attempts > 1 {
@@ -450,7 +486,7 @@ func (s *Source) deliverWithRetry(client *container.Client, sub *Subscription, t
 	return err
 }
 
-func (s *Source) deliverOnce(client *container.Client, sub *Subscription, topic string, message *xmlutil.Element) error {
+func (s *Source) deliverOnce(ctx context.Context, client *container.Client, sub *Subscription, topic string, message *xmlutil.Element) error {
 	switch sub.Mode {
 	case DeliveryModeTCP:
 		env := soap.New(message)
@@ -458,11 +494,14 @@ func (s *Source) deliverOnce(client *container.Client, sub *Subscription, topic 
 			xmlutil.NewText(NS, "Topic", topic),
 			xmlutil.NewText(wsa.NS, "Action", ActionEvent),
 		)
+		// The persistent frame channel has no per-write context; its
+		// write deadline plays the timeout role, and retry.Do's attempt
+		// context still bounds the overall wait between attempts.
 		return s.TCP.Deliver(sub.NotifyTo.Address, env, s.DeliveryTimeout)
 	default:
 		// Push over HTTP: a normal one-way SOAP POST to the sink, with
 		// the topic riding in a header block.
-		_, err := client.CallWithHeaders(sub.NotifyTo, ActionEvent,
+		_, err := client.CallWithHeadersContext(ctx, sub.NotifyTo, ActionEvent,
 			[]*xmlutil.Element{xmlutil.NewText(NS, "Topic", topic)}, message)
 		return err
 	}
@@ -488,7 +527,12 @@ func (s *Source) sendEnd(client *container.Client, sub *Subscription, status, re
 		xmlutil.NewText(NS, "Status", status),
 		xmlutil.NewText(NS, "Reason", reason),
 	)
-	_, _ = client.Call(sub.EndTo, ActionSubscriptionEnd, end)
+	// The subscription is already removed; an undeliverable end notice
+	// is counted, not retried — its EndTo is usually as dead as the
+	// consumer that got the subscription evicted.
+	if _, err := client.Call(sub.EndTo, ActionSubscriptionEnd, end); err != nil {
+		s.noteEndNoticeError(err)
+	}
 }
 
 // endClient bounds end-notice deliveries with the per-delivery

@@ -179,8 +179,21 @@ func (d *TCPDeliverer) Deliver(addr string, env *soap.Envelope, timeout time.Dur
 			return err
 		}
 		if timeout > 0 {
-			ch.conn.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck
+			// A deadline that cannot be set means the connection is
+			// already unusable: treat it like a failed write and retry on
+			// a fresh dial rather than risking an unbounded Write.
+			if err := ch.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+				ch.conn.Close()
+				ch.conn = nil
+				continue
+			}
 		}
+		// The per-address mutex deliberately stays held across the frame
+		// write: interleaved partial frames would corrupt the length-
+		// prefixed stream for every subsequent event on this channel.
+		// Serialization per sink address is the delivery contract, and
+		// cross-sink parallelism comes from the fan-out pool.
+		//lint:ignore ogsalint/lockheld per-connection mutex serializes frame writes by design; see comment above
 		if _, err := ch.conn.Write(frame); err == nil {
 			return nil
 		}

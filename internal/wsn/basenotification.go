@@ -416,6 +416,15 @@ func (p *Producer) HasActiveSubscriber(topic string) bool {
 // count and first-error (in subscription order) semantics are
 // identical to the sequential dispatch this replaces.
 func (p *Producer) Notify(topic string, message *xmlutil.Element) (int, error) {
+	return p.NotifyContext(context.Background(), topic, message)
+}
+
+// NotifyContext is Notify bounded by ctx: cancellation cuts short the
+// per-delivery retry backoff and the HTTP exchanges themselves, so a
+// publish triggered by a request dies with that request and Shutdown
+// does not wait out a retrying fan-out. Handlers must pass their
+// request context (container.Ctx.Context) here.
+func (p *Producer) NotifyContext(ctx context.Context, topic string, message *xmlutil.Element) (int, error) {
 	p.lastMu.Lock()
 	if p.lastMessage == nil {
 		p.lastMessage = map[string]*xmlutil.Element{}
@@ -467,7 +476,7 @@ func (p *Producer) Notify(topic string, message *xmlutil.Element) (int, error) {
 	errs := make([]error, len(matched))
 	fanout.Do(len(matched), p.Workers, func(i int) {
 		sub := matched[i]
-		if err := p.deliverWithRetry(client, sub, wrapped, message); err != nil {
+		if err := p.deliverWithRetry(ctx, client, sub, wrapped, message); err != nil {
 			errs[i] = err
 			p.stats.failures.Add(1)
 			p.recordFault(sub.ID, err)
@@ -506,7 +515,13 @@ func (p *Producer) storeCurrentMessage(topic string, message *xmlutil.Element) {
 		xmlutil.NewText(NSNT, "Topic", topic),
 		xmlutil.New(NSNT, "Message").Add(message),
 	)
-	_ = p.Subs.DB.Put(p.currentCollection(), topicDocID(topic), doc)
+	// The in-memory lastMessage map stays authoritative for
+	// GetCurrentMessage; a failed write-through only costs durability
+	// across a restart, so it is accounted rather than failing the
+	// publish.
+	if err := p.Subs.DB.Put(p.currentCollection(), topicDocID(topic), doc); err != nil {
+		p.noteStateWriteError(err)
+	}
 }
 
 func (p *Producer) loadCurrentMessage(topic string) *xmlutil.Element {
@@ -557,10 +572,10 @@ func (p *Producer) matches(sub *Subscription, topic string, message *xmlutil.Ele
 // attempt), preserving the message-amplification semantics of
 // MessagesSent; attempts and retries are accounted separately in the
 // delivery stats.
-func (p *Producer) deliverWithRetry(client *container.Client, sub *Subscription, wrapped, raw *xmlutil.Element) error {
+func (p *Producer) deliverWithRetry(ctx context.Context, client *container.Client, sub *Subscription, wrapped, raw *xmlutil.Element) error {
 	p.sent.Add(1)
-	attempts, err := retry.Do(context.Background(), p.Retry, func(context.Context) error {
-		return p.deliverOnce(client, sub, wrapped, raw)
+	attempts, err := retry.Do(ctx, p.Retry, func(actx context.Context) error {
+		return p.deliverOnce(actx, client, sub, wrapped, raw)
 	})
 	p.stats.attempts.Add(int64(attempts))
 	if attempts > 1 {
@@ -569,16 +584,16 @@ func (p *Producer) deliverWithRetry(client *container.Client, sub *Subscription,
 	return err
 }
 
-func (p *Producer) deliverOnce(client *container.Client, sub *Subscription, wrapped, raw *xmlutil.Element) error {
+func (p *Producer) deliverOnce(ctx context.Context, client *container.Client, sub *Subscription, wrapped, raw *xmlutil.Element) error {
 	if sub.UseRaw {
 		// Raw delivery: the payload is posted bare. The paper flags this
 		// mode as an interoperability hazard ("the information passed
 		// with a notification … is not well-defined", §3.1); it is
 		// provided for completeness.
-		_, err := client.Call(sub.Consumer, ActionNotify, raw)
+		_, err := client.CallContext(ctx, sub.Consumer, ActionNotify, raw)
 		return err
 	}
-	_, err := client.Call(sub.Consumer, ActionNotify, wrapped)
+	_, err := client.CallContext(ctx, sub.Consumer, ActionNotify, wrapped)
 	return err
 }
 

@@ -43,6 +43,11 @@ type Broker struct {
 	// (subscribe/pause/resume toward publishers) — evidence for the
 	// paper's message-amplification estimate.
 	controlCalls atomic.Int64
+	// controlErrors counts control calls that failed. Demand
+	// recomputation is best-effort per spec (the next subscriber-set
+	// change retries), but a publisher that cannot be paused keeps
+	// publishing, so the divergence is surfaced rather than swallowed.
+	controlErrors atomic.Int64
 
 	// consumerEPR yields the broker's upstream-facing consumer
 	// endpoint, where registered publishers deliver notifications.
@@ -92,6 +97,17 @@ func (pt brokerRegPT) Actions() map[string]container.ActionFunc {
 
 // ControlCalls reports broker-initiated control messages to publishers.
 func (b *Broker) ControlCalls() int64 { return b.controlCalls.Load() }
+
+// ControlErrors reports failed pause/resume control calls — upstream
+// publishers whose demand state may have diverged from the broker's.
+func (b *Broker) ControlErrors() int64 { return b.controlErrors.Load() }
+
+// noteControlError accounts one failed control call; the error itself
+// is kept only at the call site (the next demand recomputation
+// retries the same upstream).
+func (b *Broker) noteControlError(error) {
+	b.controlErrors.Add(1)
+}
 
 func (b *Broker) registerPublisher(ctx *container.Ctx) (*xmlutil.Element, error) {
 	body := ctx.Envelope.Body
@@ -150,7 +166,7 @@ func (b *Broker) onUpstreamNotify(ctx *container.Ctx) (*xmlutil.Element, error) 
 		if msg == nil || len(msg.Children) == 0 {
 			continue
 		}
-		if _, err := b.Producer.Notify(topic, msg.Children[0]); err != nil {
+		if _, err := b.Producer.NotifyContext(ctx.Context, topic, msg.Children[0]); err != nil {
 			return nil, err
 		}
 	}
@@ -205,9 +221,13 @@ func (b *Broker) recomputeDemand() {
 		}
 		b.controlCalls.Add(1)
 		if b.Producer.HasActiveSubscriber(reg.Topic) {
-			_ = Resume(b.Client, reg.Upstream)
+			if err := Resume(b.Client, reg.Upstream); err != nil {
+				b.noteControlError(err)
+			}
 		} else {
-			_ = Pause(b.Client, reg.Upstream)
+			if err := Pause(b.Client, reg.Upstream); err != nil {
+				b.noteControlError(err)
+			}
 		}
 	}
 }

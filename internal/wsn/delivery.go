@@ -12,10 +12,12 @@
 package wsn
 
 import (
+	"errors"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"altstacks/internal/xmldb"
 	"altstacks/internal/xmlutil"
 )
 
@@ -47,22 +49,38 @@ type DeliveryStats struct {
 	FilterErrors int64
 	// Evictions counts subscriptions destroyed for delivery failure.
 	Evictions int64
+	// StateWriteErrors counts failed writes of producer persistence —
+	// health records and per-topic current messages. The in-memory
+	// state stays authoritative when the backing store misbehaves, so
+	// these do not fail the triggering publish; they surface here (and
+	// feed back into recovery behavior after a restart).
+	StateWriteErrors int64
 }
 
 type deliveryCounters struct {
-	attempts, retries, deliveries, failures, filterErrors, evictions atomic.Int64
+	attempts, retries, deliveries, failures, filterErrors, evictions, stateWriteErrors atomic.Int64
 }
 
 // DeliveryStats snapshots the producer's delivery counters.
 func (p *Producer) DeliveryStats() DeliveryStats {
 	return DeliveryStats{
-		Attempts:     p.stats.attempts.Load(),
-		Retries:      p.stats.retries.Load(),
-		Deliveries:   p.stats.deliveries.Load(),
-		Failures:     p.stats.failures.Load(),
-		FilterErrors: p.stats.filterErrors.Load(),
-		Evictions:    p.stats.evictions.Load(),
+		Attempts:         p.stats.attempts.Load(),
+		Retries:          p.stats.retries.Load(),
+		Deliveries:       p.stats.deliveries.Load(),
+		Failures:         p.stats.failures.Load(),
+		FilterErrors:     p.stats.filterErrors.Load(),
+		Evictions:        p.stats.evictions.Load(),
+		StateWriteErrors: p.stats.stateWriteErrors.Load(),
 	}
+}
+
+// noteStateWriteError accounts a failed persistence write. The write
+// targets a cache of in-memory state, so the caller's operation
+// proceeds; the count is the signal that the xmldb backend is dropping
+// producer state. Callers pass the (non-nil) error for call-site
+// clarity; only the count is kept.
+func (p *Producer) noteStateWriteError(error) {
+	p.stats.stateWriteErrors.Add(1)
 }
 
 // Health returns the current delivery-health record for a
@@ -99,7 +117,11 @@ func (p *Producer) dropHealth(id string) {
 	delete(p.health, id)
 	p.healthMu.Unlock()
 	if p.Subs != nil && p.Subs.DB != nil {
-		_ = p.Subs.DB.Delete(p.healthCollection(), id)
+		// A subscription whose health was never persisted has nothing to
+		// delete; only real backend failures count.
+		if err := p.Subs.DB.Delete(p.healthCollection(), id); err != nil && !errors.Is(err, xmldb.ErrNotFound) {
+			p.noteStateWriteError(err)
+		}
 	}
 }
 
@@ -169,7 +191,9 @@ func (p *Producer) persistHealth(id string, h SubscriptionHealth) {
 	if !h.LastFailure.IsZero() {
 		doc.Add(xmlutil.NewText(NSNT, "LastFailure", h.LastFailure.UTC().Format(time.RFC3339Nano)))
 	}
-	_ = p.Subs.DB.Put(p.healthCollection(), id, doc)
+	if err := p.Subs.DB.Put(p.healthCollection(), id, doc); err != nil {
+		p.noteStateWriteError(err)
+	}
 }
 
 func (p *Producer) loadHealth(id string) SubscriptionHealth {

@@ -343,11 +343,11 @@ func (e *Element) Canonical() []byte {
 	// Prefixes are assigned in sorted-URI order so the canonical form is
 	// invariant under attribute reordering (prefix assignment must not
 	// depend on document order, which reordering perturbs).
-	b, st := e.canonicalBuffer()
-	out := make([]byte, b.Len())
-	copy(out, b.Bytes())
-	bufPool.Put(b)
-	canonPool.Put(st)
+	var out []byte
+	e.withCanonicalBuffer(func(b *bytes.Buffer) {
+		out = make([]byte, b.Len())
+		copy(out, b.Bytes())
+	})
 	return out
 }
 
@@ -356,16 +356,20 @@ func (e *Element) Canonical() []byte {
 // buffer — the signature layer digests several message parts per
 // request and never needs the bytes themselves.
 func (e *Element) CanonicalSum256() [sha256.Size]byte {
-	b, st := e.canonicalBuffer()
-	sum := sha256.Sum256(b.Bytes())
-	bufPool.Put(b)
-	canonPool.Put(st)
+	var sum [sha256.Size]byte
+	e.withCanonicalBuffer(func(b *bytes.Buffer) {
+		sum = sha256.Sum256(b.Bytes())
+	})
 	return sum
 }
 
-// canonicalBuffer renders the canonical form into pooled state; the
-// caller must return both to their pools when done with the bytes.
-func (e *Element) canonicalBuffer() (*bytes.Buffer, *canonState) {
+// withCanonicalBuffer renders the canonical form into pooled state and
+// hands the buffer to fn. Both pooled values go back to their pools
+// when fn returns — the Get/Put span begins and ends in this function,
+// so fn must copy or digest the bytes, never retain them. (The
+// previous shape returned the pooled pair to the caller, which is
+// exactly the escape ogsalint/poolescape exists to forbid.)
+func (e *Element) withCanonicalBuffer(fn func(b *bytes.Buffer)) {
 	st := canonPool.Get().(*canonState)
 	st.ctx.reset()
 	clear(st.uris)
@@ -391,7 +395,9 @@ func (e *Element) canonicalBuffer() (*bytes.Buffer, *canonState) {
 	b := bufPool.Get().(*bytes.Buffer)
 	b.Reset()
 	e.write(b, &st.ctx, true, true)
-	return b, st
+	fn(b)
+	bufPool.Put(b)
+	canonPool.Put(st)
 }
 
 func (e *Element) write(b *bytes.Buffer, ctx *nsContext, root, canonical bool) {
