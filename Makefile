@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-delivery bench-smoke bench fuzz-smoke check ci
+.PHONY: all build vet lint test race race-delivery bench-smoke bench fuzz-smoke obs-smoke check ci
 
 all: build
 
@@ -51,7 +51,13 @@ bench:
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzParse -fuzztime 10s ./internal/xmlutil/
 
+# End-to-end check of the observability surface: counterd -admin must
+# come up, and `gridctl metrics` must expose every migrated counter
+# family plus the stage histograms.
+obs-smoke:
+	./scripts/obs-smoke.sh
+
 # Everything a change should pass before review.
-check: build vet lint race race-delivery bench-smoke fuzz-smoke
+check: build vet lint race race-delivery bench-smoke fuzz-smoke obs-smoke
 
 ci: check

@@ -22,6 +22,7 @@ import (
 	"altstacks/internal/core"
 	"altstacks/internal/counter"
 	"altstacks/internal/netlat"
+	"altstacks/internal/obs"
 	"altstacks/internal/wse"
 	"altstacks/internal/xmldb"
 )
@@ -31,8 +32,14 @@ func main() {
 	security := flag.String("security", "none", "security mode: none, tls, or sign")
 	dbPath := flag.String("db", "memory", "resource store: 'memory' or a directory path")
 	subsPath := flag.String("subs", "", "WS-Eventing subscription file (wst stack; empty = memory)")
+	admin := flag.String("admin", "", "serve /metrics, /traces, and pprof on this address (e.g. :9090; enables instrumentation)")
 	flag.Parse()
 
+	if *admin != "" {
+		// Enable before the container starts so the very first request
+		// is already traced and counted.
+		obs.Enable()
+	}
 	mode, err := parseMode(*security)
 	if err != nil {
 		fatal("%v", err)
@@ -68,6 +75,14 @@ func main() {
 	}
 	fmt.Printf("counterd: stack=%s security=%s\n", *stack, mode)
 	fmt.Printf("  counter service:       %s/counter\n", base)
+	if *admin != "" {
+		adminURL, stopAdmin, err := obs.ServeAdmin(*admin)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer stopAdmin()
+		fmt.Printf("  admin endpoint:        %s\n", adminURL)
+	}
 	switch *stack {
 	case "wsrf":
 		fmt.Printf("  subscription manager:  %s/counter-submgr\n", base)

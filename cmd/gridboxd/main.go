@@ -7,7 +7,7 @@
 //
 //	gridboxd [-stack wsrf|wst] [-security none|sign] [-data DIR]
 //	         [-sites node-a:blast,render;node-b:blast]
-//	         [-users "CN=alice,O=UVA"] [-admin DN]
+//	         [-users "CN=alice,O=UVA"] [-admin-dn DN] [-admin :port]
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"altstacks/internal/core"
 	"altstacks/internal/gridbox"
 	"altstacks/internal/netlat"
+	"altstacks/internal/obs"
 	"altstacks/internal/xmldb"
 )
 
@@ -31,10 +32,16 @@ func main() {
 	dataDir := flag.String("data", "", "data staging root (default: a temp directory)")
 	sitesFlag := flag.String("sites", "node-a:blast,render;node-b:blast", "sites as host:app,app;host:app")
 	usersFlag := flag.String("users", "CN=alice,O=UVA", "user DNs to pre-provision, separated by |")
-	adminDN := flag.String("admin", "", "restrict administrative operations to this DN")
+	adminDN := flag.String("admin-dn", "", "restrict administrative operations to this DN")
+	admin := flag.String("admin", "", "serve /metrics, /traces, and pprof on this address (e.g. :9090; enables instrumentation)")
 	delta := flag.Duration("reservation-delta", gridbox.DefaultReservationDelta, "initial reservation lifetime")
 	flag.Parse()
 
+	if *admin != "" {
+		// Enable before the container starts so the very first request
+		// is already traced and counted.
+		obs.Enable()
+	}
 	var mode container.SecurityMode
 	switch *security {
 	case "none":
@@ -93,6 +100,14 @@ func main() {
 	}
 
 	fmt.Printf("gridboxd: stack=%s security=%s data=%s\n", *stack, mode, root)
+	if *admin != "" {
+		adminURL, stopAdmin, err := obs.ServeAdmin(*admin)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer stopAdmin()
+		fmt.Printf("  admin endpoint: %s\n", adminURL)
+	}
 	paths := map[string][]string{
 		"wsrf": {"/account", "/allocation", "/reservation", "/data", "/exec", "/exec-submgr"},
 		"wst":  {"/account", "/allocation", "/data", "/execution", "/execution-events", "/execution-evtmgr"},

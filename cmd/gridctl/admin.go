@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"altstacks/internal/obs"
+)
+
+// fetchAdmin GETs one path from a daemon's admin endpoint (the URL
+// counterd/gridboxd print when started with -admin).
+func fetchAdmin(adminURL, path string) ([]byte, error) {
+	if adminURL == "" {
+		return nil, fmt.Errorf("-admin URL required (the admin endpoint a daemon prints when started with -admin)")
+	}
+	resp, err := http.Get(strings.TrimRight(adminURL, "/") + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", path, resp.Status)
+	}
+	return data, nil
+}
+
+// showMetrics dumps the daemon's Prometheus exposition verbatim.
+func showMetrics(adminURL string) error {
+	data, err := fetchAdmin(adminURL, "/metrics")
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+// showTraces fetches the finished-trace ring, stitches cross-process
+// halves together by MessageID, and prints each trace as a span tree.
+func showTraces(adminURL string) error {
+	data, err := fetchAdmin(adminURL, "/traces")
+	if err != nil {
+		return err
+	}
+	var traces []obs.TraceData
+	if err := json.Unmarshal(data, &traces); err != nil {
+		return fmt.Errorf("decode traces: %w", err)
+	}
+	stitched := obs.Stitch(traces)
+	if len(stitched) == 0 {
+		fmt.Println("(no finished traces; is the daemon running with -admin and receiving requests?)")
+		return nil
+	}
+	for i, t := range stitched {
+		if i > 0 {
+			fmt.Println()
+		}
+		printTrace(t)
+	}
+	return nil
+}
+
+func printTrace(t obs.TraceData) {
+	fmt.Printf("trace %s (%d spans)\n", t.ID, len(t.Spans))
+	children := map[string][]obs.SpanData{}
+	byID := map[string]bool{}
+	for _, s := range t.Spans {
+		byID[s.ID] = true
+	}
+	var roots []obs.SpanData
+	for _, s := range t.Spans {
+		// A span whose parent is missing from the trace (never the case
+		// for well-formed traces, but cheap to tolerate) prints as a root.
+		if s.Parent == "" || !byID[s.Parent] {
+			roots = append(roots, s)
+			continue
+		}
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	for _, r := range roots {
+		printSpan(r, children, 1)
+	}
+}
+
+func printSpan(s obs.SpanData, children map[string][]obs.SpanData, depth int) {
+	indent := strings.Repeat("  ", depth)
+	line := fmt.Sprintf("%s%s %v", indent, s.Name, time.Duration(s.DurationNs).Round(time.Microsecond))
+	var notes []string
+	for _, a := range s.Attrs {
+		notes = append(notes, a.K+"="+a.V)
+	}
+	if s.MessageID != "" {
+		notes = append(notes, "msg="+s.MessageID)
+	}
+	if s.RelatesTo != "" {
+		notes = append(notes, "relates="+s.RelatesTo)
+	}
+	if s.Err != "" {
+		notes = append(notes, "ERR: "+s.Err)
+	}
+	if len(notes) > 0 {
+		line += "  [" + strings.Join(notes, " ") + "]"
+	}
+	fmt.Println(line)
+	for _, ev := range s.Events {
+		fmt.Printf("%s  · %s\n", indent, ev)
+	}
+	// Children come oldest-first so the tree reads in execution order.
+	kids := children[s.ID]
+	for i := 0; i < len(kids); i++ {
+		for j := i + 1; j < len(kids); j++ {
+			if kids[j].Start.Before(kids[i].Start) {
+				kids[i], kids[j] = kids[j], kids[i]
+			}
+		}
+	}
+	for _, c := range kids {
+		printSpan(c, children, depth+1)
+	}
+}

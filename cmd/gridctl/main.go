@@ -24,6 +24,13 @@
 //	  -exit N       exit code to produce
 //	  -in  N=V      stage input file N with content V (repeatable)
 //	  -out N=V      job writes output file N with content V (repeatable)
+//
+// Two observability commands speak to a daemon's admin endpoint (the
+// URL counterd or gridboxd prints when started with -admin) instead of
+// the VO base URL. Flags precede the command:
+//
+//	gridctl -admin http://host:port metrics   dump the Prometheus metrics
+//	gridctl -admin http://host:port trace     fetch, stitch, and print traces
 package main
 
 import (
@@ -41,7 +48,24 @@ func main() {
 	base := flag.String("base", "", "VO base URL (required)")
 	stack := flag.String("stack", "wsrf", "software stack the VO runs: wsrf or wst")
 	user := flag.String("user", "CN=alice,O=UVA", "caller DN for unauthenticated deployments")
+	adminURL := flag.String("admin", "", "daemon admin endpoint URL (for the metrics and trace commands)")
 	flag.Parse()
+	// metrics and trace talk to the admin endpoint, not the VO base
+	// URL, so they dispatch before the -base requirement applies.
+	if flag.NArg() > 0 {
+		switch flag.Arg(0) {
+		case "metrics":
+			if err := showMetrics(*adminURL); err != nil {
+				fatal("metrics: %v", err)
+			}
+			return
+		case "trace":
+			if err := showTraces(*adminURL); err != nil {
+				fatal("trace: %v", err)
+			}
+			return
+		}
+	}
 	if *base == "" || flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -141,7 +165,7 @@ func dispatch(g grid, cmd string, args []string) error {
 	case "run":
 		return runJob(g, args)
 	default:
-		return fmt.Errorf("unknown command (want account-add, account-exists, account-remove, site-add, resources, reserve, unreserve, reserved-by, run)")
+		return fmt.Errorf("unknown command (want account-add, account-exists, account-remove, site-add, resources, reserve, unreserve, reserved-by, run, metrics, trace)")
 	}
 }
 

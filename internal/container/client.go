@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"altstacks/internal/netlat"
+	"altstacks/internal/obs"
 	"altstacks/internal/soap"
 	"altstacks/internal/wsa"
 	"altstacks/internal/wssec"
@@ -105,7 +106,13 @@ func (c *Client) callEnvelope(ctx context.Context, epr wsa.EPR, action string, h
 	}
 	env := soap.New(body)
 	env.AddHeader(headers...)
-	wsa.Stamp(env, epr, action)
+	mid := wsa.Stamp(env, epr, action)
+	// Record the outbound MessageID on the calling span (a deliver span
+	// during notification fan-out, a handler span for nested calls): the
+	// receiving container's dispatch root records the same ID, which is
+	// how obs.Stitch joins the two process-local traces.
+	span := obs.SpanFromContext(ctx)
+	span.SetMessageID(mid)
 	if c.Signer != nil {
 		if err := c.Signer.Sign(env); err != nil {
 			return nil, err
@@ -131,6 +138,9 @@ func (c *Client) callEnvelope(ctx context.Context, epr wsa.EPR, action string, h
 	respEnv, err := soap.Parse(respData)
 	if err != nil {
 		return nil, fmt.Errorf("container: response (HTTP %d): %w", httpResp.StatusCode, err)
+	}
+	if span != nil {
+		span.SetRelatesTo(wsa.Extract(respEnv).RelatesTo)
 	}
 	if respEnv.IsFault() {
 		return nil, respEnv.Fault

@@ -27,10 +27,21 @@ import (
 	"sync"
 	"time"
 
+	"altstacks/internal/obs"
 	"altstacks/internal/soap"
 	"altstacks/internal/wsa"
 	"altstacks/internal/wssec"
 	"altstacks/internal/xmlutil"
+)
+
+// Pipeline-level metrics: one counter per inbound request and one per
+// fault response, alongside the dispatch/verify/handler/serialize
+// stage histograms observed inline below.
+var (
+	requestsTotal = obs.NewCounter("ogsa_container_requests_total", "",
+		"SOAP requests dispatched by the container")
+	faultsTotal = obs.NewCounter("ogsa_container_faults_total", "",
+		"SOAP fault responses written by the container")
 )
 
 // SecurityMode selects the paper's three security scenarios.
@@ -222,6 +233,17 @@ func (c *Container) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "SOAP endpoints accept POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	// The dispatch span is the trace root: every downstream stage
+	// (verify, handler, storage, serialize, deliver) parents under the
+	// context minted here.
+	t0 := obs.Start()
+	reqCtx, span := obs.StartSpan(r.Context(), "container.dispatch")
+	span.SetAttr("path", r.URL.Path)
+	requestsTotal.Inc()
+	defer func() {
+		obs.StageDispatch.ObserveSince(t0)
+		span.End()
+	}()
 	buf := bodyPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer func() {
@@ -235,16 +257,23 @@ func (c *Container) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	env, err := soap.Parse(buf.Bytes())
 	if err != nil {
-		c.writeFault(w, "", faultOf(err))
+		span.Fail(err)
+		c.writeFault(reqCtx, w, "", faultOf(err))
 		return
 	}
 	info := wsa.Extract(env)
-	resp, fault := c.dispatch(r.Context(), svc, env, info)
+	// The inbound MessageID is the cross-process correlation key: when
+	// this request is a notification delivery, the sender's deliver span
+	// carries the same ID and obs.Stitch joins the two traces.
+	span.SetMessageID(info.MessageID)
+	span.SetAttr("action", info.Action)
+	resp, fault := c.dispatch(reqCtx, svc, env, info)
 	if fault != nil {
-		c.writeFault(w, info.MessageID, fault)
+		span.Fail(fault)
+		c.writeFault(reqCtx, w, info.MessageID, fault)
 		return
 	}
-	c.writeResponse(w, http.StatusOK, resp)
+	c.writeResponse(reqCtx, w, http.StatusOK, resp)
 }
 
 // dispatch runs the security handler and the action handler, mirroring
@@ -256,10 +285,17 @@ func (c *Container) dispatch(reqCtx context.Context, svc *Service, env *soap.Env
 		if c.Verifier == nil {
 			return nil, soap.Faultf(soap.FaultServer, "container misconfigured: no verifier")
 		}
+		vt := obs.Start()
+		vspan := obs.ChildSpan(reqCtx, "wssec.verify")
 		cert, err := c.Verifier.Verify(env)
+		obs.StageVerify.ObserveSince(vt)
 		if err != nil {
+			vspan.Fail(err)
+			vspan.End()
 			return nil, soap.Faultf(soap.FaultClient, "security: %v", err)
 		}
+		vspan.SetAttr("subject", cert.Subject.String())
+		vspan.End()
 		ctx.Peer = cert
 	}
 	// mustUnderstand accounting: addressing headers, the security
@@ -276,10 +312,19 @@ func (c *Container) dispatch(reqCtx context.Context, svc *Service, env *soap.Env
 	if !ok {
 		return nil, soap.Faultf(soap.FaultClient, "service %s does not support action %q", svc.Path, info.Action)
 	}
+	// Handler span: storage and delivery spans triggered by the service
+	// parent under it, so ctx.Context is rewrapped with the span.
+	ht := obs.Start()
+	hctx, hspan := obs.StartSpan(reqCtx, "handler")
+	ctx.Context = hctx
 	respBody, err := handler(ctx)
+	obs.StageHandler.ObserveSince(ht)
 	if err != nil {
+		hspan.Fail(err)
+		hspan.End()
 		return nil, faultOf(err)
 	}
+	hspan.End()
 	resp := soap.New(respBody)
 	wsa.StampReply(resp, info.MessageID, info.Action+"Response")
 	if c.Mode == SecuritySign {
@@ -290,7 +335,8 @@ func (c *Container) dispatch(reqCtx context.Context, svc *Service, env *soap.Env
 	return resp, nil
 }
 
-func (c *Container) writeFault(w http.ResponseWriter, relatesTo string, f *soap.Fault) {
+func (c *Container) writeFault(ctx context.Context, w http.ResponseWriter, relatesTo string, f *soap.Fault) {
+	faultsTotal.Inc()
 	env := &soap.Envelope{Fault: f}
 	wsa.StampReply(env, relatesTo, wsa.NS+"/fault")
 	if c.Mode == SecuritySign && c.Signer != nil {
@@ -304,11 +350,16 @@ func (c *Container) writeFault(w http.ResponseWriter, relatesTo string, f *soap.
 	if f.Code == soap.FaultClient {
 		status = http.StatusBadRequest
 	}
-	c.writeResponse(w, status, env)
+	c.writeResponse(ctx, w, status, env)
 }
 
-func (c *Container) writeResponse(w http.ResponseWriter, status int, env *soap.Envelope) {
+func (c *Container) writeResponse(ctx context.Context, w http.ResponseWriter, status int, env *soap.Envelope) {
+	st := obs.Start()
+	sspan := obs.ChildSpan(ctx, "xmlutil.serialize")
 	data := env.Marshal()
+	obs.StageSerialize.ObserveSince(st)
+	sspan.SetAttr("bytes", fmt.Sprint(len(data)))
+	sspan.End()
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
 	w.WriteHeader(status)

@@ -70,8 +70,10 @@ func InstallWSRF(c *container.Container, db *xmldb.DB, deliver *container.Client
 			// did; delivery to the consumer is the asynchronous part.
 			// Delivery outcomes land per-subscriber in the producer's
 			// health ledger; the summary error must not fail the Set.
+			// r.Context() carries the SetResourceProperties request
+			// context, so the dispatch trace extends into delivery.
 			//lint:ignore ogsalint/soapfault delivery faults are recorded per-subscriber in the producer's health ledger
-			_, _ = s.Producer.Notify(TopicValueChanged, changeMessage(r.ID, v))
+			_, _ = s.Producer.NotifyContext(r.Context(), TopicValueChanged, changeMessage(r.ID, v))
 			return nil
 		},
 	})
@@ -105,7 +107,7 @@ func (s *WSRFService) create(ctx *container.Ctx) (*xmlutil.Element, error) {
 	}
 	state := xmlutil.New(NS, "CounterState").Add(
 		xmlutil.NewText(NS, "cv", strconv.Itoa(initial)))
-	epr, err := s.Home.Create(state)
+	epr, err := s.Home.CreateContext(ctx.Context, state)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,17 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"altstacks/internal/obs"
+)
+
+// Pool metrics: total tasks executed and the current number of
+// in-flight fan-out batches (a live saturation signal on /metrics).
+var (
+	tasksTotal = obs.NewCounter("ogsa_fanout_tasks_total", "",
+		"tasks executed by fan-out worker pools")
+	inflight = obs.NewGauge("ogsa_fanout_inflight", "",
+		"fan-out batches currently executing")
 )
 
 // Do runs fn(i) for every i in [0, n) on a pool of at most width
@@ -24,6 +35,9 @@ func Do(n, width int, fn func(int)) {
 	if n <= 0 {
 		return
 	}
+	tasksTotal.Add(int64(n))
+	inflight.Add(1)
+	defer inflight.Add(-1)
 	if width <= 0 {
 		width = runtime.GOMAXPROCS(0)
 	}

@@ -13,9 +13,14 @@ import (
 // propagating into retries. Passing Background/TODO directly to
 // retry.Do is flagged unconditionally: retry backoff sleeps are
 // exactly the waits a caller's context must be able to cut short.
+// obs.StartSpan gets the same unconditional treatment: a span rooted
+// on a fresh context can never join the request's trace, so every
+// instrumented stage would start an orphan trace instead of a child
+// span. (obs.StartSpan counts as *consuming* the in-scope context —
+// threading ctx into it is the correct flow, not a violation.)
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
-	Doc:  "thread in-scope contexts through to retry.Do and deliveries instead of minting context.Background()/TODO()",
+	Doc:  "thread in-scope contexts through to retry.Do, obs.StartSpan, and deliveries instead of minting context.Background()/TODO()",
 	Run:  runCtxFlow,
 }
 
@@ -48,6 +53,13 @@ func checkCtxFlow(pass *Pass, file *ast.File) {
 				if name := backgroundOrTODO(info, v.Args[0]); name != "" {
 					pass.Reportf(v.Args[0].Pos(),
 						"context.%s() passed to retry.Do: thread the caller's context so cancellation bounds the backoff", name)
+					reported[ast.Unparen(v.Args[0])] = true
+				}
+			}
+			if calleeIsFunc(info, v, "altstacks/internal/obs", "StartSpan") && len(v.Args) > 0 {
+				if name := backgroundOrTODO(info, v.Args[0]); name != "" {
+					pass.Reportf(v.Args[0].Pos(),
+						"context.%s() passed to obs.StartSpan: a span rooted on a fresh context starts an orphan trace; thread the request context", name)
 					reported[ast.Unparen(v.Args[0])] = true
 				}
 			}

@@ -5,6 +5,7 @@ package ctxflow
 import (
 	"context"
 
+	"altstacks/internal/obs"
 	"altstacks/internal/retry"
 )
 
@@ -51,6 +52,22 @@ func badMintInClosure(ctx context.Context) func() context.Context {
 	}
 }
 
+// badSpanRoot roots a span on a fresh context while the request
+// context sits unused in scope: the span starts an orphan trace
+// instead of joining the request's.
+func badSpanRoot(ctx context.Context) *obs.Span {
+	_ = ctx
+	_, span := obs.StartSpan(context.Background(), "handler") // want `context.Background\(\) passed to obs.StartSpan`
+	return span
+}
+
+// badSpanRootTODO is the same severance even with no other context in
+// scope — like retry.Do, StartSpan is flagged unconditionally.
+func badSpanRootTODO() *obs.Span {
+	_, span := obs.StartSpan(context.TODO(), "handler") // want `context.TODO\(\) passed to obs.StartSpan`
+	return span
+}
+
 // --- clean ---
 
 // goodThreaded passes the caller's context straight through — the
@@ -72,4 +89,17 @@ func goodRootMint(p retry.Policy) error {
 	ctx := context.Background()
 	_, err := retry.Do(ctx, p, func(context.Context) error { return nil })
 	return err
+}
+
+// goodSpanThreaded consumes the in-scope context the intended way:
+// obs.StartSpan takes ctx and hands back the span-carrying child.
+func goodSpanThreaded(ctx context.Context) (context.Context, *obs.Span) {
+	return obs.StartSpan(ctx, "handler")
+}
+
+// goodSpanCarrierThreaded pulls the request context off the carrier
+// before rooting the stage span under it.
+func goodSpanCarrierThreaded(c *Ctx) *obs.Span {
+	_, span := obs.StartSpan(c.Context, "handler")
+	return span
 }

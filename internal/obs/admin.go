@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminMux returns the admin HTTP handler: /metrics (Prometheus text
+// exposition of the Default registry), /traces (finished traces as
+// JSON, stitched across MessageID links), and the net/http/pprof
+// suite under /debug/pprof/.
+func AdminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default.WritePrometheus(w)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		b, err := TracesJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeAdmin listens on addr (host:port; port 0 picks a free one) and
+// serves the admin mux in a background goroutine. It returns the base
+// URL of the listener and a stop function that shuts the server down.
+func ServeAdmin(addr string) (url string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: admin listen on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: AdminMux(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

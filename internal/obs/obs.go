@@ -1,0 +1,55 @@
+// Package obs is the container's observability layer: a unified
+// metrics registry (atomic counters, gauges, and fixed-bucket latency
+// histograms with Prometheus text exposition), context-propagated
+// request tracing with cross-process correlation over WS-Addressing
+// MessageIDs, and the admin HTTP surface that exposes both.
+//
+// The paper's contribution is a *measured* comparison of two OGSA
+// stacks; related middleware evaluations keep finding that *where*
+// time goes inside the container is the interesting result. This
+// package makes that visible live: every pipeline stage (dispatch,
+// verify, handler, storage, serialize, deliver) feeds a latency
+// histogram, every scattered subsystem counter mirrors into one
+// registry, and a finished request leaves a trace whose spans name
+// the stages it crossed — including the notification delivery hop
+// into another process, stitched back by MessageID.
+//
+// Everything is gated on a single process-wide switch: when disabled
+// (the default, and the state every benchmark and test runs in unless
+// it opts in), counters skip their atomic adds, Start returns the zero
+// time so histograms never observe, and StartSpan returns a nil span
+// whose methods are no-ops — the whole layer costs one atomic bool
+// load per instrumentation site.
+//
+// The package is stdlib-only and imports nothing from this module, so
+// any layer (xmlutil at the bottom, the daemons at the top) may
+// instrument itself without dependency cycles.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+var enabled atomic.Bool
+
+// Enable turns the observability layer on process-wide. Daemons call
+// it when started with -admin; tests call it around trace assertions.
+func Enable() { enabled.Store(true) }
+
+// Disable returns the layer to its free no-op state.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether instrumentation is live.
+func Enabled() bool { return enabled.Load() }
+
+// Start returns the current time when instrumentation is enabled and
+// the zero time otherwise. Pairing it with Histogram.ObserveSince
+// makes a timed region free in no-op mode: no clock read, no
+// observation.
+func Start() time.Time {
+	if !enabled.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}

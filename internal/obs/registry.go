@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A metric is anything the registry can expose in Prometheus text
+// format. The three concrete kinds (Counter, Gauge+GaugeFunc,
+// Histogram) cover what the container needs; the paper's figures are
+// latency distributions and operation counts, nothing fancier.
+type metric interface {
+	// metricName is the family name (no labels).
+	metricName() string
+	// metricLabels is the baked label set ("" or `k="v",k2="v2"`).
+	metricLabels() string
+	metricHelp() string
+	metricType() string
+	// writeSamples emits the sample lines for this metric.
+	writeSamples(w *bufio.Writer)
+}
+
+// Registry holds registered metrics and renders them as Prometheus
+// text exposition. Registration happens at package init (metrics are
+// package vars in the instrumented layers), so the hot path never
+// touches the registry lock — only /metrics scrapes do.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	seen    map[string]bool
+}
+
+// Default is the process-wide registry every NewCounter / NewGauge /
+// NewHistogram registers into and the admin endpoint serves.
+var Default = &Registry{}
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := m.metricName() + "{" + m.metricLabels() + "}"
+	if r.seen == nil {
+		r.seen = map[string]bool{}
+	}
+	if r.seen[key] {
+		panic(fmt.Sprintf("obs: duplicate metric %s", key))
+	}
+	r.seen[key] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// format, grouped by family, families in name order and label sets in
+// registration order within a family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].metricName() < ms[j].metricName() })
+	bw := bufio.NewWriter(w)
+	prev := ""
+	for _, m := range ms {
+		if name := m.metricName(); name != prev {
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", name, m.metricHelp(), name, m.metricType())
+			prev = name
+		}
+		m.writeSamples(bw)
+	}
+	return bw.Flush()
+}
+
+// sampleName renders name{labels} with an optional extra label (for
+// histogram le) appended.
+func sampleName(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + extra + "}"
+	}
+}
+
+// Counter is a monotonically increasing atomic counter. Add and Inc
+// are no-ops while the layer is disabled, so mirroring an existing
+// subsystem counter into the registry costs one atomic bool load at
+// the increment site.
+type Counter struct {
+	name, labels, help string
+	v                  atomic.Int64
+}
+
+// NewCounter registers a counter in the Default registry. labels is a
+// baked Prometheus label set (`op="create"`) or "".
+func NewCounter(name, labels, help string) *Counter {
+	c := &Counter{name: name, labels: labels, help: help}
+	Default.register(c)
+	return c
+}
+
+// Inc adds one when instrumentation is enabled.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n when instrumentation is enabled.
+func (c *Counter) Add(n int64) {
+	if enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) metricName() string   { return c.name }
+func (c *Counter) metricLabels() string { return c.labels }
+func (c *Counter) metricHelp() string   { return c.help }
+func (c *Counter) metricType() string   { return "counter" }
+func (c *Counter) writeSamples(w *bufio.Writer) {
+	fmt.Fprintf(w, "%s %d\n", sampleName(c.name, c.labels, ""), c.v.Load())
+}
+
+// Gauge is a settable level (in-flight work, pool sizes).
+type Gauge struct {
+	name, labels, help string
+	v                  atomic.Int64
+}
+
+// NewGauge registers a gauge in the Default registry.
+func NewGauge(name, labels, help string) *Gauge {
+	g := &Gauge{name: name, labels: labels, help: help}
+	Default.register(g)
+	return g
+}
+
+// Add moves the gauge by n (negative to decrease) when enabled.
+func (g *Gauge) Add(n int64) {
+	if enabled.Load() {
+		g.v.Add(n)
+	}
+}
+
+// Set pins the gauge to n when enabled.
+func (g *Gauge) Set(n int64) {
+	if enabled.Load() {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricName() string   { return g.name }
+func (g *Gauge) metricLabels() string { return g.labels }
+func (g *Gauge) metricHelp() string   { return g.help }
+func (g *Gauge) metricType() string   { return "gauge" }
+func (g *Gauge) writeSamples(w *bufio.Writer) {
+	fmt.Fprintf(w, "%s %d\n", sampleName(g.name, g.labels, ""), g.v.Load())
+}
+
+// GaugeFunc is a gauge evaluated at scrape time (goroutine counts,
+// heap size, uptime) — it costs nothing between scrapes.
+type GaugeFunc struct {
+	name, labels, help string
+	fn                 func() float64
+}
+
+// NewGaugeFunc registers a collected-at-scrape gauge.
+func NewGaugeFunc(name, labels, help string, fn func() float64) *GaugeFunc {
+	g := &GaugeFunc{name: name, labels: labels, help: help, fn: fn}
+	Default.register(g)
+	return g
+}
+
+func (g *GaugeFunc) metricName() string   { return g.name }
+func (g *GaugeFunc) metricLabels() string { return g.labels }
+func (g *GaugeFunc) metricHelp() string   { return g.help }
+func (g *GaugeFunc) metricType() string   { return "gauge" }
+func (g *GaugeFunc) writeSamples(w *bufio.Writer) {
+	fmt.Fprintf(w, "%s %s\n", sampleName(g.name, g.labels, ""),
+		strconv.FormatFloat(g.fn(), 'g', -1, 64))
+}
+
+// latencyBuckets are the fixed histogram bounds, in seconds. They span
+// the shapes the paper measures: parse/serialize in the tens of
+// microseconds, database ops around the modeled Xindice floor
+// (1–6 ms), signed round trips and notification fan-outs up to
+// seconds.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// lock-free (one atomic add per bucket touched plus sum and count) and
+// skipped entirely while disabled.
+type Histogram struct {
+	name, labels, help string
+	bounds             []float64
+	buckets            []atomic.Int64 // len(bounds)+1; last is +Inf
+	sumNanos           atomic.Int64
+	count              atomic.Int64
+}
+
+// NewHistogram registers a latency histogram with the standard bucket
+// bounds.
+func NewHistogram(name, labels, help string) *Histogram {
+	h := &Histogram{
+		name: name, labels: labels, help: help,
+		bounds:  latencyBuckets,
+		buckets: make([]atomic.Int64, len(latencyBuckets)+1),
+	}
+	Default.register(h)
+	return h
+}
+
+// Observe records one duration when enabled.
+func (h *Histogram) Observe(d time.Duration) {
+	if !enabled.Load() {
+		return
+	}
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, sec)
+	h.buckets[i].Add(1)
+	h.sumNanos.Add(d.Nanoseconds())
+	h.count.Add(1)
+}
+
+// ObserveSince records the time elapsed since t0 as returned by
+// Start(). A zero t0 (instrumentation was disabled at region entry) is
+// a no-op, so enable/disable races at worst lose one sample.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if t0.IsZero() {
+		return
+	}
+	h.Observe(time.Since(t0))
+}
+
+// Count returns how many observations the histogram holds.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+func (h *Histogram) metricName() string   { return h.name }
+func (h *Histogram) metricLabels() string { return h.labels }
+func (h *Histogram) metricHelp() string   { return h.help }
+func (h *Histogram) metricType() string   { return "histogram" }
+func (h *Histogram) writeSamples(w *bufio.Writer) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s %d\n",
+			sampleName(h.name+"_bucket", h.labels, `le="`+strconv.FormatFloat(b, 'g', -1, 64)+`"`), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s %d\n", sampleName(h.name+"_bucket", h.labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s %s\n", sampleName(h.name+"_sum", h.labels, ""),
+		strconv.FormatFloat(float64(h.sumNanos.Load())/1e9, 'g', -1, 64))
+	fmt.Fprintf(w, "%s %d\n", sampleName(h.name+"_count", h.labels, ""), cum)
+}
+
+// The six per-stage latency histograms of the container pipeline —
+// the live reproduction of the paper's Fig 2/3 breakdown. Every layer
+// observes into its own stage; one family, one label per stage.
+var (
+	StageDispatch  = newStage("dispatch", "whole inbound request: read, parse, dispatch, respond")
+	StageVerify    = newStage("verify", "WS-Security verification of the request")
+	StageHandler   = newStage("handler", "service action execution")
+	StageStorage   = newStage("storage", "one xmldb operation (modeled Xindice latency included)")
+	StageSerialize = newStage("serialize", "response envelope serialization")
+	StageDeliver   = newStage("deliver", "one notification/event delivery, retries included")
+)
+
+func newStage(stage, help string) *Histogram {
+	return NewHistogram("ogsa_stage_duration_seconds", `stage="`+stage+`"`, help)
+}
+
+var processStart = time.Now()
+
+// Process-level gauges, collected at scrape time.
+var (
+	_ = NewGaugeFunc("ogsa_uptime_seconds", "", "seconds since process start",
+		func() float64 { return time.Since(processStart).Seconds() })
+	_ = NewGaugeFunc("ogsa_goroutines", "", "current goroutine count",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	_ = NewGaugeFunc("ogsa_heap_alloc_bytes", "", "bytes of allocated heap objects",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+)

@@ -12,9 +12,17 @@ package retry
 
 import (
 	"context"
+	"fmt"
 	"math/rand/v2"
 	"time"
+
+	"altstacks/internal/obs"
 )
+
+// retriesTotal counts backoff sleeps across every retried operation —
+// the process-wide "how often are we retrying anything" signal.
+var retriesTotal = obs.NewCounter("ogsa_retry_backoffs_total", "",
+	"retry backoff sleeps across all retried operations")
 
 // Policy parameterizes one retried operation. The zero value performs
 // a single attempt with no backoff, so wiring a Policy through a
@@ -82,6 +90,13 @@ func Do(ctx context.Context, p Policy, op func(context.Context) error) (attempts
 		}
 		if ctx.Err() != nil {
 			return attempts, err
+		}
+		retriesTotal.Inc()
+		// Failure-path only: annotate the enclosing span (the deliver
+		// span, when ctx carries one) with the attempt that failed. The
+		// Enabled gate keeps the ctx.Value lookup off the happy path.
+		if obs.Enabled() {
+			obs.SpanFromContext(ctx).Annotate(fmt.Sprintf("attempt %d failed: %v", attempts, err))
 		}
 		t := time.NewTimer(p.Backoff(n))
 		select {

@@ -9,6 +9,7 @@ import (
 
 	"altstacks/internal/container"
 	"altstacks/internal/fanout"
+	"altstacks/internal/obs"
 	"altstacks/internal/retry"
 	"altstacks/internal/soap"
 	"altstacks/internal/uuid"
@@ -26,6 +27,31 @@ const (
 	DefaultBaseBackoff = 25 * time.Millisecond
 	DefaultMaxBackoff  = 500 * time.Millisecond
 	DefaultEvictAfter  = 3
+)
+
+// Registry mirrors of the delivery counters, aggregated across every
+// Source instance; DeliveryStats stays the per-instance view.
+var (
+	wseAttemptsTotal = obs.NewCounter("ogsa_wse_delivery_attempts_total", "",
+		"wse delivery attempts, retries included")
+	wseRetriesTotal = obs.NewCounter("ogsa_wse_retries_total", "",
+		"wse delivery attempts beyond the first per delivery")
+	wseDeliveriesTotal = obs.NewCounter("ogsa_wse_deliveries_total", "",
+		"wse events that reached a subscriber")
+	wseFailuresTotal = obs.NewCounter("ogsa_wse_delivery_failures_total", "",
+		"wse deliveries whose attempts were exhausted")
+	wseFilterErrorsTotal = obs.NewCounter("ogsa_wse_filter_errors_total", "",
+		"wse subscriptions skipped by a failing filter evaluation")
+	wseEvictionsTotal = obs.NewCounter("ogsa_wse_evictions_total", "",
+		"wse subscriptions canceled for delivery failure")
+	wseStateWriteErrorsTotal = obs.NewCounter("ogsa_wse_state_write_errors_total", "",
+		"failed writes of wse source persistence")
+	wseEndNoticeErrorsTotal = obs.NewCounter("ogsa_wse_end_notice_errors_total", "",
+		"SubscriptionEnd notices that could not be delivered")
+	wseMessagesSentTotal = obs.NewCounter("ogsa_wse_messages_sent_total", "",
+		"event messages sent by wse sources")
+	wseSinkDroppedTotal = obs.NewCounter("ogsa_wse_sink_dropped_total", "",
+		"events dropped by saturated HTTP/TCP sinks")
 )
 
 // Source is an Event Source Service plus its Subscription Manager.
@@ -140,12 +166,14 @@ func (s *Source) DeliveryStats() DeliveryStats {
 // for call-site clarity; only the count is kept.
 func (s *Source) noteStateWriteError(error) {
 	s.stats.stateWriteErrors.Add(1)
+	wseStateWriteErrorsTotal.Inc()
 }
 
 // noteEndNoticeError accounts a SubscriptionEnd notice that never
 // reached its EndTo endpoint.
 func (s *Source) noteEndNoticeError(error) {
 	s.stats.endNoticeErrors.Add(1)
+	wseEndNoticeErrorsTotal.Inc()
 }
 
 // Health returns the current delivery-health record for a
@@ -234,6 +262,7 @@ func (s *Source) evict(sub *Subscription, cause error) {
 	}
 	s.dropHealth(sub.ID)
 	s.stats.evictions.Add(1)
+	wseEvictionsTotal.Inc()
 	s.sendEnd(s.endClient(), sub, StatusDeliveryFailure, cause.Error())
 }
 
@@ -404,6 +433,11 @@ func (s *Source) Publish(topic string, message *xmlutil.Element) (int, error) {
 // request dies with that request. Handlers must pass their request
 // context (container.Ctx.Context) here.
 func (s *Source) PublishContext(ctx context.Context, topic string, message *xmlutil.Element) (int, error) {
+	// Same shape as wsn.NotifyContext: the publish span covers matching
+	// and the fan-out, deliver spans nest under it.
+	ctx, pspan := obs.StartSpan(ctx, "wse.publish")
+	pspan.SetAttr("topic", topic)
+	defer pspan.End()
 	now := s.now()
 	var matched []*Subscription
 	for _, sub := range s.Store.All() {
@@ -413,6 +447,7 @@ func (s *Source) PublishContext(ctx context.Context, topic string, message *xmlu
 		ok, err := s.filterMatches(sub.Filter, topic, message)
 		if err != nil {
 			s.stats.filterErrors.Add(1)
+			wseFilterErrorsTotal.Inc()
 			s.recordFault(sub, fmt.Errorf("wse: filter evaluation for subscription %s: %w", sub.ID, err))
 			continue
 		}
@@ -429,6 +464,7 @@ func (s *Source) PublishContext(ctx context.Context, topic string, message *xmlu
 	// shared body: soap.Envelope clones the body at marshal time, so
 	// one tree serves every subscriber and the old clone-per-subscriber
 	// is avoided.
+	pspan.SetAttr("matched", fmt.Sprint(len(matched)))
 	httpClient := s.HTTP.WithTimeout(s.DeliveryTimeout)
 	errs := make([]error, len(matched))
 	fanout.Do(len(matched), s.Workers, func(i int) {
@@ -436,9 +472,11 @@ func (s *Source) PublishContext(ctx context.Context, topic string, message *xmlu
 		if err := s.deliverWithRetry(ctx, httpClient, sub, topic, message); err != nil {
 			errs[i] = err
 			s.stats.failures.Add(1)
+			wseFailuresTotal.Inc()
 			s.recordFault(sub, err)
 		} else {
 			s.stats.deliveries.Add(1)
+			wseDeliveriesTotal.Inc()
 			s.recordSuccess(sub)
 		}
 	})
@@ -476,13 +514,24 @@ func (s *Source) filterMatches(f Filter, topic string, message *xmlutil.Element)
 // fan-out amplification, not retry noise.
 func (s *Source) deliverWithRetry(ctx context.Context, client *container.Client, sub *Subscription, topic string, message *xmlutil.Element) error {
 	s.sent.Add(1)
-	attempts, err := retry.Do(ctx, s.Retry, func(actx context.Context) error {
+	wseMessagesSentTotal.Inc()
+	t0 := obs.Start()
+	dctx, dspan := obs.StartSpan(ctx, "wse.deliver")
+	dspan.SetAttr("subscription", sub.ID)
+	dspan.SetAttr("mode", string(sub.Mode))
+	attempts, err := retry.Do(dctx, s.Retry, func(actx context.Context) error {
 		return s.deliverOnce(actx, client, sub, topic, message)
 	})
+	obs.StageDeliver.ObserveSince(t0)
 	s.stats.attempts.Add(int64(attempts))
+	wseAttemptsTotal.Add(int64(attempts))
 	if attempts > 1 {
 		s.stats.retries.Add(int64(attempts - 1))
+		wseRetriesTotal.Add(int64(attempts - 1))
+		dspan.Annotate(fmt.Sprintf("retried: %d attempts", attempts))
 	}
+	dspan.Fail(err)
+	dspan.End()
 	return err
 }
 
@@ -706,6 +755,7 @@ func NewHTTPSink(buffer int) (*HTTPSink, error) {
 				case s.Ch <- ev:
 				default:
 					s.Dropped.Add(1)
+					wseSinkDroppedTotal.Inc()
 				}
 				return xmlutil.New(NS, "EventAck"), nil
 			},
@@ -714,6 +764,7 @@ func NewHTTPSink(buffer int) (*HTTPSink, error) {
 				case s.Ends <- ctx.Envelope.Body.ChildText(NS, "Status"):
 				default:
 					s.Dropped.Add(1)
+					wseSinkDroppedTotal.Inc()
 				}
 				return xmlutil.New(NS, "SubscriptionEndAck"), nil
 			},

@@ -127,6 +127,7 @@ func (s *TCPSink) readLoop(conn net.Conn) {
 		default:
 			// Best-effort: drop on overflow rather than block the wire.
 			s.Dropped.Add(1)
+			wseSinkDroppedTotal.Inc()
 		}
 	}
 }

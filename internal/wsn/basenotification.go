@@ -11,6 +11,7 @@ import (
 
 	"altstacks/internal/container"
 	"altstacks/internal/fanout"
+	"altstacks/internal/obs"
 	"altstacks/internal/retry"
 	"altstacks/internal/soap"
 	"altstacks/internal/wsa"
@@ -425,6 +426,13 @@ func (p *Producer) Notify(topic string, message *xmlutil.Element) (int, error) {
 // does not wait out a retrying fan-out. Handlers must pass their
 // request context (container.Ctx.Context) here.
 func (p *Producer) NotifyContext(ctx context.Context, topic string, message *xmlutil.Element) (int, error) {
+	// The notify span covers matching, current-message write-through,
+	// and the whole fan-out; deliver spans nest under it. A publish from
+	// a request handler joins that request's trace; a background publish
+	// roots its own.
+	ctx, nspan := obs.StartSpan(ctx, "wsn.notify")
+	nspan.SetAttr("topic", topic)
+	defer nspan.End()
 	p.lastMu.Lock()
 	if p.lastMessage == nil {
 		p.lastMessage = map[string]*xmlutil.Element{}
@@ -440,6 +448,7 @@ func (p *Producer) NotifyContext(ctx context.Context, topic string, message *xml
 		ok, err := p.matches(sub, topic, message)
 		if err != nil {
 			p.stats.filterErrors.Add(1)
+			wsnFilterErrorsTotal.Inc()
 			p.recordFault(sub.ID, fmt.Errorf("wsn: filter evaluation for subscription %s: %w", sub.ID, err))
 			continue
 		}
@@ -473,16 +482,19 @@ func (p *Producer) NotifyContext(ctx context.Context, topic string, message *xml
 	)
 	client := p.Deliver.WithTimeout(p.DeliveryTimeout)
 
+	nspan.SetAttr("matched", fmt.Sprint(len(matched)))
 	errs := make([]error, len(matched))
 	fanout.Do(len(matched), p.Workers, func(i int) {
 		sub := matched[i]
 		if err := p.deliverWithRetry(ctx, client, sub, wrapped, message); err != nil {
 			errs[i] = err
 			p.stats.failures.Add(1)
+			wsnFailuresTotal.Inc()
 			p.recordFault(sub.ID, err)
 			return
 		}
 		p.stats.deliveries.Add(1)
+		wsnDeliveriesTotal.Inc()
 		p.recordSuccess(sub.ID)
 	})
 	delivered := 0
@@ -574,13 +586,23 @@ func (p *Producer) matches(sub *Subscription, topic string, message *xmlutil.Ele
 // delivery stats.
 func (p *Producer) deliverWithRetry(ctx context.Context, client *container.Client, sub *Subscription, wrapped, raw *xmlutil.Element) error {
 	p.sent.Add(1)
-	attempts, err := retry.Do(ctx, p.Retry, func(actx context.Context) error {
+	wsnMessagesSentTotal.Inc()
+	t0 := obs.Start()
+	dctx, dspan := obs.StartSpan(ctx, "wsn.deliver")
+	dspan.SetAttr("subscription", sub.ID)
+	attempts, err := retry.Do(dctx, p.Retry, func(actx context.Context) error {
 		return p.deliverOnce(actx, client, sub, wrapped, raw)
 	})
+	obs.StageDeliver.ObserveSince(t0)
 	p.stats.attempts.Add(int64(attempts))
+	wsnAttemptsTotal.Add(int64(attempts))
 	if attempts > 1 {
 		p.stats.retries.Add(int64(attempts - 1))
+		wsnRetriesTotal.Add(int64(attempts - 1))
+		dspan.Annotate(fmt.Sprintf("retried: %d attempts", attempts))
 	}
+	dspan.Fail(err)
+	dspan.End()
 	return err
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"altstacks/internal/container"
+	"altstacks/internal/obs"
 	"altstacks/internal/soap"
 	"altstacks/internal/wsa"
 	"altstacks/internal/wsrf"
@@ -95,6 +96,15 @@ func (pt brokerRegPT) Actions() map[string]container.ActionFunc {
 	return map[string]container.ActionFunc{ActionRegisterPublisher: pt.b.registerPublisher}
 }
 
+// Registry mirrors of the broker control counters, aggregated across
+// every Broker instance.
+var (
+	brokerControlCallsTotal = obs.NewCounter("ogsa_wsn_broker_control_calls_total", "",
+		"broker-initiated control calls to publishers")
+	brokerControlErrorsTotal = obs.NewCounter("ogsa_wsn_broker_control_errors_total", "",
+		"failed broker pause/resume control calls")
+)
+
 // ControlCalls reports broker-initiated control messages to publishers.
 func (b *Broker) ControlCalls() int64 { return b.controlCalls.Load() }
 
@@ -107,6 +117,7 @@ func (b *Broker) ControlErrors() int64 { return b.controlErrors.Load() }
 // retries the same upstream).
 func (b *Broker) noteControlError(error) {
 	b.controlErrors.Add(1)
+	brokerControlErrorsTotal.Inc()
 }
 
 func (b *Broker) registerPublisher(ctx *container.Ctx) (*xmlutil.Element, error) {
@@ -135,6 +146,7 @@ func (b *Broker) registerPublisher(ctx *container.Ctx) (*xmlutil.Element, error)
 		// result must make a subscription back to the publisher based on
 		// the registered topic" (paper §3.1).
 		b.controlCalls.Add(1)
+		brokerControlCallsTotal.Inc()
 		upstream, err := Subscribe(b.Client, pub, b.consumerEPR(), SubscribeOptions{Topic: Concrete(topic)})
 		if err != nil {
 			return nil, soap.Faultf(soap.FaultServer, "demand subscription to publisher failed: %v", err)
@@ -220,6 +232,7 @@ func (b *Broker) recomputeDemand() {
 			continue
 		}
 		b.controlCalls.Add(1)
+		brokerControlCallsTotal.Inc()
 		if b.Producer.HasActiveSubscriber(reg.Topic) {
 			if err := Resume(b.Client, reg.Upstream); err != nil {
 				b.noteControlError(err)

@@ -17,8 +17,30 @@ import (
 	"sync/atomic"
 	"time"
 
+	"altstacks/internal/obs"
 	"altstacks/internal/xmldb"
 	"altstacks/internal/xmlutil"
+)
+
+// Registry mirrors of the delivery counters, aggregated across every
+// Producer instance; DeliveryStats stays the per-instance view.
+var (
+	wsnAttemptsTotal = obs.NewCounter("ogsa_wsn_delivery_attempts_total", "",
+		"wsn delivery attempts, retries included")
+	wsnRetriesTotal = obs.NewCounter("ogsa_wsn_retries_total", "",
+		"wsn delivery attempts beyond the first per delivery")
+	wsnDeliveriesTotal = obs.NewCounter("ogsa_wsn_deliveries_total", "",
+		"wsn notifications that reached a consumer")
+	wsnFailuresTotal = obs.NewCounter("ogsa_wsn_delivery_failures_total", "",
+		"wsn deliveries whose attempts were exhausted")
+	wsnFilterErrorsTotal = obs.NewCounter("ogsa_wsn_filter_errors_total", "",
+		"wsn subscriptions skipped by a failing filter evaluation")
+	wsnEvictionsTotal = obs.NewCounter("ogsa_wsn_evictions_total", "",
+		"wsn subscriptions destroyed for delivery failure")
+	wsnStateWriteErrorsTotal = obs.NewCounter("ogsa_wsn_state_write_errors_total", "",
+		"failed writes of wsn producer persistence")
+	wsnMessagesSentTotal = obs.NewCounter("ogsa_wsn_messages_sent_total", "",
+		"notification messages sent by wsn producers")
 )
 
 // SubscriptionHealth is the per-subscription delivery ledger:
@@ -81,6 +103,7 @@ func (p *Producer) DeliveryStats() DeliveryStats {
 // clarity; only the count is kept.
 func (p *Producer) noteStateWriteError(error) {
 	p.stats.stateWriteErrors.Add(1)
+	wsnStateWriteErrorsTotal.Inc()
 }
 
 // Health returns the current delivery-health record for a
@@ -174,6 +197,7 @@ func (p *Producer) evict(id string) {
 		return
 	}
 	p.stats.evictions.Add(1)
+	wsnEvictionsTotal.Inc()
 }
 
 func (p *Producer) persistHealth(id string, h SubscriptionHealth) {

@@ -87,7 +87,7 @@ func (p *PortType) destroy(ctx *container.Ctx) (*xmlutil.Element, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := p.Home.Destroy(id); err != nil {
+	if err := p.Home.DestroyContext(ctx.Context, id); err != nil {
 		if errors.Is(err, xmldb.ErrNotFound) {
 			return nil, bf.ResourceUnknown(p.Home.Collection, id)
 		}
@@ -109,7 +109,7 @@ func (p *PortType) setTerminationTime(ctx *container.Ctx) (*xmlutil.Element, err
 			return nil, bf.New(soap.FaultClient, bf.CodeTerminationTime, "bad RequestedTerminationTime %q: %v", requested, err)
 		}
 	}
-	err = p.Home.Mutate(id, func(r *wsrf.Resource) error {
+	err = p.Home.MutateContext(ctx.Context, id, func(r *wsrf.Resource) error {
 		r.Termination = when
 		return nil
 	})

@@ -90,7 +90,7 @@ func (p *PortType) getProperty(ctx *container.Ctx) (*xmlutil.Element, error) {
 		return nil, bf.New(soap.FaultClient, bf.CodeInvalidProperty, "unknown resource property %q", want)
 	}
 	resp := xmlutil.New(wsrf.NSRP, "GetResourcePropertyResponse")
-	err = p.Home.View(id, func(r *wsrf.Resource) error {
+	err = p.Home.ViewContext(ctx.Context, id, func(r *wsrf.Resource) error {
 		for _, el := range def.Get(r) {
 			resp.Add(el)
 		}
@@ -110,7 +110,7 @@ func (p *PortType) getDocument(ctx *container.Ctx) (*xmlutil.Element, error) {
 		return nil, err
 	}
 	resp := xmlutil.New(wsrf.NSRP, "GetResourcePropertyDocumentResponse")
-	err = p.Home.View(id, func(r *wsrf.Resource) error {
+	err = p.Home.ViewContext(ctx.Context, id, func(r *wsrf.Resource) error {
 		resp.Add(p.Home.PropertyDocument(r))
 		return nil
 	})
@@ -135,7 +135,7 @@ func (p *PortType) getMultiple(ctx *container.Ctx) (*xmlutil.Element, error) {
 		defs = append(defs, def)
 	}
 	resp := xmlutil.New(wsrf.NSRP, "GetMultipleResourcePropertiesResponse")
-	err = p.Home.View(id, func(r *wsrf.Resource) error {
+	err = p.Home.ViewContext(ctx.Context, id, func(r *wsrf.Resource) error {
 		for _, def := range defs {
 			for _, el := range def.Get(r) {
 				resp.Add(el)
@@ -154,7 +154,7 @@ func (p *PortType) setProperties(ctx *container.Ctx) (*xmlutil.Element, error) {
 	if err != nil {
 		return nil, err
 	}
-	err = p.Home.Mutate(id, func(r *wsrf.Resource) error {
+	err = p.Home.MutateContext(ctx.Context, id, func(r *wsrf.Resource) error {
 		for _, comp := range ctx.Envelope.Body.Children {
 			if comp.Name.Space != wsrf.NSRP {
 				continue
@@ -254,7 +254,7 @@ func (p *PortType) query(ctx *container.Ctx) (*xmlutil.Element, error) {
 		return nil, bf.New(soap.FaultClient, bf.CodeQueryEvaluation, "bad query: %v", err)
 	}
 	resp := xmlutil.New(wsrf.NSRP, "QueryResourcePropertiesResponse")
-	err = p.Home.View(id, func(r *wsrf.Resource) error {
+	err = p.Home.ViewContext(ctx.Context, id, func(r *wsrf.Resource) error {
 		doc := p.Home.PropertyDocument(r)
 		for _, n := range path.Select(doc) {
 			switch n.Kind {

@@ -77,7 +77,7 @@ func (p *PortType) add(ctx *container.Ctx) (*xmlutil.Element, error) {
 	if content != nil {
 		entry.Add(xmlutil.New(wsrf.NSSG, "Content").Add(content.Clone()))
 	}
-	err = p.Home.Mutate(id, func(r *wsrf.Resource) error {
+	err = p.Home.MutateContext(ctx.Context, id, func(r *wsrf.Resource) error {
 		r.State.Add(entry)
 		return nil
 	})
@@ -101,7 +101,7 @@ func (p *PortType) remove(ctx *container.Ctx) (*xmlutil.Element, error) {
 		return nil, bf.New(soap.FaultClient, bf.CodeAddRefused, "Remove names no EntryID")
 	}
 	found := false
-	err = p.Home.Mutate(id, func(r *wsrf.Resource) error {
+	err = p.Home.MutateContext(ctx.Context, id, func(r *wsrf.Resource) error {
 		kept := r.State.Children[:0]
 		for _, c := range r.State.Children {
 			if c.Name.Space == wsrf.NSSG && c.Name.Local == "Entry" && c.AttrValue("", "id") == entryID {

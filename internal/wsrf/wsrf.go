@@ -26,6 +26,7 @@
 package wsrf
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"sort"
@@ -57,6 +58,23 @@ type Resource struct {
 	// Termination is the scheduled termination time; zero means the
 	// resource lives until explicitly destroyed.
 	Termination time.Time
+
+	// ctx is the request context of the operation this resource copy was
+	// loaded for (set by MutateContext/ViewContext). It is deliberately
+	// unexported and never cached: cached copies outlive requests, so a
+	// retained context would both leak and cancel spuriously.
+	ctx context.Context
+}
+
+// Context returns the request context this resource copy was loaded
+// under, or context.Background() for copies obtained outside a
+// request. Property Set implementations use it to thread the request
+// (and its trace span) into the notifications they trigger.
+func (r *Resource) Context() context.Context {
+	if r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
 }
 
 // terminationAttr stores the lifetime inside the persisted document.
@@ -180,11 +198,22 @@ func (h *Home) Create(state *xmlutil.Element) (wsa.EPR, error) {
 	return h.CreateWithID(uuid.NewString(), state)
 }
 
+// CreateContext is Create under a request context, so the storage
+// write appears in the request's trace.
+func (h *Home) CreateContext(ctx context.Context, state *xmlutil.Element) (wsa.EPR, error) {
+	return h.CreateWithIDContext(ctx, uuid.NewString(), state)
+}
+
 // CreateWithID is Create with a caller-chosen identifier (used by
 // services whose resource names are meaningful, like account DNs).
 func (h *Home) CreateWithID(id string, state *xmlutil.Element) (wsa.EPR, error) {
+	return h.CreateWithIDContext(context.Background(), id, state)
+}
+
+// CreateWithIDContext is CreateWithID under a request context.
+func (h *Home) CreateWithIDContext(ctx context.Context, id string, state *xmlutil.Element) (wsa.EPR, error) {
 	r := &Resource{ID: id, State: state.Clone()}
-	if err := h.DB.Create(h.Collection, id, encodeResource(r)); err != nil {
+	if err := h.DB.CreateContext(ctx, h.Collection, id, encodeResource(r)); err != nil {
 		return wsa.EPR{}, err
 	}
 	h.cachePut(r)
@@ -216,7 +245,12 @@ func (h *Home) ResourceID(env *soap.Envelope) (string, error) {
 // The returned Resource is private to the caller (deep-copied),
 // matching the wrapper's deserialize-into-members step.
 func (h *Home) Load(id string) (*Resource, error) {
-	doc, err := h.DB.Get(h.Collection, id)
+	return h.LoadContext(context.Background(), id)
+}
+
+// LoadContext is Load under a request context.
+func (h *Home) LoadContext(ctx context.Context, id string) (*Resource, error) {
+	doc, err := h.DB.GetContext(ctx, h.Collection, id)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +261,7 @@ func (h *Home) Load(id string) (*Resource, error) {
 
 // loadForUpdate is the write-path load: cache-first when enabled, so a
 // mutation skips the read-before-write.
-func (h *Home) loadForUpdate(id string) (*Resource, error) {
+func (h *Home) loadForUpdate(ctx context.Context, id string) (*Resource, error) {
 	if h.CacheEnabled {
 		h.mu.Lock()
 		if r, ok := h.cache[id]; ok {
@@ -237,14 +271,18 @@ func (h *Home) loadForUpdate(id string) (*Resource, error) {
 		}
 		h.mu.Unlock()
 	}
-	return h.Load(id)
+	return h.LoadContext(ctx, id)
 }
 
 // Save writes the resource back — the serialize-members step of the
 // WSRF.NET wrapper. The cache is write-through: the store is always
 // updated, and the cache copy refreshed.
 func (h *Home) Save(r *Resource) error {
-	if err := h.DB.Update(h.Collection, r.ID, encodeResource(r)); err != nil {
+	return h.saveContext(context.Background(), r)
+}
+
+func (h *Home) saveContext(ctx context.Context, r *Resource) error {
+	if err := h.DB.UpdateContext(ctx, h.Collection, r.ID, encodeResource(r)); err != nil {
 		return err
 	}
 	h.cachePut(r)
@@ -255,8 +293,13 @@ func (h *Home) Save(r *Resource) error {
 // immediate destruction). The OnDestroy hook runs first; its failure
 // aborts destruction.
 func (h *Home) Destroy(id string) error {
+	return h.DestroyContext(context.Background(), id)
+}
+
+// DestroyContext is Destroy under a request context.
+func (h *Home) DestroyContext(ctx context.Context, id string) error {
 	if h.OnDestroy != nil {
-		r, err := h.Load(id)
+		r, err := h.LoadContext(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -264,7 +307,7 @@ func (h *Home) Destroy(id string) error {
 			return err
 		}
 	}
-	if err := h.DB.Delete(h.Collection, id); err != nil {
+	if err := h.DB.DeleteContext(ctx, h.Collection, id); err != nil {
 		return err
 	}
 	h.mu.Lock()
@@ -319,28 +362,43 @@ func (h *Home) Expired(now time.Time) ([]string, error) {
 // from storage for the invocation and placed back into storage once
 // the request is satisfied").
 func (h *Home) Mutate(id string, fn func(r *Resource) error) error {
+	return h.MutateContext(context.Background(), id, fn)
+}
+
+// MutateContext is Mutate under a request context: storage operations
+// join the request trace, and the loaded resource copy carries ctx so
+// fn (property Set implementations in particular) can thread it into
+// the notifications it triggers via r.Context().
+func (h *Home) MutateContext(ctx context.Context, id string, fn func(r *Resource) error) error {
 	lock := h.lockFor(id)
 	lock.Lock()
 	defer lock.Unlock()
-	r, err := h.loadForUpdate(id)
+	r, err := h.loadForUpdate(ctx, id)
 	if err != nil {
 		return err
 	}
+	r.ctx = ctx
 	if err := fn(r); err != nil {
 		return err
 	}
-	return h.Save(r)
+	return h.saveContext(ctx, r)
 }
 
 // View runs fn with a read-only snapshot under the resource lock.
 func (h *Home) View(id string, fn func(r *Resource) error) error {
+	return h.ViewContext(context.Background(), id, fn)
+}
+
+// ViewContext is View under a request context.
+func (h *Home) ViewContext(ctx context.Context, id string, fn func(r *Resource) error) error {
 	lock := h.lockFor(id)
 	lock.Lock()
 	defer lock.Unlock()
-	r, err := h.Load(id)
+	r, err := h.LoadContext(ctx, id)
 	if err != nil {
 		return err
 	}
+	r.ctx = ctx
 	return fn(r)
 }
 

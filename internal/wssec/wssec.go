@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"altstacks/internal/certs"
+	"altstacks/internal/obs"
 	"altstacks/internal/soap"
 	"altstacks/internal/xmlutil"
 )
@@ -186,6 +187,15 @@ type Verifier struct {
 	chainVerifications atomic.Int64
 }
 
+// Registry mirrors of the trust-cache counters, aggregated across
+// every Verifier instance; CacheStats stays the per-instance view.
+var (
+	chainVerificationsTotal = obs.NewCounter("ogsa_wssec_chain_verifications_total", "",
+		"full X.509 chain verifications performed (trust-cache misses)")
+	trustCacheHitsTotal = obs.NewCounter("ogsa_wssec_trust_cache_hits_total", "",
+		"token verifications served from the trust cache")
+)
+
 // NewVerifier returns a Verifier trusting the given roots.
 func NewVerifier(roots *x509.CertPool) *Verifier { return &Verifier{Roots: roots} }
 
@@ -231,6 +241,7 @@ func (v *Verifier) trustedCert(der []byte) (*x509.Certificate, error) {
 		}
 		if e, ok := v.trust[key]; ok && now.Before(e.expires) {
 			v.mu.Unlock()
+			trustCacheHitsTotal.Inc()
 			return e.cert, nil
 		}
 		v.mu.Unlock()
@@ -241,6 +252,7 @@ func (v *Verifier) trustedCert(der []byte) (*x509.Certificate, error) {
 		return nil, fmt.Errorf("wssec: token parse: %w", err)
 	}
 	v.chainVerifications.Add(1)
+	chainVerificationsTotal.Inc()
 	if _, err := cert.Verify(x509.VerifyOptions{
 		Roots:     v.Roots,
 		KeyUsages: []x509.ExtKeyUsage{x509.ExtKeyUsageAny},

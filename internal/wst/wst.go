@@ -145,7 +145,7 @@ func (s *Service) create(ctx *container.Ctx) (*xmlutil.Element, error) {
 	if modified != nil {
 		store = modified
 	}
-	if err := s.DB.Create(s.Collection, id, store); err != nil {
+	if err := s.DB.CreateContext(ctx.Context, s.Collection, id, store); err != nil {
 		if errors.Is(err, xmldb.ErrExists) {
 			return nil, soap.Faultf(soap.FaultClient, "resource %q already exists", id)
 		}
@@ -168,7 +168,7 @@ func (s *Service) get(ctx *container.Ctx) (*xmlutil.Element, error) {
 	if err != nil {
 		return nil, err
 	}
-	stored, err := s.DB.Get(s.Collection, id)
+	stored, err := s.DB.GetContext(ctx.Context, s.Collection, id)
 	if err != nil && !errors.Is(err, xmldb.ErrNotFound) {
 		return nil, err
 	}
@@ -197,7 +197,7 @@ func (s *Service) put(ctx *container.Ctx) (*xmlutil.Element, error) {
 	// value causes the old representation of the counter's resource to
 	// be read from the database and updated with the new value before
 	// being stored" (§4.1.3). There is no resource cache on this stack.
-	stored, err := s.DB.Get(s.Collection, id)
+	stored, err := s.DB.GetContext(ctx.Context, s.Collection, id)
 	if err != nil && !errors.Is(err, xmldb.ErrNotFound) {
 		return nil, err
 	}
@@ -211,7 +211,7 @@ func (s *Service) put(ctx *container.Ctx) (*xmlutil.Element, error) {
 			return nil, err
 		}
 	}
-	if err := s.DB.Put(s.Collection, id, out); err != nil {
+	if err := s.DB.PutContext(ctx.Context, s.Collection, id, out); err != nil {
 		return nil, err
 	}
 	return xmlutil.New(NS, "PutResponse"), nil
@@ -222,7 +222,7 @@ func (s *Service) delete(ctx *container.Ctx) (*xmlutil.Element, error) {
 	if err != nil {
 		return nil, err
 	}
-	stored, err := s.DB.Get(s.Collection, id)
+	stored, err := s.DB.GetContext(ctx.Context, s.Collection, id)
 	if err != nil && !errors.Is(err, xmldb.ErrNotFound) {
 		return nil, err
 	}
@@ -235,7 +235,7 @@ func (s *Service) delete(ctx *container.Ctx) (*xmlutil.Element, error) {
 		}
 	}
 	if stored != nil {
-		if err := s.DB.Delete(s.Collection, id); err != nil && !errors.Is(err, xmldb.ErrNotFound) {
+		if err := s.DB.DeleteContext(ctx.Context, s.Collection, id); err != nil && !errors.Is(err, xmldb.ErrNotFound) {
 			return nil, err
 		}
 	}

@@ -25,8 +25,23 @@ import (
 	"sync/atomic"
 	"time"
 
+	"altstacks/internal/obs"
 	"altstacks/internal/xmlutil"
 	"altstacks/internal/xpathlite"
+)
+
+// Registry mirrors of the per-instance Stats counters: process-wide
+// aggregates across every DB instance, exposed on /metrics. The
+// per-instance atomics stay authoritative for Stats()/tests.
+var (
+	opCreates = obs.NewCounter("ogsa_xmldb_ops_total", `op="create"`, "xmldb operations by kind")
+	opReads   = obs.NewCounter("ogsa_xmldb_ops_total", `op="read"`, "xmldb operations by kind")
+	opUpdates = obs.NewCounter("ogsa_xmldb_ops_total", `op="update"`, "xmldb operations by kind")
+	opDeletes = obs.NewCounter("ogsa_xmldb_ops_total", `op="delete"`, "xmldb operations by kind")
+	opQueries = obs.NewCounter("ogsa_xmldb_ops_total", `op="query"`, "xmldb operations by kind")
+
+	parsesTotal = obs.NewCounter("ogsa_xmldb_parses_total", "",
+		"documents decoded from backend bytes (cache misses)")
 )
 
 // Sentinel errors, testable with errors.Is.
@@ -228,6 +243,7 @@ func (db *DB) loadDoc(collection, id string) (*xmlutil.Element, bool, error) {
 		return nil, true, fmt.Errorf("xmldb: corrupt document %s/%s: %w", collection, id, err)
 	}
 	db.parses.Add(1)
+	parsesTotal.Inc()
 	db.count(collection, func(s *Stats) { s.Parses++ })
 
 	db.cacheMu.Lock()
@@ -277,6 +293,7 @@ func (db *DB) compile(expr string) (*xpathlite.Path, error) {
 func (db *DB) Create(collection, id string, doc *xmlutil.Element) error {
 	pause(db.cost.Create)
 	db.creates.Add(1)
+	opCreates.Inc()
 	db.count(collection, func(s *Stats) { s.Creates++ })
 	stored, err := db.backend.CondPut(collection, id, doc.Marshal(), false)
 	if err != nil {
@@ -293,6 +310,7 @@ func (db *DB) Create(collection, id string, doc *xmlutil.Element) error {
 func (db *DB) Get(collection, id string) (*xmlutil.Element, error) {
 	pause(db.cost.Read)
 	db.reads.Add(1)
+	opReads.Inc()
 	db.count(collection, func(s *Stats) { s.Reads++ })
 	doc, ok, err := db.loadDoc(collection, id)
 	if err != nil {
@@ -308,6 +326,7 @@ func (db *DB) Get(collection, id string) (*xmlutil.Element, error) {
 func (db *DB) Update(collection, id string, doc *xmlutil.Element) error {
 	pause(db.cost.Update)
 	db.updates.Add(1)
+	opUpdates.Inc()
 	db.count(collection, func(s *Stats) { s.Updates++ })
 	stored, err := db.backend.CondPut(collection, id, doc.Marshal(), true)
 	if err != nil {
@@ -327,6 +346,7 @@ func (db *DB) Update(collection, id string, doc *xmlutil.Element) error {
 func (db *DB) Put(collection, id string, doc *xmlutil.Element) error {
 	pause(db.cost.Update)
 	db.updates.Add(1)
+	opUpdates.Inc()
 	db.count(collection, func(s *Stats) { s.Updates++ })
 	if err := db.backend.Put(collection, id, doc.Marshal()); err != nil {
 		return err
@@ -339,6 +359,7 @@ func (db *DB) Put(collection, id string, doc *xmlutil.Element) error {
 func (db *DB) Delete(collection, id string) error {
 	pause(db.cost.Delete)
 	db.deletes.Add(1)
+	opDeletes.Inc()
 	db.count(collection, func(s *Stats) { s.Deletes++ })
 	removed, err := db.backend.CondDelete(collection, id)
 	if err != nil {
@@ -355,6 +376,7 @@ func (db *DB) Delete(collection, id string) error {
 func (db *DB) Exists(collection, id string) (bool, error) {
 	pause(db.cost.Read)
 	db.reads.Add(1)
+	opReads.Inc()
 	db.count(collection, func(s *Stats) { s.Reads++ })
 	_, ok, err := db.backend.Get(collection, id)
 	return ok, err
@@ -364,6 +386,7 @@ func (db *DB) Exists(collection, id string) (bool, error) {
 func (db *DB) IDs(collection string) ([]string, error) {
 	pause(db.cost.Read)
 	db.reads.Add(1)
+	opReads.Inc()
 	db.count(collection, func(s *Stats) { s.Reads++ })
 	return db.backend.IDs(collection)
 }
@@ -387,6 +410,7 @@ func (db *DB) Query(collection, expr string) ([]QueryHit, error) {
 	}
 	pause(db.cost.Query)
 	db.queries.Add(1)
+	opQueries.Inc()
 	db.count(collection, func(s *Stats) { s.Queries++ })
 	ids, err := db.backend.IDs(collection)
 	if err != nil {

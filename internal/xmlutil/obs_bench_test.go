@@ -1,0 +1,17 @@
+// OBS_BENCH flips the observability layer on for a benchmark run (see
+// the root package's obs_bench_test.go), so Parse's instrumentation
+// overhead — one atomic bool load plus two counter adds per call — is
+// measurable against the no-op default.
+package xmlutil
+
+import (
+	"os"
+
+	"altstacks/internal/obs"
+)
+
+func init() {
+	if os.Getenv("OBS_BENCH") != "" {
+		obs.Enable()
+	}
+}

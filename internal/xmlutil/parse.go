@@ -8,6 +8,17 @@ import (
 	"strings"
 	"sync"
 	"unicode/utf8"
+
+	"altstacks/internal/obs"
+)
+
+// Parse volume counters (self-gated; one atomic bool load per parse
+// when observability is off).
+var (
+	parseTotal = obs.NewCounter("ogsa_xml_parse_total", "",
+		"XML documents parsed")
+	parseBytesTotal = obs.NewCounter("ogsa_xml_parse_bytes_total", "",
+		"input bytes consumed by the XML parser")
 )
 
 // Parse decodes one XML document into an element tree. Namespace
@@ -27,6 +38,8 @@ import (
 // encoding/xml-based reference implementation; TestParseDifferential
 // pins the two to identical output.
 func Parse(data []byte) (*Element, error) {
+	parseTotal.Inc()
+	parseBytesTotal.Add(int64(len(data)))
 	p := parserPool.Get().(*parser)
 	p.s = string(data)
 	root, err := p.parse()

@@ -1,0 +1,19 @@
+// OBS_BENCH flips the observability layer on for a benchmark run, so
+// the instrumentation-overhead numbers in EXPERIMENTS.md are
+// reproducible:
+//
+//	go test -run NONE -bench NotifyFanout ./              # no-op (default)
+//	OBS_BENCH=1 go test -run NONE -bench NotifyFanout ./  # instrumented
+package altstacks_test
+
+import (
+	"os"
+
+	"altstacks/internal/obs"
+)
+
+func init() {
+	if os.Getenv("OBS_BENCH") != "" {
+		obs.Enable()
+	}
+}
