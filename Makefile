@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-delivery bench-smoke bench fuzz-smoke obs-smoke check ci
+.PHONY: all build vet lint test race race-delivery bench-smoke bench bench-delivery fuzz-smoke obs-smoke check ci
 
 all: build
 
@@ -45,6 +45,13 @@ bench-smoke:
 # Full benchmark pass with allocation counts, for real measurements.
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./...
+
+# Delivery-path benchmarks (fan-out latency by mode, per-delivery
+# allocation flatness), emitted as machine-readable JSON. Advisory in
+# CI: timings on shared runners are indicative, not gating.
+bench-delivery:
+	$(GO) test -run NONE -bench 'NotifyFanout|DeliveryAllocFlatness' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson > BENCH_delivery.json
 
 # Short fuzz pass over the hand-rolled XML parser: it sits on the
 # network boundary and must never panic on adversarial bytes.

@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` text output into JSON.
+//
+// It reads benchmark output on stdin, echoes it unchanged to stderr
+// (so a piped run stays readable in CI logs), and writes a single JSON
+// document to stdout:
+//
+//	go test -run NONE -bench Foo -benchmem . | benchjson > BENCH_foo.json
+//
+// The document carries the run environment (goos, goarch, pkg, cpu)
+// and one entry per benchmark result line with every reported metric,
+// including custom b.ReportMetric units like allocs/delivery. The
+// delivery-speed CI step uses it to publish BENCH_delivery.json as a
+// machine-readable artifact without bespoke parsing downstream.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line, metrics keyed by their unit.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// report is the full document.
+type report struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []result          `json:"benchmarks"`
+}
+
+func main() {
+	rep := report{Env: map[string]string{}, Benchmarks: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		if key, val, ok := envLine(line); ok {
+			rep.Env[key] = val
+			continue
+		}
+		if r, ok := benchLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}
+
+// envLine recognizes the "goos: linux" header lines.
+func envLine(line string) (key, val string, ok bool) {
+	for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if v, found := strings.CutPrefix(line, k+": "); found {
+			return k, strings.TrimSpace(v), true
+		}
+	}
+	return "", "", false
+}
+
+// benchLine parses one result line: the benchmark name (with its
+// trailing -GOMAXPROCS tag kept, since it is part of the identity), an
+// iteration count, then value/unit pairs.
+func benchLine(line string) (result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return result{}, false
+	}
+	fields := strings.Fields(line)
+	// Name, iterations, and at least one value+unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -15,6 +15,7 @@ package altstacks_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -77,13 +78,25 @@ func benchWSNFanout(b *testing.B) {
 				}
 			}
 			msg := fanoutPayload()
+			// The delivery-mode axis: "permessage" reproduces the paper's
+			// one-shot consumer connections (a TCP handshake per delivery,
+			// §4.1.3 — the pre-overhaul behavior and the Fig 2/3 setting);
+			// "pooled" rides the persistent per-host idle pool. seq/pooled
+			// is omitted: pooling matters where deliveries overlap.
 			for _, mode := range []struct {
 				name    string
 				workers int
-			}{{"seq", 1}, {"par", parWidth}} {
+				deliver container.DeliveryMode
+			}{
+				{"seq/permessage", 1, container.DeliveryPerMessage},
+				{"par/permessage", parWidth, container.DeliveryPerMessage},
+				{"par/pooled", parWidth, container.DeliveryPooled},
+			} {
 				mode := mode
 				b.Run(mode.name, func(b *testing.B) {
 					p.Workers = mode.workers
+					p.Mode = mode.deliver
+					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
 						n, err := p.Notify("bench/tick", msg)
@@ -131,6 +144,9 @@ func benchWSEFanout(b *testing.B) {
 				}
 			}
 			msg := fanoutPayload()
+			// wse push delivery is always pooled (the Plumbwork stack's
+			// persistent channels are its paper-era behavior), so the only
+			// axis here is fan-out width.
 			for _, mode := range []struct {
 				name    string
 				workers int
@@ -138,6 +154,7 @@ func benchWSEFanout(b *testing.B) {
 				mode := mode
 				b.Run(mode.name, func(b *testing.B) {
 					src.Workers = mode.workers
+					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
 						n, err := src.Publish("bench/tick", msg)
@@ -150,6 +167,76 @@ func benchWSEFanout(b *testing.B) {
 					}
 				})
 			}
+		})
+	}
+}
+
+// ---- Per-delivery allocation flatness ----
+
+// BenchmarkDeliveryAllocFlatness checks the pooled delivery path's
+// allocation behavior is linear in fan-out width: the allocs-per-
+// delivery metric must stay flat (±10%) from 10 to 1000 subscribers,
+// or some per-batch structure is quadratic in disguise. All
+// subscriptions share one consumer endpoint so the benchmark measures
+// the delivery path, not a thousand loopback servers; no netlat link,
+// so allocation — not simulated latency — dominates.
+//
+// Run: go test -bench=DeliveryAllocFlatness -benchmem
+func BenchmarkDeliveryAllocFlatness(b *testing.B) {
+	for _, count := range []int{10, 100, 1000} {
+		count := count
+		b.Run(fmt.Sprintf("%dsubs", count), func(b *testing.B) {
+			c := container.New(container.SecurityNone)
+			defer c.Close()
+			setupClient := container.NewClient(container.ClientConfig{})
+			deliverClient := container.NewClient(container.ClientConfig{PoolSize: parWidth})
+			p := wsn.NewProducer(xmldb.NewMemory(xmldb.CostModel{}), "subs",
+				func() string { return c.BaseURL() + "/manager" }, deliverClient)
+			p.Workers = parWidth
+			svc := &container.Service{Path: "/producer", Actions: map[string]container.ActionFunc{}}
+			for a, fn := range p.ProducerPortType().Actions() {
+				svc.Actions[a] = fn
+			}
+			c.Register(svc)
+			c.Register(p.ManagerService("/manager"))
+			if _, err := c.Start(); err != nil {
+				b.Fatal(err)
+			}
+			cons, err := wsn.NewConsumer(count)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cons.Close()
+			for i := 0; i < count; i++ {
+				if _, err := wsn.Subscribe(setupClient, c.EPR("/producer"), cons.EPR(),
+					wsn.SubscribeOptions{Topic: wsn.Concrete("bench/tick")}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// The shared consumer's channel needs an active drain or the
+			// handler-side drop path would skew the numbers.
+			go func() {
+				for range cons.Ch {
+				}
+			}()
+			msg := fanoutPayload()
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n, err := p.Notify("bench/tick", msg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != count {
+					b.Fatalf("delivered %d, want %d", n, count)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			perDelivery := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N) / float64(count)
+			b.ReportMetric(perDelivery, "allocs/delivery")
 		})
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"time"
 
 	"altstacks/internal/netlat"
@@ -47,11 +48,41 @@ type ClientConfig struct {
 	// Signer/Verifier are required for SecuritySign.
 	Signer   *wssec.Signer
 	Verifier *wssec.Verifier
+	// PoolSize sizes the per-host idle connection pool. Callers that
+	// fan out (the notification producers) should pass their fan-out
+	// width so a full batch of pooled deliveries to one host never
+	// closes connections it is about to need again; 0 selects a
+	// general-purpose default of 16.
+	PoolSize int
 }
+
+// defaultPoolSize is the per-host idle pool when ClientConfig.PoolSize
+// is unset.
+const defaultPoolSize = 16
 
 // NewClient builds a client for the scenario.
 func NewClient(cfg ClientConfig) *Client {
-	base := &http.Transport{TLSClientConfig: cfg.TLS, MaxIdleConnsPerHost: 16}
+	pool := cfg.PoolSize
+	if pool <= 0 {
+		pool = defaultPoolSize
+	}
+	tlsCfg := cfg.TLS
+	if tlsCfg != nil && tlsCfg.ClientSessionCache == nil {
+		// Session resumption: when a pooled connection has aged out, the
+		// re-handshake is abbreviated instead of full — the same socket
+		// caching effect the paper credits for HTTPS being "much faster"
+		// than expected (§4.1.3), carried across reconnects.
+		tlsCfg = tlsCfg.Clone()
+		tlsCfg.ClientSessionCache = tls.NewLRUClientSessionCache(2 * pool)
+	}
+	base := &http.Transport{
+		TLSClientConfig: tlsCfg,
+		// MaxIdleConns stays 0 (unlimited): the per-host knob governs,
+		// and a global cap below width × hosts would silently close
+		// pooled connections mid-fan-out.
+		MaxIdleConnsPerHost: pool,
+		IdleConnTimeout:     90 * time.Second,
+	}
 	c := &Client{HTTP: &http.Client{Transport: cfg.Link.Transport(base)}}
 	if cfg.Mode == SecuritySign {
 		c.Signer = cfg.Signer
@@ -118,14 +149,18 @@ func (c *Client) callEnvelope(ctx context.Context, epr wsa.EPR, action string, h
 			return nil, err
 		}
 	}
-	data := env.Marshal()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, epr.Address, bytes.NewReader(data))
+	// The request marshals straight into a pooled buffer; bytes.NewReader
+	// gives the transport a rewindable view of it (GetBody for retries).
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	env.MarshalTo(buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, epr.Address, bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		return nil, fmt.Errorf("container: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
 	req.Header.Set("SOAPAction", action)
-	req.ContentLength = int64(len(data))
+	req.ContentLength = int64(buf.Len())
 	httpResp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("container: %s: %w", action, err)
@@ -134,6 +169,15 @@ func (c *Client) callEnvelope(ctx context.Context, epr wsa.EPR, action string, h
 	respData, err := io.ReadAll(io.LimitReader(httpResp.Body, 16<<20))
 	if err != nil {
 		return nil, fmt.Errorf("container: read response: %w", err)
+	}
+	// A fully read response means the exchange completed and the
+	// transport is done with the request body, so the buffer can be
+	// recycled. The error paths above deliberately leak it to the GC: a
+	// failed exchange can leave the transport's write loop still holding
+	// the reader, and reusing the bytes under it would corrupt a later
+	// request.
+	if buf.Cap() <= maxPooledBody {
+		bodyPool.Put(buf)
 	}
 	respEnv, err := soap.Parse(respData)
 	if err != nil {
@@ -158,6 +202,72 @@ func (c *Client) httpClient() *http.Client {
 		return c.HTTP
 	}
 	return http.DefaultClient
+}
+
+// DeliveryMode selects how the notification delivery paths manage
+// connections — the axis the paper's "TCP vs. HTTP issue" (§4.1.3)
+// turns on.
+type DeliveryMode int
+
+const (
+	// DeliveryPooled (the default) keeps delivery connections alive
+	// between notifications, so steady-state fan-out pays no handshake.
+	DeliveryPooled DeliveryMode = iota
+	// DeliveryPerMessage closes the connection after every delivery,
+	// reproducing the period-faithful one-shot consumer HTTP servers
+	// the paper measured. The experiment harness pins this mode so the
+	// Fig 2/3 reproductions keep the paper's connection behavior.
+	DeliveryPerMessage
+)
+
+// String names the mode as benchmark output labels it.
+func (m DeliveryMode) String() string {
+	if m == DeliveryPerMessage {
+		return "permessage"
+	}
+	return "pooled"
+}
+
+// deliveryTrace counts connection establishment versus reuse on the
+// delivery path; one shared trace so attaching it allocates only the
+// per-request context, keeping per-delivery allocations flat.
+var deliveryTrace = &httptrace.ClientTrace{
+	GotConn: func(info httptrace.GotConnInfo) {
+		if info.Reused {
+			obs.DeliveryConnsReused.Inc()
+		} else {
+			obs.DeliveryConnsDialed.Inc()
+		}
+	},
+}
+
+// connTraceTransport attaches deliveryTrace to each exchange.
+type connTraceTransport struct{ base http.RoundTripper }
+
+func (t connTraceTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	req = req.WithContext(httptrace.WithClientTrace(req.Context(), deliveryTrace))
+	return t.base.RoundTrip(req)
+}
+
+// ForDelivery returns a client configured for the outbound
+// notification path in the given mode. Both modes account connection
+// dials and reuses into the shared delivery metrics; DeliveryPooled
+// rides the base client's idle pool, DeliveryPerMessage closes after
+// every exchange (see WithoutKeepAlives).
+func (c *Client) ForDelivery(mode DeliveryMode) *Client {
+	base := c.httpClient().Transport
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	var rt http.RoundTripper = connTraceTransport{base}
+	if mode == DeliveryPerMessage {
+		rt = closingTransport{rt}
+	}
+	hc := *c.httpClient()
+	hc.Transport = rt
+	cp := *c
+	cp.HTTP = &hc
+	return &cp
 }
 
 // WithoutKeepAlives returns a client that closes its connection after

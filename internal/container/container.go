@@ -216,9 +216,10 @@ const (
 	maxPooledBody = 1 << 20
 )
 
-// bodyPool recycles request read buffers. soap.Parse copies the bytes
-// it keeps (the parsed tree never aliases the input slice), so the
-// buffer can be reused as soon as the parse returns.
+// bodyPool recycles message body buffers for both directions: request
+// reads (soap.Parse copies the bytes it keeps, so the buffer can be
+// reused as soon as the parse returns) and response serialization
+// (net/http copies on Write, so the buffer is free once Write returns).
 var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 func (c *Container) serveHTTP(w http.ResponseWriter, r *http.Request) {
@@ -356,17 +357,22 @@ func (c *Container) writeFault(ctx context.Context, w http.ResponseWriter, relat
 func (c *Container) writeResponse(ctx context.Context, w http.ResponseWriter, status int, env *soap.Envelope) {
 	st := obs.Start()
 	sspan := obs.ChildSpan(ctx, "xmlutil.serialize")
-	data := env.Marshal()
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	env.MarshalTo(buf)
 	obs.StageSerialize.ObserveSince(st)
-	sspan.SetAttr("bytes", fmt.Sprint(len(data)))
+	sspan.SetAttr("bytes", fmt.Sprint(buf.Len()))
 	sspan.End()
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
 	w.WriteHeader(status)
 	// A failed response write means the client hung up: there is no one
 	// left to fault to, and the ResponseWriter has no ledger.
 	//lint:ignore ogsalint/soapfault client disconnects are benign; no recipient remains for a fault
-	w.Write(data) //nolint:errcheck // client disconnects are benign
+	w.Write(buf.Bytes()) //nolint:errcheck // client disconnects are benign
+	if buf.Cap() <= maxPooledBody {
+		bodyPool.Put(buf)
+	}
 }
 
 // faultOf coerces an error into a SOAP fault, preserving explicit faults.

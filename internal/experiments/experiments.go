@@ -86,7 +86,13 @@ func NewHello(sc core.Scenario, stack core.Stack, cost xmldb.CostModel) (*Hello,
 	var cl counter.Client
 	switch stack {
 	case core.StackWSRF:
-		counter.InstallWSRF(c, db, notify)
+		svc := counter.InstallWSRF(c, db, notify)
+		// Figure runs keep the paper's connection behavior: WSRF.NET
+		// notification consumers accepted one-shot connections, so each
+		// Notify pays connection setup (§4.1.3). The pooled default is
+		// the optimized path and would erase exactly the TCP-vs-HTTP gap
+		// Fig 2/3 exist to show.
+		svc.Producer.Mode = container.DeliveryPerMessage
 	case core.StackWST:
 		store, err := wse.NewStore("")
 		if err != nil {

@@ -1,0 +1,143 @@
+package fanout
+
+import (
+	"sync"
+	"time"
+)
+
+// Coalescer batches items produced faster than they can be delivered:
+// Add queues an item and returns immediately; a single background
+// flusher drains the queue in batches of up to MaxBatch, waiting at
+// most MaxBatchDelay for a batch to fill. Both notification stacks use
+// one per producer so a burst of publishes reaches each subscriber as
+// one multi-message exchange (one connection use, one signature)
+// instead of a round trip per message.
+//
+// Ordering: items flush in Add order, and Flush is never called
+// concurrently with itself, so deliveries of successive batches cannot
+// reorder. The flusher goroutine exists only while items are pending —
+// an idle Coalescer holds no goroutine and no timer.
+type Coalescer[T any] struct {
+	// MaxBatch caps the items handed to one Flush call; values below 1
+	// are treated as 1 (every item flushes alone).
+	MaxBatch int
+	// MaxBatchDelay is how long the first queued item may wait for
+	// company before the batch flushes anyway. Zero flushes as soon as
+	// the flusher can run — batching then only occurs when items arrive
+	// faster than Flush drains them.
+	MaxBatchDelay time.Duration
+	// Flush delivers one batch, in order, len(batch) in [1, MaxBatch].
+	// It runs on the flusher goroutine with no locks held.
+	Flush func(batch []T)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []T
+	flushing bool
+	timer    *time.Timer
+}
+
+// Add queues one item for delivery and returns without waiting for the
+// flush. It never blocks on Flush.
+func (c *Coalescer[T]) Add(item T) {
+	c.mu.Lock()
+	if c.cond == nil {
+		c.cond = sync.NewCond(&c.mu)
+	}
+	c.pending = append(c.pending, item)
+	switch {
+	case c.flushing:
+		// The running flusher will pick the item up on its next pass.
+	case c.MaxBatchDelay <= 0 || len(c.pending) >= c.maxBatch():
+		c.startFlusherLocked()
+	case c.timer == nil:
+		// First item of a forming batch: give it MaxBatchDelay to fill.
+		c.timer = time.AfterFunc(c.MaxBatchDelay, c.timerFire)
+	}
+	c.mu.Unlock()
+}
+
+// Drain blocks until every item queued before the call has been handed
+// to Flush and the flusher has gone idle.
+func (c *Coalescer[T]) Drain() {
+	c.mu.Lock()
+	if c.cond == nil {
+		c.cond = sync.NewCond(&c.mu)
+	}
+	if len(c.pending) > 0 && !c.flushing {
+		// A formed-but-waiting batch (timer pending): flush it now
+		// rather than waiting out MaxBatchDelay.
+		c.startFlusherLocked()
+	}
+	for len(c.pending) > 0 || c.flushing {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// Pending reports how many items are queued but not yet flushed.
+func (c *Coalescer[T]) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+func (c *Coalescer[T]) maxBatch() int {
+	if c.MaxBatch < 1 {
+		return 1
+	}
+	return c.MaxBatch
+}
+
+func (c *Coalescer[T]) timerFire() {
+	c.mu.Lock()
+	if !c.flushing && len(c.pending) > 0 {
+		c.startFlusherLocked()
+	} else if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	c.mu.Unlock()
+}
+
+// startFlusherLocked launches the single flusher goroutine. Callers
+// hold c.mu; the flushing flag is what keeps the flusher singular.
+func (c *Coalescer[T]) startFlusherLocked() {
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	c.flushing = true
+	go c.run()
+}
+
+// run drains the queue batch by batch until it is empty, then exits.
+// The batch is copied out under the lock and delivered outside it, so
+// Add never waits on delivery I/O.
+func (c *Coalescer[T]) run() {
+	for {
+		c.mu.Lock()
+		if len(c.pending) == 0 {
+			c.flushing = false
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		take := c.maxBatch()
+		if take > len(c.pending) {
+			take = len(c.pending)
+		}
+		batch := make([]T, take)
+		copy(batch, c.pending)
+		rest := copy(c.pending, c.pending[take:])
+		// Zero the tail so flushed items don't pin their referents in
+		// the retained backing array.
+		var zero T
+		for i := rest; i < len(c.pending); i++ {
+			c.pending[i] = zero
+		}
+		c.pending = c.pending[:rest]
+		c.mu.Unlock()
+		c.Flush(batch)
+	}
+}

@@ -1,0 +1,160 @@
+package fanout
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector records flushed batches behind a lock, for asserting batch
+// shapes and orderings after Drain.
+type collector struct {
+	mu      sync.Mutex
+	batches [][]int
+	// delay stalls each flush, forcing later Adds to pile up behind the
+	// running flusher.
+	delay time.Duration
+}
+
+func (c *collector) flush(batch []int) {
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	cp := make([]int, len(batch))
+	copy(cp, batch)
+	c.mu.Lock()
+	c.batches = append(c.batches, cp)
+	c.mu.Unlock()
+}
+
+func (c *collector) flat() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for _, b := range c.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// TestCoalescerOrderAndCompleteness pins the delivery contract: every
+// added item is flushed exactly once, in Add order, with no batch
+// exceeding MaxBatch — including items added while the flusher is
+// already running.
+func TestCoalescerOrderAndCompleteness(t *testing.T) {
+	col := &collector{delay: time.Millisecond}
+	c := &Coalescer[int]{MaxBatch: 4, Flush: col.flush}
+	const n = 50
+	for i := 0; i < n; i++ {
+		c.Add(i)
+	}
+	c.Drain()
+	got := col.flat()
+	if len(got) != n {
+		t.Fatalf("flushed %d items, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("item %d flushed as %d; order not preserved", i, v)
+		}
+	}
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	for _, b := range col.batches {
+		if len(b) == 0 || len(b) > 4 {
+			t.Fatalf("batch size %d outside [1, MaxBatch=4]", len(b))
+		}
+	}
+	if len(col.batches) >= n {
+		t.Fatalf("%d batches for %d items: nothing coalesced", len(col.batches), n)
+	}
+}
+
+// TestCoalescerBatchDelayFills checks that MaxBatchDelay holds a
+// forming batch open: items trickled in under the delay flush together
+// rather than one per exchange.
+func TestCoalescerBatchDelayFills(t *testing.T) {
+	col := &collector{}
+	c := &Coalescer[int]{MaxBatch: 8, MaxBatchDelay: 250 * time.Millisecond, Flush: col.flush}
+	for i := 0; i < 3; i++ {
+		c.Add(i)
+	}
+	c.Drain()
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if len(col.batches) != 1 || len(col.batches[0]) != 3 {
+		t.Fatalf("batches = %v, want one batch of 3", col.batches)
+	}
+}
+
+// TestCoalescerFullBatchFlushesEarly checks the other side of the
+// delay: a batch that reaches MaxBatch flushes immediately instead of
+// waiting out MaxBatchDelay.
+func TestCoalescerFullBatchFlushesEarly(t *testing.T) {
+	col := &collector{}
+	c := &Coalescer[int]{MaxBatch: 2, MaxBatchDelay: time.Hour, Flush: col.flush}
+	start := time.Now()
+	c.Add(0)
+	c.Add(1)
+	c.Drain()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("full batch waited %v; should flush on fill", elapsed)
+	}
+	if got := col.flat(); len(got) != 2 {
+		t.Fatalf("flushed %v, want both items", got)
+	}
+}
+
+// TestCoalescerConcurrentAdd hammers Add from several goroutines under
+// -race: every item must come out exactly once (cross-goroutine order
+// is unspecified; per-goroutine order is checked).
+func TestCoalescerConcurrentAdd(t *testing.T) {
+	col := &collector{delay: 100 * time.Microsecond}
+	c := &Coalescer[int]{MaxBatch: 8, Flush: col.flush}
+	const producers, per = 4, 25
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(g*per + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Drain()
+	got := col.flat()
+	if len(got) != producers*per {
+		t.Fatalf("flushed %d items, want %d", len(got), producers*per)
+	}
+	seen := make(map[int]bool, len(got))
+	lastPer := map[int]int{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("item %d flushed twice", v)
+		}
+		seen[v] = true
+		g := v / per
+		if prev, ok := lastPer[g]; ok && v < prev {
+			t.Fatalf("producer %d: item %d flushed after %d", g, v, prev)
+		}
+		lastPer[g] = v
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Drain", c.Pending())
+	}
+}
+
+// TestCoalescerIdleDrain checks Drain on an idle (and even never-used)
+// coalescer returns immediately.
+func TestCoalescerIdleDrain(t *testing.T) {
+	c := &Coalescer[int]{Flush: func([]int) {}}
+	done := make(chan struct{})
+	go func() { c.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drain on idle coalescer hung")
+	}
+}

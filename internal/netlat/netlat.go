@@ -14,6 +14,7 @@ package netlat
 import (
 	"net"
 	"net/http"
+	"runtime"
 	"time"
 )
 
@@ -99,8 +100,26 @@ func (c *conn) Write(b []byte) (int, error) {
 	return c.Conn.Write(b)
 }
 
+// coarseSleep is the slack left to the spin loop when a delay is long
+// enough to park the goroutine first: time.Sleep on a stock Linux
+// kernel overshoots sub-millisecond requests by roughly a timer tick
+// (~1 ms), which would inflate a modeled 400 µs RTT to 2+ ms per
+// exchange — a 5× distortion of exactly the quantity this package
+// exists to model. Delays are therefore slept coarsely only for the
+// amount that cannot overshoot past the deadline, and the remainder is
+// spin-waited with cooperative yields so other goroutines (the peer's
+// handler, the rest of a fan-out batch) keep running.
+const coarseSleep = 2 * time.Millisecond
+
 func sleep(d time.Duration) {
-	if d > 0 {
-		time.Sleep(d)
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if d > 2*coarseSleep {
+		time.Sleep(d - coarseSleep)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
 	}
 }

@@ -213,10 +213,17 @@ type Histogram struct {
 // NewHistogram registers a latency histogram with the standard bucket
 // bounds.
 func NewHistogram(name, labels, help string) *Histogram {
+	return NewValueHistogram(name, labels, help, latencyBuckets)
+}
+
+// NewValueHistogram registers a histogram with caller-chosen bucket
+// bounds, for distributions that are not latencies (batch sizes, queue
+// depths). Record into it with ObserveValue.
+func NewValueHistogram(name, labels, help string, bounds []float64) *Histogram {
 	h := &Histogram{
 		name: name, labels: labels, help: help,
-		bounds:  latencyBuckets,
-		buckets: make([]atomic.Int64, len(latencyBuckets)+1),
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1),
 	}
 	Default.register(h)
 	return h
@@ -231,6 +238,20 @@ func (h *Histogram) Observe(d time.Duration) {
 	i := sort.SearchFloat64s(h.bounds, sec)
 	h.buckets[i].Add(1)
 	h.sumNanos.Add(d.Nanoseconds())
+	h.count.Add(1)
+}
+
+// ObserveValue records one dimensionless value when enabled. The sum
+// shares the duration path's fixed-point representation (units of
+// 1e-9), so mixed use of Observe and ObserveValue on one histogram
+// still exposes a consistent _sum.
+func (h *Histogram) ObserveValue(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.sumNanos.Add(int64(v * 1e9))
 	h.count.Add(1)
 }
 

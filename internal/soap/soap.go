@@ -124,6 +124,11 @@ func (e *Envelope) element(clone bool) *xmlutil.Element {
 // Marshal serializes the envelope to bytes.
 func (e *Envelope) Marshal() []byte { return e.element(false).Marshal() }
 
+// MarshalTo streams the envelope's serialization into w — same bytes
+// as Marshal, no intermediate copy. The delivery paths use this to
+// render straight into pooled wire buffers.
+func (e *Envelope) MarshalTo(w xmlutil.Writer) { e.element(false).MarshalTo(w) }
+
 // Parse decodes a SOAP envelope from bytes.
 func Parse(data []byte) (*Envelope, error) {
 	root, err := xmlutil.Parse(data)

@@ -52,6 +52,8 @@ var (
 		"event messages sent by wse sources")
 	wseSinkDroppedTotal = obs.NewCounter("ogsa_wse_sink_dropped_total", "",
 		"events dropped by saturated HTTP/TCP sinks")
+	wseCoalescedTotal = obs.NewCounter("ogsa_wse_coalesced_batches_total", "",
+		"wse deliveries that carried more than one coalesced event")
 )
 
 // Source is an Event Source Service plus its Subscription Manager.
@@ -84,6 +86,17 @@ type Source struct {
 	// SubscriptionEnd with StatusDeliveryFailure to its EndTo. 0
 	// disables eviction.
 	EvictAfter int
+	// MaxBatch and MaxBatchDelay tune coalescing on the EnqueuePublish
+	// path: up to MaxBatch pending events flush to each subscriber as
+	// one exchange (a multi-frame TCP write, or one EventBatch POST),
+	// the first waiting at most MaxBatchDelay for the batch to fill.
+	// MaxBatch below 2 disables coalescing. Set both before the first
+	// EnqueuePublish; the synchronous Publish path ignores them.
+	MaxBatch      int
+	MaxBatchDelay time.Duration
+
+	coalesceOnce sync.Once
+	coalescer    *fanout.Coalescer[topicEvent]
 
 	sent atomic.Int64
 
@@ -119,11 +132,15 @@ type DeliveryStats struct {
 	// delivered. The subscription is already gone either way; the count
 	// records how many EndTo endpoints never learned it.
 	EndNoticeErrors int64
+	// CoalescedBatches counts deliveries that carried more than one
+	// event in a single exchange (the EnqueuePublish path's batching at
+	// work). Deliveries still counts exchanges, MessagesSent events.
+	CoalescedBatches int64
 }
 
 type deliveryCounters struct {
 	attempts, retries, deliveries, failures, filterErrors, evictions,
-	stateWriteErrors, endNoticeErrors atomic.Int64
+	stateWriteErrors, endNoticeErrors, coalesced atomic.Int64
 }
 
 // NewSource builds an event source with the default retry and
@@ -158,6 +175,7 @@ func (s *Source) DeliveryStats() DeliveryStats {
 		Evictions:        s.stats.evictions.Load(),
 		StateWriteErrors: s.stats.stateWriteErrors.Load(),
 		EndNoticeErrors:  s.stats.endNoticeErrors.Load(),
+		CoalescedBatches: s.stats.coalesced.Load(),
 	}
 }
 
@@ -261,9 +279,21 @@ func (s *Source) evict(sub *Subscription, cause error) {
 		return
 	}
 	s.dropHealth(sub.ID)
+	s.dropChannel(sub)
 	s.stats.evictions.Add(1)
 	wseEvictionsTotal.Inc()
 	s.sendEnd(s.endClient(), sub, StatusDeliveryFailure, cause.Error())
+}
+
+// dropChannel releases a TCP subscription's cached delivery channel
+// when the subscription ends, so the deliverer's connection map tracks
+// live subscriptions instead of growing with sink churn. Sinks shared
+// by several subscriptions just redial on their next delivery — the
+// channel is a cache, not subscription state.
+func (s *Source) dropChannel(sub *Subscription) {
+	if sub.Mode == DeliveryModeTCP {
+		s.TCP.Evict(sub.NotifyTo.Address)
+	}
 }
 
 func (s *Source) now() time.Time {
@@ -408,6 +438,7 @@ func (s *Source) unsubscribe(ctx *container.Ctx) (*xmlutil.Element, error) {
 		return nil, err
 	}
 	s.dropHealth(sub.ID)
+	s.dropChannel(sub)
 	return xmlutil.New(NS, "UnsubscribeResponse"), nil
 }
 
@@ -433,51 +464,144 @@ func (s *Source) Publish(topic string, message *xmlutil.Element) (int, error) {
 // request dies with that request. Handlers must pass their request
 // context (container.Ctx.Context) here.
 func (s *Source) PublishContext(ctx context.Context, topic string, message *xmlutil.Element) (int, error) {
-	// Same shape as wsn.NotifyContext: the publish span covers matching
+	return s.publishBatch(ctx, []topicEvent{{Topic: topic, Message: message}})
+}
+
+// topicEvent is one queued (topic, payload) pair on the publish path.
+type topicEvent struct {
+	Topic   string
+	Message *xmlutil.Element
+}
+
+// EnqueuePublish queues an event for coalesced asynchronous delivery
+// and returns immediately. Events enqueued while earlier ones are
+// still in flight batch together per the MaxBatch/MaxBatchDelay knobs;
+// each subscriber then receives the subset its filter matches in one
+// exchange — a single multi-frame write on the TCP channel, an
+// EventBatch POST on the push channel. Delivery outcomes surface
+// through DeliveryStats and the health ledger, as on the synchronous
+// path. Call Flush to wait the queue out.
+func (s *Source) EnqueuePublish(topic string, message *xmlutil.Element) {
+	s.coalesceOnce.Do(s.initCoalescer)
+	s.coalescer.Add(topicEvent{Topic: topic, Message: message})
+}
+
+// Flush blocks until every event queued by EnqueuePublish before the
+// call has been delivered (or exhausted its retries).
+func (s *Source) Flush() {
+	s.coalesceOnce.Do(s.initCoalescer)
+	s.coalescer.Drain()
+}
+
+func (s *Source) initCoalescer() {
+	s.coalescer = &fanout.Coalescer[topicEvent]{
+		MaxBatch:      s.MaxBatch,
+		MaxBatchDelay: s.MaxBatchDelay,
+		Flush: func(batch []topicEvent) {
+			// Enqueued delivery is detached from any request by design —
+			// the enqueueing request completes before delivery runs.
+			//lint:ignore ogsalint/soapfault no caller remains for an async flush; per-subscriber outcomes land in DeliveryStats and the health ledger
+			s.publishBatch(context.Background(), batch)
+		},
+	}
+}
+
+// sameEvents reports whether subset is the whole events slice (the
+// all-filters-matched fast path, detected by identity).
+func sameEvents(subset, events []topicEvent) bool {
+	return len(subset) == len(events) && (len(events) == 0 || &subset[0] == &events[0])
+}
+
+// matchSubset returns the events sub's filter accepts. The
+// everything-matched case (by far the common one) returns events
+// itself, so steady-state fan-out allocates no per-subscriber slices.
+func (s *Source) matchSubset(sub *Subscription, events []topicEvent) ([]topicEvent, error) {
+	var subset []topicEvent
+	allSoFar := true
+	for i, e := range events {
+		ok, err := s.filterMatches(sub.Filter, e.Topic, e.Message)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if !allSoFar {
+				subset = append(subset, e)
+			}
+		} else if allSoFar {
+			allSoFar = false
+			subset = append(subset, events[:i]...)
+		}
+	}
+	if allSoFar {
+		return events, nil
+	}
+	return subset, nil
+}
+
+// deliveryPlan is one subscriber's share of a publish batch.
+type deliveryPlan struct {
+	sub    *Subscription
+	subset []topicEvent
+}
+
+// publishBatch is the shared fan-out core behind PublishContext (one
+// event) and the EnqueuePublish coalescer (a batch). Matching runs per
+// event per subscriber, so a coalesced batch degrades gracefully to
+// filtered subscribers; delivery, retry, health, and eviction
+// semantics are identical to the single-event path, with one exchange
+// per subscriber regardless of batch size.
+func (s *Source) publishBatch(ctx context.Context, events []topicEvent) (int, error) {
+	// Same shape as wsn.notifyBatch: the publish span covers matching
 	// and the fan-out, deliver spans nest under it.
 	ctx, pspan := obs.StartSpan(ctx, "wse.publish")
-	pspan.SetAttr("topic", topic)
+	pspan.SetAttr("topic", events[0].Topic)
+	if len(events) > 1 {
+		pspan.SetAttr("batch", fmt.Sprint(len(events)))
+	}
 	defer pspan.End()
 	now := s.now()
-	var matched []*Subscription
+	var matched []deliveryPlan
 	for _, sub := range s.Store.All() {
 		if sub.Expired(now) {
 			continue
 		}
-		ok, err := s.filterMatches(sub.Filter, topic, message)
+		subset, err := s.matchSubset(sub, events)
 		if err != nil {
 			s.stats.filterErrors.Add(1)
 			wseFilterErrorsTotal.Inc()
 			s.recordFault(sub, fmt.Errorf("wse: filter evaluation for subscription %s: %w", sub.ID, err))
 			continue
 		}
-		if !ok {
+		if len(subset) == 0 {
 			continue
 		}
-		matched = append(matched, sub)
+		matched = append(matched, deliveryPlan{sub: sub, subset: subset})
 	}
 	if len(matched) == 0 {
 		return 0, nil
 	}
 
-	// Both channels serialize a fresh envelope per delivery from a
-	// shared body: soap.Envelope clones the body at marshal time, so
-	// one tree serves every subscriber and the old clone-per-subscriber
-	// is avoided.
+	// Both channels serialize fresh envelopes per delivery from shared
+	// bodies: soap.Envelope shares the body tree at marshal time, so one
+	// tree serves every subscriber and the old clone-per-subscriber is
+	// avoided.
 	pspan.SetAttr("matched", fmt.Sprint(len(matched)))
-	httpClient := s.HTTP.WithTimeout(s.DeliveryTimeout)
+	// Push delivery is always pooled — the persistent connections are
+	// the stack's paper-era behavior — and rides ForDelivery so dials
+	// versus reuses show up in the shared delivery metrics.
+	httpClient := s.HTTP.ForDelivery(container.DeliveryPooled).WithTimeout(s.DeliveryTimeout)
 	errs := make([]error, len(matched))
 	fanout.Do(len(matched), s.Workers, func(i int) {
-		sub := matched[i]
-		if err := s.deliverWithRetry(ctx, httpClient, sub, topic, message); err != nil {
+		pl := matched[i]
+		if err := s.deliverWithRetry(ctx, httpClient, pl); err != nil {
 			errs[i] = err
 			s.stats.failures.Add(1)
 			wseFailuresTotal.Inc()
-			s.recordFault(sub, err)
+			s.recordFault(pl.sub, err)
 		} else {
 			s.stats.deliveries.Add(1)
 			wseDeliveriesTotal.Inc()
-			s.recordSuccess(sub)
+			s.recordSuccess(pl.sub)
 		}
 	})
 	delivered := 0
@@ -509,18 +633,28 @@ func (s *Source) filterMatches(f Filter, topic string, message *xmlutil.Element)
 }
 
 // deliverWithRetry runs one subscriber's delivery under the retry
-// policy, counting attempts and retries. sent counts once per
-// delivered message (not per attempt) so MessagesSent keeps measuring
-// fan-out amplification, not retry noise.
-func (s *Source) deliverWithRetry(ctx context.Context, client *container.Client, sub *Subscription, topic string, message *xmlutil.Element) error {
-	s.sent.Add(1)
-	wseMessagesSentTotal.Inc()
+// policy, counting attempts and retries. sent counts once per event
+// message (not per attempt or per exchange) so MessagesSent keeps
+// measuring fan-out amplification across coalesced batches, not retry
+// noise.
+func (s *Source) deliverWithRetry(ctx context.Context, client *container.Client, pl deliveryPlan) error {
+	n := int64(len(pl.subset))
+	s.sent.Add(n)
+	wseMessagesSentTotal.Add(n)
+	obs.DeliveryBatchSize.ObserveValue(float64(n))
+	if n > 1 {
+		s.stats.coalesced.Add(1)
+		wseCoalescedTotal.Inc()
+	}
 	t0 := obs.Start()
 	dctx, dspan := obs.StartSpan(ctx, "wse.deliver")
-	dspan.SetAttr("subscription", sub.ID)
-	dspan.SetAttr("mode", string(sub.Mode))
+	dspan.SetAttr("subscription", pl.sub.ID)
+	dspan.SetAttr("mode", string(pl.sub.Mode))
+	if n > 1 {
+		dspan.SetAttr("batch", fmt.Sprint(n))
+	}
 	attempts, err := retry.Do(dctx, s.Retry, func(actx context.Context) error {
-		return s.deliverOnce(actx, client, sub, topic, message)
+		return s.deliverOnce(actx, client, pl)
 	})
 	obs.StageDeliver.ObserveSince(t0)
 	s.stats.attempts.Add(int64(attempts))
@@ -535,23 +669,52 @@ func (s *Source) deliverWithRetry(ctx context.Context, client *container.Client,
 	return err
 }
 
-func (s *Source) deliverOnce(ctx context.Context, client *container.Client, sub *Subscription, topic string, message *xmlutil.Element) error {
-	switch sub.Mode {
+// eventEnvelope frames one event for the TCP channel: the payload as
+// the body, topic and action as header blocks.
+func eventEnvelope(e topicEvent) *soap.Envelope {
+	env := soap.New(e.Message)
+	env.AddHeader(
+		xmlutil.NewText(NS, "Topic", e.Topic),
+		xmlutil.NewText(wsa.NS, "Action", ActionEvent),
+	)
+	return env
+}
+
+func (s *Source) deliverOnce(ctx context.Context, client *container.Client, pl deliveryPlan) error {
+	switch pl.sub.Mode {
 	case DeliveryModeTCP:
-		env := soap.New(message)
-		env.AddHeader(
-			xmlutil.NewText(NS, "Topic", topic),
-			xmlutil.NewText(wsa.NS, "Action", ActionEvent),
-		)
-		// The persistent frame channel has no per-write context; its
-		// write deadline plays the timeout role, and retry.Do's attempt
-		// context still bounds the overall wait between attempts.
-		return s.TCP.Deliver(sub.NotifyTo.Address, env, s.DeliveryTimeout)
+		// The frame writes are bounded by the channel's write deadline;
+		// the attempt context bounds the dial, so a black-holed sink
+		// fails the attempt instead of hanging a fan-out worker in
+		// connect. A batch goes out as consecutive frames in one write —
+		// the sink's frame loop needs no batch awareness.
+		if len(pl.subset) == 1 {
+			return s.TCP.DeliverContext(ctx, pl.sub.NotifyTo.Address, eventEnvelope(pl.subset[0]), s.DeliveryTimeout)
+		}
+		envs := make([]*soap.Envelope, len(pl.subset))
+		for i, e := range pl.subset {
+			envs[i] = eventEnvelope(e)
+		}
+		return s.TCP.DeliverBatch(ctx, pl.sub.NotifyTo.Address, envs, s.DeliveryTimeout)
 	default:
 		// Push over HTTP: a normal one-way SOAP POST to the sink, with
-		// the topic riding in a header block.
-		_, err := client.CallWithHeadersContext(ctx, sub.NotifyTo, ActionEvent,
-			[]*xmlutil.Element{xmlutil.NewText(NS, "Topic", topic)}, message)
+		// the topic riding in a header block. A batch posts once as an
+		// EventBatch body carrying every event; single events keep the
+		// historical wire format.
+		if len(pl.subset) == 1 {
+			e := pl.subset[0]
+			_, err := client.CallWithHeadersContext(ctx, pl.sub.NotifyTo, ActionEvent,
+				[]*xmlutil.Element{xmlutil.NewText(NS, "Topic", e.Topic)}, e.Message)
+			return err
+		}
+		batch := xmlutil.New(NS, "EventBatch")
+		for _, e := range pl.subset {
+			batch.Add(xmlutil.New(NS, "Event").Add(
+				xmlutil.NewText(NS, "Topic", e.Topic),
+				xmlutil.New(NS, "Message").Add(e.Message),
+			))
+		}
+		_, err := client.CallContext(ctx, pl.sub.NotifyTo, ActionEventBatch, batch)
 		return err
 	}
 }
@@ -565,6 +728,7 @@ func (s *Source) cancel(client *container.Client, sub *Subscription, status, rea
 		return
 	}
 	s.dropHealth(sub.ID)
+	s.dropChannel(sub)
 	s.sendEnd(client, sub, status, reason)
 }
 
@@ -610,6 +774,8 @@ func (s *Source) SweepExpired() int {
 	n := 0
 	for _, sub := range s.Store.Expired(s.now()) {
 		if ok, _ := s.Store.Delete(sub.ID); ok {
+			s.dropHealth(sub.ID)
+			s.dropChannel(sub)
 			n++
 		}
 	}
@@ -751,13 +917,21 @@ func NewHTTPSink(buffer int) (*HTTPSink, error) {
 				if h := ctx.Envelope.Header(NS, "Topic"); h != nil {
 					ev.Topic = h.TrimText()
 				}
-				select {
-				case s.Ch <- ev:
-				default:
-					s.Dropped.Add(1)
-					wseSinkDroppedTotal.Inc()
-				}
+				s.push(ev)
 				return xmlutil.New(NS, "EventAck"), nil
+			},
+			ActionEventBatch: func(ctx *container.Ctx) (*xmlutil.Element, error) {
+				// A coalesced delivery: unpack each wse:Event onto the same
+				// channel, in order, so consumers cannot tell batched from
+				// unbatched arrivals (beyond their timing).
+				for _, el := range ctx.Envelope.Body.ChildrenNamed(NS, "Event") {
+					ev := Event{Topic: el.ChildText(NS, "Topic")}
+					if m := el.Child(NS, "Message"); m != nil && len(m.Children) > 0 {
+						ev.Message = m.Children[0]
+					}
+					s.push(ev)
+				}
+				return xmlutil.New(NS, "EventBatchAck"), nil
 			},
 			ActionSubscriptionEnd: func(ctx *container.Ctx) (*xmlutil.Element, error) {
 				select {
@@ -774,6 +948,16 @@ func NewHTTPSink(buffer int) (*HTTPSink, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// push queues one event, shedding (with a count) when Ch is full.
+func (s *HTTPSink) push(ev Event) {
+	select {
+	case s.Ch <- ev:
+	default:
+		s.Dropped.Add(1)
+		wseSinkDroppedTotal.Inc()
+	}
 }
 
 // EPR returns the sink's delivery endpoint.

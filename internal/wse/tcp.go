@@ -1,6 +1,8 @@
 package wse
 
 import (
+	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"altstacks/internal/obs"
 	"altstacks/internal/soap"
 	"altstacks/internal/xmlutil"
 )
@@ -158,25 +161,84 @@ func NewTCPDeliverer() *TCPDeliverer {
 	return &TCPDeliverer{conns: map[string]*tcpChannel{}}
 }
 
-// Deliver writes one framed envelope to the sink at addr
-// ("tcp://host:port"). The connection is cached; a stale connection is
-// re-dialed once. A positive timeout bounds the frame write (plus any
-// wait for the per-address channel) so a sink that stops reading
-// cannot stall a delivery worker forever.
-func (d *TCPDeliverer) Deliver(addr string, env *soap.Envelope, timeout time.Duration) error {
-	data := env.Marshal()
-	if len(data) > maxFrame {
-		return fmt.Errorf("wse: event frame too large (%d bytes)", len(data))
-	}
-	frame := make([]byte, 4+len(data))
-	binary.BigEndian.PutUint32(frame, uint32(len(data)))
-	copy(frame[4:], data)
+// framePool recycles transmit buffers: each delivery renders its
+// length-prefixed frame(s) straight into one of these (streaming
+// serialization, no intermediate envelope []byte) and the buffer is
+// free again as soon as conn.Write returns.
+var framePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
+// maxPooledFrame keeps only ordinarily-sized buffers in the pool,
+// mirroring the HTTP container's body-pool cap.
+const maxPooledFrame = 1 << 20
+
+// appendFrame renders env as one length-prefixed frame at the end of b.
+func appendFrame(b *bytes.Buffer, env *soap.Envelope) error {
+	start := b.Len()
+	var hdr [4]byte
+	b.Write(hdr[:])
+	env.MarshalTo(b)
+	n := b.Len() - start - 4
+	if n > maxFrame {
+		return fmt.Errorf("wse: event frame too large (%d bytes)", n)
+	}
+	binary.BigEndian.PutUint32(b.Bytes()[start:], uint32(n))
+	return nil
+}
+
+// Deliver writes one framed envelope to the sink at addr
+// ("tcp://host:port"). See DeliverContext.
+func (d *TCPDeliverer) Deliver(addr string, env *soap.Envelope, timeout time.Duration) error {
+	return d.DeliverContext(context.Background(), addr, env, timeout)
+}
+
+// DeliverContext writes one framed envelope to the sink at addr
+// ("tcp://host:port"). The connection is cached; a stale connection is
+// re-dialed once, with the dial bounded by ctx and timeout. A positive
+// timeout also bounds the frame write (plus any wait for the
+// per-address channel) so a sink that stops reading cannot stall a
+// delivery worker forever.
+func (d *TCPDeliverer) DeliverContext(ctx context.Context, addr string, env *soap.Envelope, timeout time.Duration) error {
+	buf := framePool.Get().(*bytes.Buffer)
+	buf.Reset()
+	err := appendFrame(buf, env)
+	if err == nil {
+		err = d.send(ctx, addr, buf.Bytes(), timeout)
+	}
+	if buf.Cap() <= maxPooledFrame {
+		framePool.Put(buf)
+	}
+	return err
+}
+
+// DeliverBatch writes several envelopes to addr as consecutive frames
+// in a single conn.Write — the coalesced delivery path. The sink reads
+// them as ordinary back-to-back frames, so a batch is wire-compatible
+// with the same envelopes sent one Deliver at a time.
+func (d *TCPDeliverer) DeliverBatch(ctx context.Context, addr string, envs []*soap.Envelope, timeout time.Duration) error {
+	buf := framePool.Get().(*bytes.Buffer)
+	buf.Reset()
+	var err error
+	for _, env := range envs {
+		if err = appendFrame(buf, env); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = d.send(ctx, addr, buf.Bytes(), timeout)
+	}
+	if buf.Cap() <= maxPooledFrame {
+		framePool.Put(buf)
+	}
+	return err
+}
+
+// send writes an already-framed payload to addr's channel.
+func (d *TCPDeliverer) send(ctx context.Context, addr string, frame []byte, timeout time.Duration) error {
 	ch := d.channel(addr)
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
 	for attempt := 0; attempt < 2; attempt++ {
-		if err := d.dialLocked(ch, addr, attempt > 0); err != nil {
+		if err := d.dialLocked(ctx, ch, addr, attempt > 0, timeout); err != nil {
 			return err
 		}
 		if timeout > 0 {
@@ -219,16 +281,22 @@ func (d *TCPDeliverer) channel(addr string) *tcpChannel {
 }
 
 // dialLocked ensures ch holds a live connection, redialing when fresh
-// is set or no connection is cached. Callers hold ch.mu.
-func (d *TCPDeliverer) dialLocked(ch *tcpChannel, addr string, fresh bool) error {
+// is set or no connection is cached. The dial honors ctx (the delivery
+// context) and, when positive, timeout — so a black-holed sink fails
+// the delivery instead of stalling a fan-out worker in an unbounded
+// connect. Callers hold ch.mu.
+func (d *TCPDeliverer) dialLocked(ctx context.Context, ch *tcpChannel, addr string, fresh bool, timeout time.Duration) error {
 	if !fresh && ch.conn != nil {
+		obs.DeliveryConnsReused.Inc()
 		return nil
 	}
 	host := strings.TrimPrefix(addr, "tcp://")
-	c, err := net.Dial("tcp", host)
+	dialer := net.Dialer{Timeout: timeout}
+	c, err := dialer.DialContext(ctx, "tcp", host)
 	if err != nil {
 		return fmt.Errorf("wse: dial sink %s: %w", addr, err)
 	}
+	obs.DeliveryConnsDialed.Inc()
 	if d.WrapConn != nil {
 		c = d.WrapConn(c)
 	}
@@ -237,6 +305,35 @@ func (d *TCPDeliverer) dialLocked(ch *tcpChannel, addr string, fresh bool) error
 	}
 	ch.conn = c
 	return nil
+}
+
+// Evict closes and forgets the cached channel for addr. The source
+// calls this when a subscription to addr ends — unsubscribe,
+// expiration, or health eviction — so the conns map tracks only live
+// subscriptions instead of growing for as long as sinks churn.
+func (d *TCPDeliverer) Evict(addr string) {
+	d.mu.Lock()
+	ch, ok := d.conns[addr]
+	if ok {
+		delete(d.conns, addr)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return
+	}
+	ch.mu.Lock()
+	if ch.conn != nil {
+		ch.conn.Close()
+		ch.conn = nil
+	}
+	ch.mu.Unlock()
+}
+
+// ConnCount reports how many sink channels are cached.
+func (d *TCPDeliverer) ConnCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.conns)
 }
 
 // Close tears down all cached connections.

@@ -41,6 +41,8 @@ var (
 		"failed writes of wsn producer persistence")
 	wsnMessagesSentTotal = obs.NewCounter("ogsa_wsn_messages_sent_total", "",
 		"notification messages sent by wsn producers")
+	wsnCoalescedTotal = obs.NewCounter("ogsa_wsn_coalesced_batches_total", "",
+		"wsn deliveries that carried more than one coalesced message")
 )
 
 // SubscriptionHealth is the per-subscription delivery ledger:
@@ -77,10 +79,14 @@ type DeliveryStats struct {
 	// these do not fail the triggering publish; they surface here (and
 	// feed back into recovery behavior after a restart).
 	StateWriteErrors int64
+	// CoalescedBatches counts deliveries that carried more than one
+	// message in a single exchange (the Enqueue path's batching at
+	// work). Deliveries still counts exchanges, MessagesSent messages.
+	CoalescedBatches int64
 }
 
 type deliveryCounters struct {
-	attempts, retries, deliveries, failures, filterErrors, evictions, stateWriteErrors atomic.Int64
+	attempts, retries, deliveries, failures, filterErrors, evictions, stateWriteErrors, coalesced atomic.Int64
 }
 
 // DeliveryStats snapshots the producer's delivery counters.
@@ -93,6 +99,7 @@ func (p *Producer) DeliveryStats() DeliveryStats {
 		FilterErrors:     p.stats.filterErrors.Load(),
 		Evictions:        p.stats.evictions.Load(),
 		StateWriteErrors: p.stats.stateWriteErrors.Load(),
+		CoalescedBatches: p.stats.coalesced.Load(),
 	}
 }
 

@@ -1,0 +1,220 @@
+package wsn
+
+// Tests for the delivery-speed work: connection pooling on the notify
+// path, Enqueue coalescing, and the wire compatibility of batch-of-one
+// envelopes with the historical single-message format.
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"altstacks/internal/container"
+	"altstacks/internal/soap"
+	"altstacks/internal/wsa"
+	"altstacks/internal/xmlutil"
+)
+
+// countingConsumer is a notification endpoint that counts the TCP
+// connections opened to it — the instrument for distinguishing pooled
+// from per-message delivery. It answers every POST with a well-formed
+// NotifyResponse envelope.
+func countingConsumer(t *testing.T) (wsa.EPR, *atomic.Int64) {
+	t.Helper()
+	var conns atomic.Int64
+	ack := soap.New(xmlutil.New(NSNT, "NotifyResponse")).Marshal()
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		w.Write(ack)
+	}))
+	srv.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+	return wsa.NewEPR(srv.URL + "/consumer"), &conns
+}
+
+// TestDeliveryModeConnections is the pooling acceptance test: N
+// notifications to one subscriber ride a single connection in the
+// default pooled mode, and open one connection each in the
+// paper-faithful per-message mode.
+func TestDeliveryModeConnections(t *testing.T) {
+	const notifies = 8
+	for _, tc := range []struct {
+		mode container.DeliveryMode
+		want func(int64) bool
+		desc string
+	}{
+		{container.DeliveryPooled, func(n int64) bool { return n == 1 }, "exactly 1"},
+		{container.DeliveryPerMessage, func(n int64) bool { return n == notifies }, "one per notify"},
+	} {
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			p, _, client, producer := startProducerDB(t)
+			p.Mode = tc.mode
+			epr, conns := countingConsumer(t)
+			if _, err := Subscribe(client, producer, epr,
+				SubscribeOptions{Topic: Concrete("job/exited")}); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < notifies; i++ {
+				if n, err := p.Notify("job/exited", jobExited(i)); err != nil || n != 1 {
+					t.Fatalf("notify %d: n=%d err=%v", i, n, err)
+				}
+			}
+			if got := conns.Load(); !tc.want(got) {
+				t.Fatalf("%s mode: %d connections for %d notifies, want %s",
+					tc.mode, got, notifies, tc.desc)
+			}
+		})
+	}
+}
+
+// TestEnqueueCoalescesIntoOneExchange pins the deterministic batching
+// case: MaxBatch messages enqueued back to back (well inside
+// MaxBatchDelay) reach the subscriber as one multi-message envelope —
+// one exchange, MaxBatch messages, in order.
+func TestEnqueueCoalescesIntoOneExchange(t *testing.T) {
+	p, _, client, producer := startProducerDB(t)
+	p.MaxBatch = 4
+	p.MaxBatchDelay = 2 * time.Second
+
+	cons := newConsumer(t)
+	if _, err := Subscribe(client, producer, cons.EPR(),
+		SubscribeOptions{Topic: Concrete("job/exited")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		p.Enqueue("job/exited", jobExited(i))
+	}
+	p.Flush()
+
+	for i := 0; i < 4; i++ {
+		got := recv(t, cons)
+		if got.Topic != "job/exited" || got.Message.ChildText(nsJob, "ExitCode") != itoa(i) {
+			t.Fatalf("message %d: topic=%q payload=%s", i, got.Topic, got.Message.Marshal())
+		}
+	}
+	stats := p.DeliveryStats()
+	if stats.Deliveries != 1 {
+		t.Fatalf("deliveries = %d, want 1 coalesced exchange", stats.Deliveries)
+	}
+	if stats.CoalescedBatches != 1 {
+		t.Fatalf("coalesced batches = %d, want 1", stats.CoalescedBatches)
+	}
+	if got := p.MessagesSent(); got != 4 {
+		t.Fatalf("messages sent = %d, want 4", got)
+	}
+}
+
+// TestEnqueueOrderingUnderLoad streams messages through the coalescer
+// with delivery in flight (run under -race in CI's race-delivery gate):
+// whatever the batch boundaries, the subscriber must observe every
+// message exactly once, in Enqueue order.
+func TestEnqueueOrderingUnderLoad(t *testing.T) {
+	p, _, client, producer := startProducerDB(t)
+	p.MaxBatch = 4
+	p.MaxBatchDelay = 50 * time.Millisecond
+
+	const total = 24
+	cons, err := NewConsumer(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cons.Close)
+	if _, err := Subscribe(client, producer, cons.EPR(),
+		SubscribeOptions{Topic: Concrete("job/exited")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		p.Enqueue("job/exited", jobExited(i))
+	}
+	p.Flush()
+
+	for i := 0; i < total; i++ {
+		got := recv(t, cons)
+		if got.Message.ChildText(nsJob, "ExitCode") != itoa(i) {
+			t.Fatalf("position %d received %s", i, got.Message.Marshal())
+		}
+	}
+	stats := p.DeliveryStats()
+	if stats.Deliveries >= total {
+		t.Fatalf("deliveries = %d for %d messages: nothing coalesced", stats.Deliveries, total)
+	}
+	if got := p.MessagesSent(); got != total {
+		t.Fatalf("messages sent = %d, want %d", got, total)
+	}
+}
+
+// TestEnqueueFiltersPerMessage checks coalescing degrades per
+// subscriber: a filtered subscriber receives exactly the subset of the
+// batch its filters match, while an unfiltered one receives everything.
+func TestEnqueueFiltersPerMessage(t *testing.T) {
+	p, _, client, producer := startProducerDB(t)
+	p.MaxBatch = 4
+	p.MaxBatchDelay = 2 * time.Second
+
+	all := newConsumer(t)
+	failedOnly := newConsumer(t)
+	if _, err := Subscribe(client, producer, all.EPR(),
+		SubscribeOptions{Topic: Concrete("job/exited")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Subscribe(client, producer, failedOnly.EPR(), SubscribeOptions{
+		Topic:          Concrete("job/exited"),
+		MessageContent: "/JobExited[ExitCode!=0]",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Codes 0,1,0,2: the filtered subscriber must see only 1 and 2.
+	for _, code := range []int{0, 1, 0, 2} {
+		p.Enqueue("job/exited", jobExited(code))
+	}
+	p.Flush()
+
+	for _, want := range []string{"0", "1", "0", "2"} {
+		if got := recv(t, all); got.Message.ChildText(nsJob, "ExitCode") != want {
+			t.Fatalf("unfiltered consumer: got %s, want code %s", got.Message.Marshal(), want)
+		}
+	}
+	for _, want := range []string{"1", "2"} {
+		if got := recv(t, failedOnly); got.Message.ChildText(nsJob, "ExitCode") != want {
+			t.Fatalf("filtered consumer: got %s, want code %s", got.Message.Marshal(), want)
+		}
+	}
+	expectNone(t, failedOnly)
+}
+
+// TestBatchOfOneWireIdentical is the differential test for the
+// coalescing envelope: a batch of one must serialize byte-for-byte
+// identically to the historical single-message Notify, so enabling the
+// Enqueue path never changes the wire format consumers see for
+// unbatched traffic.
+func TestBatchOfOneWireIdentical(t *testing.T) {
+	msg := jobExited(7)
+	batched := buildNotify([]topicMessage{{Topic: "job/exited", Message: msg}})
+	// The pre-coalescing construction, verbatim.
+	legacy := xmlutil.New(NSNT, "Notify").Add(
+		xmlutil.New(NSNT, "NotificationMessage").Add(
+			xmlutil.NewText(NSNT, "Topic", "job/exited").SetAttr("", "Dialect", DialectConcrete),
+			xmlutil.New(NSNT, "Message").Add(msg),
+		),
+	)
+	if !bytes.Equal(batched.Marshal(), legacy.Marshal()) {
+		t.Fatalf("batch-of-1 body diverged from single-message body:\n%s\nvs\n%s",
+			batched.Marshal(), legacy.Marshal())
+	}
+	// And through full envelope serialization (the bytes on the wire).
+	var a, b bytes.Buffer
+	soap.New(batched).MarshalTo(&a)
+	soap.New(legacy).MarshalTo(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("batch-of-1 envelope diverged:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+}

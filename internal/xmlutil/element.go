@@ -15,6 +15,7 @@ import (
 	"crypto/sha256"
 	"encoding/xml"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -282,17 +283,15 @@ func genPrefix(n int) string {
 // working buffer must not be reallocated per message.
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// serialize renders e into a pooled buffer and returns a fresh copy of
-// the bytes (the one unavoidable copy: the buffer goes back to the
-// pool).
-func (e *Element) serialize(ctx *nsContext, canonical bool) []byte {
-	b := bufPool.Get().(*bytes.Buffer)
-	b.Reset()
-	e.write(b, ctx, true, canonical)
-	out := make([]byte, b.Len())
-	copy(out, b.Bytes())
-	bufPool.Put(b)
-	return out
+// Writer is the sink a streamed serialization renders into: an
+// io.Writer with the byte- and string-granular methods the serializer
+// emits through. *bytes.Buffer and *bufio.Writer both satisfy it.
+// MarshalTo ignores write errors, so sinks must be sticky-error
+// (buffered) writers whose failure surfaces at flush time.
+type Writer interface {
+	io.Writer
+	WriteByte(byte) error
+	WriteString(string) (int, error)
 }
 
 // Marshal serializes the element tree to XML. All namespaces used in
@@ -300,6 +299,26 @@ func (e *Element) serialize(ctx *nsContext, canonical bool) []byte {
 // deterministically in preorder first-use order, so output for a given
 // tree is stable across runs.
 func (e *Element) Marshal() []byte {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	marshalInto(b, e)
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	bufPool.Put(b)
+	return out
+}
+
+// MarshalTo streams the same serialization Marshal produces directly
+// into w, with no intermediate []byte. The wire paths (HTTP
+// request/response bodies, TCP event frames) marshal straight into
+// their pooled transmit buffers through this.
+func (e *Element) MarshalTo(w Writer) { marshalInto(w, e) }
+
+// marshalInto is the shared core of Marshal and MarshalTo. It is
+// generic over the sink so the dominant caller (Marshal's
+// *bytes.Buffer) keeps direct, inlinable method calls instead of
+// paying interface dispatch per emitted token.
+func marshalInto[W Writer](w W, e *Element) {
 	ctx := ctxPool.Get().(*nsContext)
 	ctx.reset()
 	// Pre-assign prefixes in preorder so declarations are stable.
@@ -312,9 +331,8 @@ func (e *Element) Marshal() []byte {
 		}
 		return true
 	})
-	out := e.serialize(ctx, false)
+	writeElement(w, e, ctx, true, false)
 	ctxPool.Put(ctx)
-	return out
 }
 
 // ctxPool and canonPool recycle the namespace-assignment state between
@@ -394,23 +412,23 @@ func (e *Element) withCanonicalBuffer(fn func(b *bytes.Buffer)) {
 	}
 	b := bufPool.Get().(*bytes.Buffer)
 	b.Reset()
-	e.write(b, &st.ctx, true, true)
+	writeElement(b, e, &st.ctx, true, true)
 	fn(b)
 	bufPool.Put(b)
 	canonPool.Put(st)
 }
 
-func (e *Element) write(b *bytes.Buffer, ctx *nsContext, root, canonical bool) {
+func writeElement[W Writer](w W, e *Element, ctx *nsContext, root, canonical bool) {
 	name := e.qname(ctx)
-	b.WriteByte('<')
-	b.WriteString(name)
+	w.WriteByte('<')
+	w.WriteString(name)
 	if root {
 		for _, uri := range ctx.order {
-			b.WriteString(` xmlns:`)
-			b.WriteString(ctx.prefix[uri])
-			b.WriteString(`="`)
-			escapeInto(b, uri)
-			b.WriteString(`"`)
+			w.WriteString(` xmlns:`)
+			w.WriteString(ctx.prefix[uri])
+			w.WriteString(`="`)
+			escapeInto(w, uri)
+			w.WriteString(`"`)
 		}
 	}
 	attrs := e.Attrs
@@ -424,32 +442,32 @@ func (e *Element) write(b *bytes.Buffer, ctx *nsContext, root, canonical bool) {
 		})
 	}
 	for _, a := range attrs {
-		b.WriteByte(' ')
+		w.WriteByte(' ')
 		if a.Name.Space != "" {
-			b.WriteString(ctx.prefix[a.Name.Space])
-			b.WriteByte(':')
+			w.WriteString(ctx.prefix[a.Name.Space])
+			w.WriteByte(':')
 		}
-		b.WriteString(a.Name.Local)
-		b.WriteString(`="`)
-		escapeInto(b, a.Value)
-		b.WriteString(`"`)
+		w.WriteString(a.Name.Local)
+		w.WriteString(`="`)
+		escapeInto(w, a.Value)
+		w.WriteString(`"`)
 	}
 	text := e.Text
 	if canonical {
 		text = strings.TrimSpace(text)
 	}
 	if text == "" && len(e.Children) == 0 {
-		b.WriteString("/>")
+		w.WriteString("/>")
 		return
 	}
-	b.WriteByte('>')
-	escapeInto(b, text)
+	w.WriteByte('>')
+	escapeInto(w, text)
 	for _, c := range e.Children {
-		c.write(b, ctx, false, canonical)
+		writeElement(w, c, ctx, false, canonical)
 	}
-	b.WriteString("</")
-	b.WriteString(name)
-	b.WriteByte('>')
+	w.WriteString("</")
+	w.WriteString(name)
+	w.WriteByte('>')
 }
 
 func (e *Element) qname(ctx *nsContext) string {
@@ -465,25 +483,25 @@ func (e *Element) qname(ctx *nsContext) string {
 // then the whole string is a single WriteString.
 const escapeNeeded = "&<>\"'"
 
-func escapeInto(b *bytes.Buffer, s string) {
+func escapeInto[W Writer](w W, s string) {
 	for {
 		i := strings.IndexAny(s, escapeNeeded)
 		if i < 0 {
-			b.WriteString(s)
+			w.WriteString(s)
 			return
 		}
-		b.WriteString(s[:i])
+		w.WriteString(s[:i])
 		switch s[i] {
 		case '&':
-			b.WriteString("&amp;")
+			w.WriteString("&amp;")
 		case '<':
-			b.WriteString("&lt;")
+			w.WriteString("&lt;")
 		case '>':
-			b.WriteString("&gt;")
+			w.WriteString("&gt;")
 		case '"':
-			b.WriteString("&quot;")
+			w.WriteString("&quot;")
 		case '\'':
-			b.WriteString("&apos;")
+			w.WriteString("&apos;")
 		}
 		s = s[i+1:]
 	}
