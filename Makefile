@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-delivery bench-smoke bench bench-delivery fuzz-smoke obs-smoke check ci
+.PHONY: all build vet lint test race race-delivery bench-smoke bench bench-delivery bench-storage fuzz-smoke obs-smoke check ci
 
 all: build
 
@@ -52,6 +52,14 @@ bench:
 bench-delivery:
 	$(GO) test -run NONE -bench 'NotifyFanout|DeliveryAllocFlatness' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson > BENCH_delivery.json
+
+# Storage-layer benchmarks: the 8-goroutine mixed-operation contention
+# workload (ParallelMixed, single-lock vs sharded) plus the cache-hot
+# scan and point-read baselines, emitted as machine-readable JSON.
+# Advisory in CI for the same reason as bench-delivery.
+bench-storage:
+	$(GO) test -run NONE -bench 'ParallelMixed|QueryScan|GetHot' -benchmem ./internal/xmldb \
+		| $(GO) run ./cmd/benchjson > BENCH_storage.json
 
 # Short fuzz pass over the hand-rolled XML parser: it sits on the
 # network boundary and must never panic on adversarial bytes.

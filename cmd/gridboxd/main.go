@@ -35,6 +35,7 @@ func main() {
 	adminDN := flag.String("admin-dn", "", "restrict administrative operations to this DN")
 	admin := flag.String("admin", "", "serve /metrics, /traces, and pprof on this address (e.g. :9090; enables instrumentation)")
 	delta := flag.Duration("reservation-delta", gridbox.DefaultReservationDelta, "initial reservation lifetime")
+	shards := flag.Int("shards", 1, "number of storage shards (>1 stripes the resource store)")
 	flag.Parse()
 
 	if *admin != "" {
@@ -68,7 +69,12 @@ func main() {
 	}
 
 	c := fix.NewContainer()
-	db := xmldb.NewMemory(xmldb.CostModel{})
+	var db *xmldb.DB
+	if *shards > 1 {
+		db = xmldb.New(xmldb.NewShardedMemory(*shards), xmldb.CostModel{})
+	} else {
+		db = xmldb.NewMemory(xmldb.CostModel{})
+	}
 	local := fix.NewLocalClient()
 
 	switch *stack {

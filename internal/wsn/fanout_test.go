@@ -378,3 +378,36 @@ func TestNotifySharedWrappedBodyIsIsolated(t *testing.T) {
 		t.Fatal("sanity: envelope lost its body")
 	}
 }
+
+// TestPauseReparsesOnlyChangedSubscription pins the per-document
+// cache-invalidation win on the Notify path: pausing one subscription
+// re-parses exactly that subscription's document on the next refill.
+// Under whole-collection invalidation the Pause write evicted every
+// parsed subscription, so the refill re-parsed all of them.
+func TestPauseReparsesOnlyChangedSubscription(t *testing.T) {
+	p, db, client, producer := startProducerDB(t)
+
+	const subs = 5
+	var mgrs []wsa.EPR
+	for i := 0; i < subs; i++ {
+		cons := newConsumer(t)
+		mgr, err := Subscribe(client, producer, cons.EPR(),
+			SubscribeOptions{Topic: Concrete("job/exited")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgrs = append(mgrs, mgr)
+	}
+	notifyOnce(t, p) // warm: every subscription document parsed
+
+	before := db.CollectionStats("subs").Parses
+	if err := Pause(client, mgrs[2]); err != nil {
+		t.Fatal(err)
+	}
+	notifyOnce(t, p) // refill reads all subs docs again
+	after := db.CollectionStats("subs").Parses
+	if got := after - before; got != 1 {
+		t.Fatalf("refill after pausing 1 of %d subscriptions re-parsed %d documents, want 1",
+			subs, got)
+	}
+}

@@ -200,6 +200,151 @@ func TestMalformedQueryDoesNotPolluteStats(t *testing.T) {
 	}
 }
 
+// TestPerDocumentInvalidation is the cache-scaling acceptance pin:
+// updating document A must not force a re-parse of cached document B
+// in the same collection. Under whole-collection generations (the old
+// design), the Update of "a" evicted every parsed doc — the Notify
+// path's biggest avoidable cache-miss source.
+func TestPerDocumentInvalidation(t *testing.T) {
+	db := NewMemory(CostModel{})
+	const docs = 8
+	for i := 0; i < docs; i++ {
+		if err := db.Create("c", id(i), counterDoc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the cache: every document parsed exactly once.
+	if _, err := db.Query("c", "/Counter"); err != nil {
+		t.Fatal(err)
+	}
+	if p := db.CollectionStats("c").Parses; p != docs {
+		t.Fatalf("warm parses = %d, want %d", p, docs)
+	}
+
+	// Update doc 0; re-read doc 3 and re-scan. Only doc 0 re-parses.
+	if err := db.Update("c", id(0), counterDoc(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("c", id(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("c", "/Counter"); err != nil {
+		t.Fatal(err)
+	}
+	if p := db.CollectionStats("c").Parses; p != docs+1 {
+		t.Fatalf("parses after single-doc update = %d, want %d (only the updated doc re-parses)", p, docs+1)
+	}
+
+	// The updated content is really served (no stale cache).
+	doc, err := db.Get("c", id(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, doc); got != 100 {
+		t.Fatalf("value = %d, want 100", got)
+	}
+
+	// Delete is equally surgical.
+	if err := db.Delete("c", id(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("c", "/Counter"); err != nil {
+		t.Fatal(err)
+	}
+	if p := db.CollectionStats("c").Parses; p != docs+1 {
+		t.Fatalf("parses after delete = %d, want %d (deleting one doc re-parses nothing)", p, docs+1)
+	}
+}
+
+// TestClockEvictionKeepsHotDocuments: under cap pressure, a document
+// referenced since the hand's last sweep survives (second chance) and
+// a cold one is evicted — deterministically, unlike the old arbitrary
+// map-iteration eviction.
+func TestClockEvictionKeepsHotDocuments(t *testing.T) {
+	// One-entry stripes (cap 16 over 16 stripes) would make every fill
+	// an eviction; use a cap that gives each stripe a few slots and
+	// drive enough documents through one collection to overflow them.
+	db := newWithCacheCaps(NewMemoryBackend(), CostModel{}, 32, 16)
+	const hot = "hot-doc"
+	if err := db.Create("c", hot, counterDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("c", hot); err != nil { // cache the hot doc
+		t.Fatal(err)
+	}
+	// Interleave cold fills with hot touches: the touches keep the ref
+	// bit set, so each stripe's hand evicts cold entries around it.
+	for i := 0; i < 64; i++ {
+		if err := db.Create("c", id(i), counterDoc(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Get("c", id(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Get("c", hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := db.Stats().Parses
+	if _, err := db.Get("c", hot); err != nil {
+		t.Fatal(err)
+	}
+	if after := db.Stats().Parses; after != before {
+		t.Fatalf("hot document was evicted under cap pressure (parses %d→%d)", before, after)
+	}
+}
+
+// probeBackend counts raw Gets while inheriting the fast Has of the
+// memory backend.
+type probeBackend struct {
+	*MemoryBackend
+	gets atomic.Int64
+}
+
+func (p *probeBackend) Get(col, id string) ([]byte, bool, error) {
+	p.gets.Add(1)
+	return p.MemoryBackend.Get(col, id)
+}
+
+// TestExistsUsesHasProbe: Exists answers through Backend.Has — no
+// document bytes are copied just to report presence. A backend without
+// Has still works via the Get fallback.
+func TestExistsUsesHasProbe(t *testing.T) {
+	pb := &probeBackend{MemoryBackend: NewMemoryBackend()}
+	db := New(pb, CostModel{})
+	if err := db.Create("c", "1", counterDoc(0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if ok, err := db.Exists("c", "1"); err != nil || !ok {
+			t.Fatalf("exists = %v, %v", ok, err)
+		}
+	}
+	if ok, err := db.Exists("c", "absent"); err != nil || ok {
+		t.Fatalf("exists(absent) = %v, %v", ok, err)
+	}
+	if g := pb.gets.Load(); g != 0 {
+		t.Fatalf("Exists copied document bytes %d times; want 0 (Backend.Has)", g)
+	}
+	if s := db.CollectionStats("c"); s.Reads != 4 {
+		t.Fatalf("reads = %d, want 4 (every Exists counts as a read)", s.Reads)
+	}
+
+	// Fallback: a Backend that lacks Has (countingBackend embeds the
+	// interface, hiding the concrete Has) degrades to Get.
+	cb := &countingBackend{Backend: NewMemoryBackend()}
+	db2 := New(cb, CostModel{})
+	if err := db2.Create("c", "1", counterDoc(0)); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := db2.Exists("c", "1"); err != nil || !ok {
+		t.Fatalf("fallback exists = %v, %v", ok, err)
+	}
+	if g := cb.gets.Load(); g != 1 {
+		t.Fatalf("fallback gets = %d, want 1", g)
+	}
+}
+
 // TestCondPutSkipsPreRead: Create/Update/Delete no longer issue the
 // existence probe as a separate backend Get.
 func TestCondPutSkipsPreRead(t *testing.T) {

@@ -60,6 +60,17 @@ func (f *FileBackend) Get(collection, id string) ([]byte, bool, error) {
 	return data, true, nil
 }
 
+// Has implements Haser: one stat call, no document bytes read.
+func (f *FileBackend) Has(collection, id string) (bool, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	_, err := os.Stat(f.path(collection, id))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
 // CondPut implements Backend: the existence probe and the write happen
 // under one writer lock, so it is atomic with respect to the other
 // Backend methods on this store.

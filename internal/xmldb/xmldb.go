@@ -20,11 +20,13 @@ package xmldb
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"altstacks/internal/fanout"
 	"altstacks/internal/obs"
 	"altstacks/internal/xmlutil"
 	"altstacks/internal/xpathlite"
@@ -110,6 +112,25 @@ type Backend interface {
 	CondDelete(collection, id string) (removed bool, err error)
 }
 
+// Haser is the optional presence-probe extension of Backend. Backends
+// that can answer "is this id stored?" without materializing the
+// document bytes implement it; DB.Exists uses it when available and
+// falls back to a full Get otherwise, so third-party Backend
+// implementations keep working unchanged.
+type Haser interface {
+	Has(collection, id string) (bool, error)
+}
+
+// backendHas probes presence through the fast path when the backend
+// offers one, copying the document bytes only as a fallback.
+func backendHas(b Backend, collection, id string) (bool, error) {
+	if h, ok := b.(Haser); ok {
+		return h.Has(collection, id)
+	}
+	_, ok, err := b.Get(collection, id)
+	return ok, err
+}
+
 // Cache bounds. Parsed documents dominate memory, so their cap is the
 // one that matters; compiled paths are tiny (the handful of query
 // shapes the services issue).
@@ -118,51 +139,66 @@ const (
 	pathCacheCap = 256
 )
 
-type docKey struct{ collection, id string }
-
-type docEntry struct {
-	gen uint64
-	doc *xmlutil.Element // shared master copy; callers receive clones
-}
-
 // DB is the document database: a backend plus cost model and stats.
 //
 // DB memoizes two pieces of inbound-path work that the cost model does
 // NOT account for (the model reproduces 2005-era Xindice latency; the
 // parsing and compilation overhead on top of it is this stack's own):
 //
-//   - parsed documents, stamped with a per-collection generation that
-//     every write bumps, so Get/Query reuse trees until the backing
-//     bytes change;
+//   - parsed documents, stamped with a per-document generation that a
+//     write to that document bumps, so Get/Query reuse trees until the
+//     backing bytes change — and a write to one document never evicts
+//     its collection neighbours;
 //   - compiled XPath-lite expressions, keyed by source text.
 //
-// Both caches are invisible to the CostModel: cached operations still
-// pay the full modeled latency and count in Stats, so the benchmark
-// figure shapes are unchanged — only the constant CPU overhead above
-// the modeled floor shrinks.
+// Both caches are lock-striped (16 stripes each) and every counter is
+// atomic, so concurrent clients on different documents or collections
+// share no lock. Both caches are invisible to the CostModel: cached
+// operations still pay the full modeled latency and count in Stats, so
+// the benchmark figure shapes are unchanged — only the constant CPU
+// overhead above the modeled floor shrinks.
 type DB struct {
 	backend Backend
 	cost    CostModel
 
 	creates, reads, updates, deletes, queries, parses atomic.Int64
 
-	statsMu sync.Mutex
-	perCol  map[string]*Stats
+	perCol sync.Map // collection → *colStats
 
-	cacheMu sync.Mutex
-	gens    map[string]uint64
-	docs    map[docKey]docEntry
-	paths   map[string]*xpathlite.Path
+	docs  *docCache
+	paths *pathCache
+}
+
+// colStats is the per-collection mirror of Stats, atomic so counting
+// never takes a lock.
+type colStats struct {
+	creates, reads, updates, deletes, queries, parses atomic.Int64
+}
+
+func (s *colStats) snapshot() Stats {
+	return Stats{
+		Creates: s.creates.Load(),
+		Reads:   s.reads.Load(),
+		Updates: s.updates.Load(),
+		Deletes: s.deletes.Load(),
+		Queries: s.queries.Load(),
+		Parses:  s.parses.Load(),
+	}
 }
 
 // New returns a database over the given backend.
 func New(backend Backend, cost CostModel) *DB {
+	return newWithCacheCaps(backend, cost, docCacheCap, pathCacheCap)
+}
+
+// newWithCacheCaps is the test seam for exercising eviction without
+// building thousands of documents.
+func newWithCacheCaps(backend Backend, cost CostModel, docCap, pathCap int) *DB {
 	return &DB{
 		backend: backend,
 		cost:    cost,
-		gens:    map[string]uint64{},
-		docs:    map[docKey]docEntry{},
-		paths:   map[string]*xpathlite.Path{},
+		docs:    newDocCache(docCap),
+		paths:   newPathCache(pathCap),
 	}
 }
 
@@ -185,26 +221,20 @@ func (db *DB) Stats() Stats {
 // how tests isolate, say, counter-document reads from subscription
 // scans sharing the same database.
 func (db *DB) CollectionStats(collection string) Stats {
-	db.statsMu.Lock()
-	defer db.statsMu.Unlock()
-	if s, ok := db.perCol[collection]; ok {
-		return *s
+	if v, ok := db.perCol.Load(collection); ok {
+		return v.(*colStats).snapshot()
 	}
 	return Stats{}
 }
 
-func (db *DB) count(collection string, field func(*Stats)) {
-	db.statsMu.Lock()
-	if db.perCol == nil {
-		db.perCol = map[string]*Stats{}
+// col returns the collection's atomic counter block, creating it on
+// first touch. Steady state is one lock-free map load.
+func (db *DB) col(collection string) *colStats {
+	if v, ok := db.perCol.Load(collection); ok {
+		return v.(*colStats)
 	}
-	s, ok := db.perCol[collection]
-	if !ok {
-		s = &Stats{}
-		db.perCol[collection] = s
-	}
-	field(s)
-	db.statsMu.Unlock()
+	v, _ := db.perCol.LoadOrStore(collection, &colStats{})
+	return v.(*colStats)
 }
 
 func pause(d time.Duration) {
@@ -213,11 +243,10 @@ func pause(d time.Duration) {
 	}
 }
 
-// bumpGen invalidates every cached document in the collection.
-func (db *DB) bumpGen(collection string) {
-	db.cacheMu.Lock()
-	db.gens[collection]++
-	db.cacheMu.Unlock()
+// invalidate drops the single document's cached parse. Writes call it
+// after the backend accepted the mutation.
+func (db *DB) invalidate(collection, id string) {
+	db.docs.bump(docKey{collection, id})
 }
 
 // loadDoc returns the parsed document, from the cache when its
@@ -226,39 +255,24 @@ func (db *DB) bumpGen(collection string) {
 // before handing it out.
 func (db *DB) loadDoc(collection, id string) (*xmlutil.Element, bool, error) {
 	key := docKey{collection, id}
-	db.cacheMu.Lock()
-	gen := db.gens[collection]
-	if e, ok := db.docs[key]; ok && e.gen == gen {
-		db.cacheMu.Unlock()
-		return e.doc, true, nil
+	doc, gen, epoch, hit := db.docs.lookup(key)
+	if hit {
+		return doc, true, nil
 	}
-	db.cacheMu.Unlock()
 
 	raw, ok, err := db.backend.Get(collection, id)
 	if err != nil || !ok {
 		return nil, ok, err
 	}
-	doc, err := xmlutil.Parse(raw)
+	doc, err = xmlutil.Parse(raw)
 	if err != nil {
 		return nil, true, fmt.Errorf("xmldb: corrupt document %s/%s: %w", collection, id, err)
 	}
 	db.parses.Add(1)
 	parsesTotal.Inc()
-	db.count(collection, func(s *Stats) { s.Parses++ })
+	db.col(collection).parses.Add(1)
 
-	db.cacheMu.Lock()
-	// Cache only if no write raced the parse; a bumped generation means
-	// these bytes may already be stale.
-	if db.gens[collection] == gen {
-		if len(db.docs) >= docCacheCap {
-			for k := range db.docs { // arbitrary eviction; cap is the point
-				delete(db.docs, k)
-				break
-			}
-		}
-		db.docs[key] = docEntry{gen: gen, doc: doc}
-	}
-	db.cacheMu.Unlock()
+	db.docs.fill(key, gen, epoch, doc)
 	return doc, true, nil
 }
 
@@ -266,25 +280,14 @@ func (db *DB) loadDoc(collection, id string) (*xmlutil.Element, bool, error) {
 // xpathlite.Path is immutable after Compile, so one compiled path is
 // safely shared across concurrent queries.
 func (db *DB) compile(expr string) (*xpathlite.Path, error) {
-	db.cacheMu.Lock()
-	if p, ok := db.paths[expr]; ok {
-		db.cacheMu.Unlock()
+	if p, ok := db.paths.lookup(expr); ok {
 		return p, nil
 	}
-	db.cacheMu.Unlock()
 	p, err := xpathlite.Compile(expr)
 	if err != nil {
 		return nil, err
 	}
-	db.cacheMu.Lock()
-	if len(db.paths) >= pathCacheCap {
-		for k := range db.paths {
-			delete(db.paths, k)
-			break
-		}
-	}
-	db.paths[expr] = p
-	db.cacheMu.Unlock()
+	db.paths.fill(expr, p)
 	return p, nil
 }
 
@@ -294,7 +297,7 @@ func (db *DB) Create(collection, id string, doc *xmlutil.Element) error {
 	pause(db.cost.Create)
 	db.creates.Add(1)
 	opCreates.Inc()
-	db.count(collection, func(s *Stats) { s.Creates++ })
+	db.col(collection).creates.Add(1)
 	stored, err := db.backend.CondPut(collection, id, doc.Marshal(), false)
 	if err != nil {
 		return err
@@ -302,7 +305,7 @@ func (db *DB) Create(collection, id string, doc *xmlutil.Element) error {
 	if !stored {
 		return fmt.Errorf("%w: %s/%s", ErrExists, collection, id)
 	}
-	db.bumpGen(collection)
+	db.invalidate(collection, id)
 	return nil
 }
 
@@ -311,7 +314,7 @@ func (db *DB) Get(collection, id string) (*xmlutil.Element, error) {
 	pause(db.cost.Read)
 	db.reads.Add(1)
 	opReads.Inc()
-	db.count(collection, func(s *Stats) { s.Reads++ })
+	db.col(collection).reads.Add(1)
 	doc, ok, err := db.loadDoc(collection, id)
 	if err != nil {
 		return nil, err
@@ -327,7 +330,7 @@ func (db *DB) Update(collection, id string, doc *xmlutil.Element) error {
 	pause(db.cost.Update)
 	db.updates.Add(1)
 	opUpdates.Inc()
-	db.count(collection, func(s *Stats) { s.Updates++ })
+	db.col(collection).updates.Add(1)
 	stored, err := db.backend.CondPut(collection, id, doc.Marshal(), true)
 	if err != nil {
 		return err
@@ -335,7 +338,7 @@ func (db *DB) Update(collection, id string, doc *xmlutil.Element) error {
 	if !stored {
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, collection, id)
 	}
-	db.bumpGen(collection)
+	db.invalidate(collection, id)
 	return nil
 }
 
@@ -347,11 +350,11 @@ func (db *DB) Put(collection, id string, doc *xmlutil.Element) error {
 	pause(db.cost.Update)
 	db.updates.Add(1)
 	opUpdates.Inc()
-	db.count(collection, func(s *Stats) { s.Updates++ })
+	db.col(collection).updates.Add(1)
 	if err := db.backend.Put(collection, id, doc.Marshal()); err != nil {
 		return err
 	}
-	db.bumpGen(collection)
+	db.invalidate(collection, id)
 	return nil
 }
 
@@ -360,7 +363,7 @@ func (db *DB) Delete(collection, id string) error {
 	pause(db.cost.Delete)
 	db.deletes.Add(1)
 	opDeletes.Inc()
-	db.count(collection, func(s *Stats) { s.Deletes++ })
+	db.col(collection).deletes.Add(1)
 	removed, err := db.backend.CondDelete(collection, id)
 	if err != nil {
 		return err
@@ -368,18 +371,19 @@ func (db *DB) Delete(collection, id string) error {
 	if !removed {
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, collection, id)
 	}
-	db.bumpGen(collection)
+	db.invalidate(collection, id)
 	return nil
 }
 
 // Exists reports document presence without parsing (counts as a read).
+// Backends implementing Haser answer without copying the document
+// bytes; others fall back to a full Get.
 func (db *DB) Exists(collection, id string) (bool, error) {
 	pause(db.cost.Read)
 	db.reads.Add(1)
 	opReads.Inc()
-	db.count(collection, func(s *Stats) { s.Reads++ })
-	_, ok, err := db.backend.Get(collection, id)
-	return ok, err
+	db.col(collection).reads.Add(1)
+	return backendHas(db.backend, collection, id)
 }
 
 // IDs lists document ids in a collection, sorted.
@@ -387,7 +391,7 @@ func (db *DB) IDs(collection string) ([]string, error) {
 	pause(db.cost.Read)
 	db.reads.Add(1)
 	opReads.Inc()
-	db.count(collection, func(s *Stats) { s.Reads++ })
+	db.col(collection).reads.Add(1)
 	return db.backend.IDs(collection)
 }
 
@@ -397,9 +401,22 @@ type QueryHit struct {
 	Matches []*xmlutil.Element
 }
 
+// queryScanMinDocs is the collection size below which the scan stays
+// on the caller's goroutine: spinning up workers for a handful of
+// documents costs more than it saves.
+const queryScanMinDocs = 8
+
+// queryScanMaxWidth caps scan workers per query; the scan is
+// parse-bound, so more workers than cores only adds scheduling churn.
+const queryScanMaxWidth = 16
+
 // Query evaluates an XPath-lite expression against every document in
 // the collection, returning hits (documents with ≥1 selected element)
-// in id order.
+// in id order. Large collections are scanned by a bounded worker pool
+// (loads and matches run concurrently); results are assembled in id
+// order and Stats/CostModel semantics are identical to a serial scan —
+// the modeled Xindice latency is charged once per query, never per
+// worker.
 func (db *DB) Query(collection, expr string) ([]QueryHit, error) {
 	// Compile before charging the modeled latency or counting the
 	// operation: a malformed expression never reaches the database in
@@ -411,32 +428,68 @@ func (db *DB) Query(collection, expr string) ([]QueryHit, error) {
 	pause(db.cost.Query)
 	db.queries.Add(1)
 	opQueries.Inc()
-	db.count(collection, func(s *Stats) { s.Queries++ })
+	db.col(collection).queries.Add(1)
 	ids, err := db.backend.IDs(collection)
 	if err != nil {
 		return nil, err
 	}
-	var hits []QueryHit
-	for _, id := range ids {
-		doc, ok, err := db.loadDoc(collection, id)
+	type slot struct {
+		matches []*xmlutil.Element
+		err     error
+	}
+	slots := make([]slot, len(ids))
+	var failed atomic.Bool
+	scan := func(i int) {
+		if failed.Load() {
+			return // some document already failed; result is discarded
+		}
+		doc, ok, err := db.loadDoc(collection, ids[i])
 		if err != nil {
-			return nil, err
+			slots[i].err = err
+			failed.Store(true)
+			return
 		}
 		if !ok {
-			continue // deleted concurrently
+			return // deleted concurrently
 		}
-		var matched []*xmlutil.Element
 		for _, n := range path.Select(doc) {
 			if n.Kind == xpathlite.KindElement {
 				// Clone: the match points into the cached master tree.
-				matched = append(matched, n.El.Clone())
+				slots[i].matches = append(slots[i].matches, n.El.Clone())
 			}
 		}
-		if len(matched) > 0 {
-			hits = append(hits, QueryHit{ID: id, Matches: matched})
+	}
+	if width := queryScanWidth(len(ids)); width > 1 {
+		fanout.Do(len(ids), width, scan)
+	} else {
+		for i := range ids {
+			scan(i)
+		}
+	}
+	var hits []QueryHit
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, slots[i].err
+		}
+		if len(slots[i].matches) > 0 {
+			hits = append(hits, QueryHit{ID: ids[i], Matches: slots[i].matches})
 		}
 	}
 	return hits, nil
+}
+
+// queryScanWidth picks the worker count for an n-document scan: 1
+// (serial, zero goroutines) for small collections or single-core runs,
+// otherwise the core count capped at queryScanMaxWidth.
+func queryScanWidth(n int) int {
+	if n < queryScanMinDocs {
+		return 1
+	}
+	width := runtime.GOMAXPROCS(0)
+	if width > queryScanMaxWidth {
+		width = queryScanMaxWidth
+	}
+	return width
 }
 
 // MemoryBackend is a concurrency-safe in-memory byte store.
@@ -476,6 +529,14 @@ func (m *MemoryBackend) Get(collection, id string) ([]byte, bool, error) {
 	cp := make([]byte, len(doc))
 	copy(cp, doc)
 	return cp, true, nil
+}
+
+// Has implements Haser: presence without copying the document bytes.
+func (m *MemoryBackend) Has(collection, id string) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.data[collection][id]
+	return ok, nil
 }
 
 // CondPut implements Backend: one lock acquisition covers the

@@ -18,9 +18,15 @@ func backends(t *testing.T) map[string]Backend {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sfb, err := NewShardedFileBackend(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]Backend{
-		"memory": NewMemoryBackend(),
-		"file":   fb,
+		"memory":       NewMemoryBackend(),
+		"file":         fb,
+		"sharded-mem":  NewShardedMemory(4),
+		"sharded-file": sfb,
 	}
 }
 
