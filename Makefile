@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-delivery bench-smoke bench bench-delivery bench-storage fuzz-smoke obs-smoke check ci
+.PHONY: all build vet lint test race race-delivery bench-smoke bench bench-delivery bench-storage bench-load soak-smoke fuzz-smoke obs-smoke check ci
 
 all: build
 
@@ -60,6 +60,20 @@ bench-delivery:
 bench-storage:
 	$(GO) test -run NONE -bench 'ParallelMixed|QueryScan|GetHot' -benchmem ./internal/xmldb \
 		| $(GO) run ./cmd/benchjson > BENCH_storage.json
+
+# Open-loop load harness: sustained-arrival-rate percentiles per
+# operation mix on both stacks (see cmd/loadgen), emitted as
+# machine-readable JSON. Advisory in CI like the other timing runs.
+bench-load:
+	$(GO) run ./cmd/loadgen -stack both -mix fig2,pubsub1k -duration 5s \
+		| $(GO) run ./cmd/benchjson > BENCH_load.json
+
+# Short churn soak on both stacks: scripted fault injection (flaky,
+# slow, and killed subscribers with resurrection) under sustained
+# publishing, asserting the exit invariants — quiesced delivery,
+# exactly-once eviction ledger, bounded caches, no goroutine leak.
+soak-smoke:
+	$(GO) run ./cmd/loadgen -soak -stack both -duration 10s
 
 # Short fuzz pass over the hand-rolled XML parser: it sits on the
 # network boundary and must never panic on adversarial bytes.

@@ -1,0 +1,141 @@
+// Command loadgen is the open-loop load harness: it drives either
+// stack at a fixed arrival rate with a configurable operation mix,
+// measures per-operation p50/p99/p999 from each request's *scheduled*
+// arrival (so queueing under saturation is charged to the service, not
+// silently absorbed by a stalled client — the coordinated-omission
+// fix), and emits `go test -bench`-shaped text that cmd/benchjson
+// turns into BENCH_load.json.
+//
+// Two families of mixes exist: fig2/fig3/fig4 blend the five
+// hello-counter operations under the corresponding figure's security
+// mode, and pubsub1k/pubsub10k publish over 1k/10k-subscriber
+// populations. -soak replaces the measurement run with a
+// fault-injection churn soak that asserts the delivery layer's exit
+// invariants (see soak.go).
+//
+// Usage:
+//
+//	loadgen -stack both -mix fig2,pubsub1k -duration 10s | benchjson > BENCH_load.json
+//	loadgen -soak -stack both -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"altstacks/internal/core"
+	"altstacks/internal/obs"
+	"altstacks/internal/xmldb"
+)
+
+func main() {
+	var (
+		stackFlag = flag.String("stack", "both", "stack to drive: wsrf, wst, or both")
+		mixFlag   = flag.String("mix", "fig2,pubsub1k", "comma-separated mixes: fig2, fig3, fig4, pubsub1k, pubsub10k")
+		rateFlag  = flag.Float64("rate", 0, "arrival rate in ops/s (0 = per-mix default)")
+		durFlag   = flag.Duration("duration", 10*time.Second, "measured duration per stack × mix (per stack in -soak)")
+		subsFlag  = flag.Int("subs", 0, "override pubsub subscription count (0 = mix default)")
+		sinksFlag = flag.Int("sinks", 32, "distinct consumer endpoints for pubsub and soak runs")
+		seedFlag  = flag.Uint64("seed", 1, "seed for op draws and soak churn (reproducible runs)")
+		inflight  = flag.Int("maxinflight", 256, "concurrent executors; the dispatch queue beyond them sheds")
+		costFlag  = flag.String("dbcost", "zero", "database cost model: zero or xindice")
+		soakFlag  = flag.Bool("soak", false, "run the churn soak instead of a measurement run")
+		soakRate  = flag.Float64("soakrate", 15, "publish arrival rate during -soak")
+	)
+	flag.Parse()
+
+	stacks, err := parseStacks(*stackFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cost := xmldb.CostModel{}
+	switch *costFlag {
+	case "zero":
+	case "xindice":
+		cost = xmldb.XindiceProfile
+	default:
+		fatal(fmt.Errorf("loadgen: unknown -dbcost %q", *costFlag))
+	}
+
+	// Stage histograms only record when the obs layer is on; the whole
+	// point of the harness is reading them back.
+	obs.Enable()
+
+	if *soakFlag {
+		failed := false
+		for _, stack := range stacks {
+			if err := runSoak(stack, *durFlag, *soakRate, *sinksFlag, *seedFlag, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: soak %s: FAIL: %v\n", stackShort(string(stack)), err)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var mixes []mixSpec
+	for _, name := range strings.Split(*mixFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, ok := mixByName(name)
+		if !ok {
+			fatal(fmt.Errorf("loadgen: unknown mix %q", name))
+		}
+		mixes = append(mixes, m)
+	}
+	if len(mixes) == 0 {
+		fatal(fmt.Errorf("loadgen: no mixes selected"))
+	}
+
+	writeHeader(os.Stdout)
+	for _, stack := range stacks {
+		for _, mix := range mixes {
+			rate := *rateFlag
+			if rate <= 0 {
+				rate = mix.defaultRate
+			}
+			fmt.Fprintf(os.Stderr, "loadgen: %s/%s: deploying\n", stackShort(string(stack)), mix.name)
+			wl, err := buildWorkload(stack, mix, cost, *sinksFlag, *subsFlag)
+			if err != nil {
+				fatal(err)
+			}
+			// One untimed pass per op warms connection pools, TLS
+			// sessions, and caches out of the measured window.
+			for _, op := range wl.ops {
+				op.run() //nolint:errcheck
+			}
+			fmt.Fprintf(os.Stderr, "loadgen: %s/%s: %v at %g ops/s\n",
+				stackShort(string(stack)), mix.name, *durFlag, rate)
+			before := snapshotStages()
+			res := runOpenLoop(wl.ops, rate, *durFlag, *inflight, *seedFlag)
+			after := snapshotStages()
+			writeOpLines(os.Stdout, string(stack), mix.name, rate, wl.ops, res)
+			writeStageLines(os.Stdout, string(stack), mix.name, rate, before, after)
+			wl.close()
+		}
+	}
+}
+
+func parseStacks(s string) ([]core.Stack, error) {
+	switch strings.ToLower(s) {
+	case "wsrf":
+		return []core.Stack{core.StackWSRF}, nil
+	case "wst":
+		return []core.Stack{core.StackWST}, nil
+	case "both":
+		return []core.Stack{core.StackWSRF, core.StackWST}, nil
+	}
+	return nil, fmt.Errorf("loadgen: unknown -stack %q (want wsrf, wst, or both)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

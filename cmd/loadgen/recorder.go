@@ -1,0 +1,111 @@
+package main
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The latency recorder is a log-linear histogram in nanoseconds, the
+// HdrHistogram shape: 2^recSubBits linear buckets up to 2^recSubBits
+// ns, then recHalf sub-buckets per power of two above that. Relative
+// error is bounded by 1/recHalf (~6%) at every magnitude, which is
+// plenty for p50/p99/p999 on operations spanning microseconds to
+// seconds, and recording is one atomic add — it never perturbs the
+// load it measures.
+const (
+	recSubBits  = 5
+	recSubCount = 1 << recSubBits // linear buckets in group 0
+	recHalf     = recSubCount / 2 // sub-buckets per log group
+	recGroups   = 44              // top group covers ~2^48 ns (~3 days)
+	recBuckets  = recSubCount + (recGroups-1)*recHalf
+)
+
+// recorder accumulates one operation's latency distribution plus its
+// error and shed counts. All fields are safe for concurrent use.
+type recorder struct {
+	counts [recBuckets]atomic.Int64
+	count  atomic.Int64
+	// errs counts operations that returned an error (their latency is
+	// not recorded: a fast failure would flatter the distribution).
+	errs atomic.Int64
+	// shed counts arrivals dropped because the dispatch queue was full —
+	// the open-loop overload signal.
+	shed  atomic.Int64
+	maxNs atomic.Int64
+}
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < recSubCount {
+		return int(v)
+	}
+	g := bits.Len64(uint64(v)) - recSubBits
+	if g >= recGroups {
+		return recBuckets - 1
+	}
+	return recSubCount + (g-1)*recHalf + int(v>>uint(g)) - recHalf
+}
+
+// bucketUpper is the inclusive upper bound of a bucket, the value a
+// quantile landing in it reports (conservative: true quantile ≤ it).
+func bucketUpper(i int) int64 {
+	if i < recSubCount {
+		return int64(i)
+	}
+	g := (i-recSubCount)/recHalf + 1
+	sub := (i-recSubCount)%recHalf + recHalf
+	return (int64(sub)+1)<<uint(g) - 1
+}
+
+// record files one successful operation's latency.
+func (r *recorder) record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	r.counts[bucketIndex(ns)].Add(1)
+	r.count.Add(1)
+	for {
+		cur := r.maxNs.Load()
+		if ns <= cur || r.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// quantile reports the q-quantile in nanoseconds (0 on an empty
+// recorder). Safe to call concurrently with record; the answer is a
+// point-in-time estimate.
+func (r *recorder) quantile(q float64) int64 {
+	total := r.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < recBuckets; i++ {
+		cum += r.counts[i].Load()
+		if cum >= rank {
+			// Clamp to the observed max: the bucket's upper bound can
+			// exceed any value actually recorded in it.
+			if max := r.maxNs.Load(); bucketUpper(i) > max {
+				return max
+			}
+			return bucketUpper(i)
+		}
+	}
+	return r.maxNs.Load()
+}

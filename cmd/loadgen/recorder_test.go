@@ -1,0 +1,113 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip pins the log-linear bucket math: every value
+// lands in a bucket whose upper bound is ≥ the value and within the
+// histogram's relative-error guarantee (1/recHalf above the linear
+// range).
+func TestBucketRoundTrip(t *testing.T) {
+	values := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 12345,
+		1e6, 1e9, 27262975, 1 << 40, math.MaxInt64}
+	for _, v := range values {
+		i := bucketIndex(v)
+		up := bucketUpper(i)
+		if up < v && i != recBuckets-1 {
+			t.Fatalf("bucketUpper(bucketIndex(%d)) = %d, below the value", v, up)
+		}
+		if v >= recSubCount && i != recBuckets-1 {
+			if rel := float64(up-v) / float64(v); rel > 1.0/float64(recHalf) {
+				t.Fatalf("value %d: bound %d is %.3f relative error, want ≤ %.3f",
+					v, up, rel, 1.0/float64(recHalf))
+			}
+		}
+	}
+	// Indexes are monotone in the value.
+	prev := -1
+	for _, v := range []int64{0, 5, 31, 32, 50, 64, 200, 1e4, 1e7, 1e10} {
+		if i := bucketIndex(v); i < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		} else {
+			prev = i
+		}
+	}
+}
+
+// TestRecorderQuantiles checks p50/p99/max on a known distribution:
+// 1000 samples of 1ms and 10 of 100ms.
+func TestRecorderQuantiles(t *testing.T) {
+	var r recorder
+	for i := 0; i < 1000; i++ {
+		r.record(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		r.record(100 * time.Millisecond)
+	}
+	if p50 := r.quantile(0.50); p50 < 900_000 || p50 > 1_100_000 {
+		t.Fatalf("p50 = %dns, want ~1ms", p50)
+	}
+	// 990th of 1010 ranks inside the 1ms mass; p999 reaches the tail.
+	if p := r.quantile(0.999); p < 90_000_000 {
+		t.Fatalf("p999 = %dns, want ~100ms", p)
+	}
+	if max := r.maxNs.Load(); max != int64(100*time.Millisecond) {
+		t.Fatalf("max = %d, want 100ms", max)
+	}
+	// The clamp: a quantile can never exceed the observed max.
+	if p := r.quantile(1.0); p > r.maxNs.Load() {
+		t.Fatalf("p100 = %d exceeds max %d", p, r.maxNs.Load())
+	}
+	if q := (&recorder{}).quantile(0.5); q != 0 {
+		t.Fatalf("empty recorder quantile = %d, want 0", q)
+	}
+}
+
+// TestRunOpenLoopCoordinatedOmission pins the harness's defining
+// property: when the service stalls, latency is measured from the
+// scheduled arrival, so queued requests report the queue delay a
+// closed-loop harness would omit.
+func TestRunOpenLoopCoordinatedOmission(t *testing.T) {
+	op := &loadOp{name: "stall", weight: 1, run: func() error {
+		time.Sleep(20 * time.Millisecond)
+		return nil
+	}}
+	// One worker at 100/s arrivals against a 20ms service time: the
+	// queue grows, and late ops must be charged their wait.
+	res := runOpenLoop([]*loadOp{op}, 100, 300*time.Millisecond, 1, 7)
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	// With ~30 scheduled arrivals and 20ms service, the last completion
+	// waited roughly (completed-1)*20ms beyond its arrival; even p50
+	// must far exceed the 20ms service time if queue delay is counted.
+	if p50 := op.rec.quantile(0.50); p50 < int64(40*time.Millisecond) {
+		t.Fatalf("p50 = %v, want ≫ 20ms service time (queue delay omitted?)",
+			time.Duration(p50))
+	}
+}
+
+// TestRunOpenLoopShedsWhenSaturated pins the overload behavior: a
+// stalled worker pool with a full queue sheds arrivals rather than
+// queueing without bound.
+func TestRunOpenLoopShedsWhenSaturated(t *testing.T) {
+	block := make(chan struct{})
+	op := &loadOp{name: "wedge", weight: 1, run: func() error {
+		<-block
+		return nil
+	}}
+	done := make(chan runResult, 1)
+	go func() {
+		// 1 worker, queue cap 4+1024; 10k/s for 300ms ≈ 3000 arrivals.
+		done <- runOpenLoop([]*loadOp{op}, 10000, 300*time.Millisecond, 1, 7)
+	}()
+	time.Sleep(400 * time.Millisecond)
+	close(block)
+	res := <-done
+	if op.rec.shed.Load() == 0 {
+		t.Fatalf("no arrivals shed at 10k/s against a wedged worker (scheduled %d)", res.Scheduled)
+	}
+}

@@ -1,0 +1,207 @@
+package fanout
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// These tests pin the Coalescer's timer/flusher interleavings — the
+// windows a sustained-load run hits constantly and a sequential unit
+// test never does. Each one asserts the only two properties the
+// delivery paths rely on: no queued item is lost, and no item is
+// handed to Flush twice. Run them under -race (make race does).
+
+// TestCoalescerAddDuringFlush pins the Add-while-Flush-running window:
+// items queued while the flusher is inside Flush must ride the next
+// pass, exactly once each, in Add order.
+func TestCoalescerAddDuringFlush(t *testing.T) {
+	firstEntered := make(chan struct{})
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var got []int
+	first := true
+	c := &Coalescer[int]{
+		MaxBatch: 4,
+		Flush: func(batch []int) {
+			if first {
+				first = false
+				close(firstEntered)
+				<-release // hold the flusher inside Flush
+			}
+			mu.Lock()
+			got = append(got, batch...)
+			mu.Unlock()
+		},
+	}
+	c.Add(0)
+	<-firstEntered
+	// The flusher is blocked inside Flush with the lock released; these
+	// must queue, not spawn a second flusher, not vanish.
+	for i := 1; i <= 10; i++ {
+		c.Add(i)
+	}
+	close(release)
+	c.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 11 {
+		t.Fatalf("flushed %d items, want 11: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d: got %v", i, got)
+		}
+	}
+}
+
+// TestCoalescerDrainRacesTimerFire hammers the Drain-vs-timerFire
+// window: an item is queued with a tiny MaxBatchDelay, and Drain runs
+// concurrently with the firing timer. Whichever side starts the
+// flusher, the item must flush exactly once before Drain returns.
+func TestCoalescerDrainRacesTimerFire(t *testing.T) {
+	const rounds = 500
+	var mu sync.Mutex
+	counts := map[int]int{}
+	c := &Coalescer[int]{
+		MaxBatch:      8,
+		MaxBatchDelay: time.Microsecond, // fires ~immediately, racing Drain
+		Flush: func(batch []int) {
+			mu.Lock()
+			for _, v := range batch {
+				counts[v]++
+			}
+			mu.Unlock()
+		},
+	}
+	for i := 0; i < rounds; i++ {
+		c.Add(i)
+		c.Drain() // Drain must observe the item flushed, not strand it
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < rounds; i++ {
+		if counts[i] != 1 {
+			t.Fatalf("item %d flushed %d times, want exactly once", i, counts[i])
+		}
+	}
+}
+
+// TestCoalescerMaxBatchFillWhileTimerArmed pins the batch-full path
+// with a delay timer already armed: the fill must flush immediately
+// (not wait out MaxBatchDelay), cancel the armed timer, and the late
+// timer callback must not re-flush or lose anything.
+func TestCoalescerMaxBatchFillWhileTimerArmed(t *testing.T) {
+	const batch = 8
+	flushed := make(chan []int, 4)
+	c := &Coalescer[int]{
+		MaxBatch:      batch,
+		MaxBatchDelay: time.Hour, // the timer alone would never fire in time
+		Flush: func(b []int) {
+			cp := make([]int, len(b))
+			copy(cp, b)
+			flushed <- cp
+		},
+	}
+	c.Add(0) // arms the delay timer
+	for i := 1; i < batch; i++ {
+		c.Add(i) // the batch-th Add fills MaxBatch and must flush now
+	}
+	select {
+	case got := <-flushed:
+		if len(got) != batch {
+			t.Fatalf("flushed %d items, want the full batch of %d", len(got), batch)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("order broken: %v", got)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("full batch never flushed; stuck behind the armed delay timer")
+	}
+	c.Drain()
+	select {
+	case extra := <-flushed:
+		t.Fatalf("stale timer double-flushed: %v", extra)
+	default:
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("%d items stranded after Drain", c.Pending())
+	}
+	// The coalescer must still be live for the next forming batch.
+	c.Add(99)
+	c.Drain()
+	select {
+	case got := <-flushed:
+		if len(got) != 1 || got[0] != 99 {
+			t.Fatalf("post-fill batch = %v, want [99]", got)
+		}
+	default:
+		t.Fatal("item added after the fill never flushed")
+	}
+}
+
+// TestCoalescerConcurrentAddersWithDrains is the broadband
+// interleaving check: many adders racing periodic Drains, asserting
+// global exactly-once delivery and per-adder FIFO order.
+func TestCoalescerConcurrentAddersWithDrains(t *testing.T) {
+	const (
+		adders  = 8
+		perAdd  = 200
+		drained = 20
+	)
+	var mu sync.Mutex
+	seen := map[int]int{}
+	lastPer := map[int]int{} // adder -> last sequence seen, for FIFO check
+	c := &Coalescer[int]{
+		MaxBatch:      16,
+		MaxBatchDelay: 100 * time.Microsecond,
+		Flush: func(batch []int) {
+			mu.Lock()
+			for _, v := range batch {
+				seen[v]++
+				a, seq := v/perAdd, v%perAdd
+				if prev, ok := lastPer[a]; ok && seq <= prev {
+					// Report once; Fatalf from a non-test goroutine is unsafe.
+					seen[-1]++
+				}
+				lastPer[a] = seq
+			}
+			mu.Unlock()
+		},
+	}
+	var wg sync.WaitGroup
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < perAdd; i++ {
+				c.Add(a*perAdd + i)
+			}
+		}(a)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < drained; i++ {
+			c.Drain()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-done
+	c.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if seen[-1] != 0 {
+		t.Fatalf("per-adder FIFO order violated %d times", seen[-1])
+	}
+	for a := 0; a < adders; a++ {
+		for i := 0; i < perAdd; i++ {
+			if n := seen[a*perAdd+i]; n != 1 {
+				t.Fatalf("item %d/%d flushed %d times, want exactly once", a, i, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Scripted churn: a deterministic, seeded schedule of endpoint
+// misbehavior layered over an Injector. Where a Plan scripts one
+// endpoint's faults, a Churn scripts a population's — each step it
+// makes some endpoints flaky, some slow, and kills some outright,
+// resurrecting the dead after a configured number of steps. The soak
+// mode of cmd/loadgen runs one of these under sustained load and then
+// asserts the delivery layer's invariants (exactly-once eviction, no
+// leaks) held through the weather.
+package faultinject
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// ChurnProfile parameterizes one churn run. Counts are per step;
+// victims are drawn with a PRNG seeded from Seed, so two runs with the
+// same profile over the same endpoint list misbehave identically.
+type ChurnProfile struct {
+	// Interval is the step cadence when driven by Start; Step can also
+	// be called directly (tests do).
+	Interval time.Duration
+	// Seed seeds victim selection. Zero is a valid (fixed) seed.
+	Seed uint64
+	// Flaky endpoints per step: each gets Plan{FailFirst: FlakyFailures},
+	// a consumer that errors a few times and then recovers.
+	Flaky         int
+	FlakyFailures int
+	// Slow endpoints per step: each gets Plan{Delay: SlowDelay}, a
+	// consumer that answers but drags the fan-out tail.
+	Slow      int
+	SlowDelay time.Duration
+	// Kill endpoints per step: each gets Plan{FailAll: true} — dead to
+	// every call — for DeadSteps steps, then is resurrected (its plan
+	// cleared and the OnResurrect hook invoked).
+	Kill      int
+	DeadSteps int
+}
+
+// ChurnStats counts what a churn run did to its population.
+type ChurnStats struct {
+	Steps       int
+	Flaked      int
+	Slowed      int
+	Killed      int
+	Resurrected int
+}
+
+// Churn drives a ChurnProfile over an endpoint population. Create
+// with NewChurn; drive with Start/Stop (wall clock) or Step (manual).
+type Churn struct {
+	in   *Injector
+	prof ChurnProfile
+	// OnResurrect, when set, runs after a dead endpoint's plan is
+	// cleared — the hook where a harness re-subscribes a consumer whose
+	// subscription the producer evicted while the endpoint was dead.
+	OnResurrect func(endpoint string)
+
+	mu        sync.Mutex
+	endpoints []string
+	rng       *rand.Rand
+	deadAt    map[string]int // endpoint -> step index it was killed at
+	stats     ChurnStats
+
+	stopOnce sync.Once
+	started  bool
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewChurn builds a churn run over the endpoints. The endpoint slice
+// is copied; addresses are normalized with Key.
+func NewChurn(in *Injector, endpoints []string, prof ChurnProfile) *Churn {
+	eps := make([]string, len(endpoints))
+	for i, e := range endpoints {
+		eps[i] = Key(e)
+	}
+	return &Churn{
+		in:        in,
+		prof:      prof,
+		endpoints: eps,
+		rng:       rand.New(rand.NewPCG(prof.Seed, prof.Seed^0x9e3779b97f4a7c15)),
+		deadAt:    map[string]int{},
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Step runs one churn step: resurrections due this step first, then
+// fresh kills, then flaky and slow assignments among the living.
+func (c *Churn) Step() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	step := c.stats.Steps
+	c.stats.Steps++
+
+	// Resurrect endpoints whose dead window has elapsed.
+	var raised []string
+	for ep, killedAt := range c.deadAt {
+		if step-killedAt >= c.prof.DeadSteps {
+			raised = append(raised, ep)
+		}
+	}
+	for _, ep := range raised {
+		delete(c.deadAt, ep)
+		c.in.Clear(ep)
+		c.stats.Resurrected++
+		if c.OnResurrect != nil {
+			c.OnResurrect(ep)
+		}
+	}
+
+	for i := 0; i < c.prof.Kill; i++ {
+		ep, ok := c.pickAliveLocked()
+		if !ok {
+			break
+		}
+		c.in.Set(ep, Plan{FailAll: true})
+		c.deadAt[ep] = step
+		c.stats.Killed++
+	}
+	for i := 0; i < c.prof.Flaky; i++ {
+		ep, ok := c.pickAliveLocked()
+		if !ok {
+			break
+		}
+		c.in.Set(ep, Plan{FailFirst: c.prof.FlakyFailures})
+		c.stats.Flaked++
+	}
+	for i := 0; i < c.prof.Slow; i++ {
+		ep, ok := c.pickAliveLocked()
+		if !ok {
+			break
+		}
+		c.in.Set(ep, Plan{Delay: c.prof.SlowDelay})
+		c.stats.Slowed++
+	}
+}
+
+// pickAliveLocked draws a uniformly random endpoint that is not
+// currently dead. Callers hold c.mu.
+func (c *Churn) pickAliveLocked() (string, bool) {
+	alive := len(c.endpoints) - len(c.deadAt)
+	if alive <= 0 {
+		return "", false
+	}
+	// Draw until a living endpoint comes up; bounded because at least
+	// one endpoint is alive and the draw is uniform.
+	for {
+		ep := c.endpoints[c.rng.IntN(len(c.endpoints))]
+		if _, dead := c.deadAt[ep]; !dead {
+			return ep, true
+		}
+	}
+}
+
+// Start drives Step on the profile's Interval until Stop.
+func (c *Churn) Start() {
+	c.mu.Lock()
+	c.started = true
+	c.mu.Unlock()
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.prof.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.Step()
+			}
+		}
+	}()
+}
+
+// Stop halts the step loop and heals the population: every scheduled
+// plan is cleared and still-dead endpoints are resurrected (their
+// OnResurrect hook runs), so the caller observes a quiesced, fully
+// live population when Stop returns. Returns the final stats.
+func (c *Churn) Stop() ChurnStats {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		c.mu.Lock()
+		started := c.started
+		c.mu.Unlock()
+		if started {
+			<-c.done
+		}
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ep := range c.endpoints {
+		c.in.Clear(ep)
+	}
+	var raised []string
+	for ep := range c.deadAt {
+		raised = append(raised, ep)
+	}
+	for _, ep := range raised {
+		delete(c.deadAt, ep)
+		c.stats.Resurrected++
+		if c.OnResurrect != nil {
+			c.OnResurrect(ep)
+		}
+	}
+	return c.stats
+}
+
+// Stats returns a copy of the current counters.
+func (c *Churn) Stats() ChurnStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,163 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func churnEndpoints(n int) []string {
+	eps := make([]string, n)
+	for i := range eps {
+		eps[i] = fmt.Sprintf("127.0.0.1:%d/sink", 10000+i)
+	}
+	return eps
+}
+
+// TestChurnKillAndResurrect pins the dead-window lifecycle: a killed
+// endpoint fails every call while dead, is resurrected after DeadSteps
+// steps (plan cleared, hook invoked), and passes through again.
+func TestChurnKillAndResurrect(t *testing.T) {
+	in := New()
+	eps := churnEndpoints(4)
+	var raised []string
+	ch := NewChurn(in, eps, ChurnProfile{Seed: 7, Kill: 1, DeadSteps: 2})
+	ch.OnResurrect = func(ep string) { raised = append(raised, ep) }
+
+	ch.Step() // step 0: kills one endpoint
+	st := ch.Stats()
+	if st.Killed != 1 {
+		t.Fatalf("Killed = %d, want 1", st.Killed)
+	}
+	// Find the dead endpoint by probing the injector.
+	var dead string
+	for _, ep := range eps {
+		if v, _, _ := in.decide(Key(ep)); v == fail {
+			dead = ep
+		}
+	}
+	if dead == "" {
+		t.Fatal("no endpoint is failing after a kill step")
+	}
+
+	ch.Step() // step 1: dead for 1 step, stays dead (kills another)
+	if v, _, _ := in.decide(Key(dead)); v != fail {
+		t.Fatal("endpoint resurrected before DeadSteps elapsed")
+	}
+	ch.Step() // step 2: dead window (2 steps) elapsed -> resurrected
+	if len(raised) == 0 {
+		t.Fatal("OnResurrect never ran")
+	}
+	found := false
+	for _, ep := range raised {
+		if ep == Key(dead) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("resurrected %v, want to include %s", raised, Key(dead))
+	}
+	if v, _, _ := in.decide(Key(dead)); v != pass {
+		t.Fatal("resurrected endpoint still failing")
+	}
+}
+
+// TestChurnFlakyAndSlowPlans pins the per-step plan shapes: flaky
+// victims fail exactly FlakyFailures calls then pass; slow victims
+// pass with the configured delay.
+func TestChurnFlakyAndSlowPlans(t *testing.T) {
+	in := New()
+	eps := churnEndpoints(2)
+	ch := NewChurn(in, eps[:1], ChurnProfile{Seed: 1, Flaky: 1, FlakyFailures: 2})
+	ch.Step()
+	key := Key(eps[0])
+	for i := 0; i < 2; i++ {
+		if v, _, _ := in.decide(key); v != fail {
+			t.Fatalf("flaky call %d did not fail", i)
+		}
+	}
+	if v, _, _ := in.decide(key); v != pass {
+		t.Fatal("flaky endpoint did not recover after FlakyFailures calls")
+	}
+
+	in2 := New()
+	ch2 := NewChurn(in2, eps[1:], ChurnProfile{Seed: 1, Slow: 1, SlowDelay: 3 * time.Millisecond})
+	ch2.Step()
+	v, delay, _ := in2.decide(Key(eps[1]))
+	if v != pass || delay != 3*time.Millisecond {
+		t.Fatalf("slow plan = (%v, %v), want (pass, 3ms)", v, delay)
+	}
+}
+
+// TestChurnDeterministicUnderSeed pins that two runs with the same
+// seed pick identical victims in identical order — what makes a soak
+// failure reproducible from its logged seed.
+func TestChurnDeterministicUnderSeed(t *testing.T) {
+	eps := churnEndpoints(16)
+	run := func() []string {
+		in := New()
+		ch := NewChurn(in, eps, ChurnProfile{Seed: 42, Kill: 2, DeadSteps: 3, Flaky: 1, FlakyFailures: 1})
+		var order []string
+		ch.OnResurrect = func(ep string) {} // exercise the hook path
+		for i := 0; i < 10; i++ {
+			ch.Step()
+			// Record which endpoints are currently dead, in endpoint order.
+			for _, ep := range eps {
+				if _, d := ch.deadAt[Key(ep)]; d {
+					order = append(order, fmt.Sprintf("%d:%s", i, ep))
+				}
+			}
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestChurnStopHeals pins that Stop clears every plan and resurrects
+// the still-dead, leaving a fully live population.
+func TestChurnStopHeals(t *testing.T) {
+	in := New()
+	eps := churnEndpoints(6)
+	ch := NewChurn(in, eps, ChurnProfile{Seed: 3, Kill: 2, DeadSteps: 100, Slow: 1, SlowDelay: time.Millisecond})
+	resurrected := 0
+	ch.OnResurrect = func(string) { resurrected++ }
+	ch.Step()
+	ch.Step()
+	st := ch.Stop() // never Started; must not hang
+	if st.Killed == 0 {
+		t.Fatal("nothing was killed")
+	}
+	if resurrected != st.Killed {
+		t.Fatalf("Stop resurrected %d of %d killed", resurrected, st.Killed)
+	}
+	for _, ep := range eps {
+		if v, delay, _ := in.decide(Key(ep)); v != pass || delay != 0 {
+			t.Fatalf("endpoint %s not healed after Stop: (%v, %v)", ep, v, delay)
+		}
+	}
+}
+
+// TestChurnStartStopTicker exercises the wall-clock driver under -race.
+func TestChurnStartStopTicker(t *testing.T) {
+	in := New()
+	ch := NewChurn(in, churnEndpoints(8), ChurnProfile{
+		Interval: time.Millisecond, Seed: 9, Kill: 1, DeadSteps: 2, Flaky: 1, FlakyFailures: 1,
+	})
+	ch.Start()
+	time.Sleep(20 * time.Millisecond)
+	st := ch.Stop()
+	if st.Steps == 0 {
+		t.Fatal("ticker never stepped")
+	}
+	if again := ch.Stop(); again.Steps != st.Steps {
+		t.Fatal("second Stop mutated stats")
+	}
+}

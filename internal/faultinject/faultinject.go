@@ -86,6 +86,15 @@ func (in *Injector) Set(addr string, p Plan) {
 	in.eps[Key(addr)] = &endpointState{plan: p}
 }
 
+// Clear removes the endpoint's schedule entirely: subsequent calls
+// pass through (and are counted from zero again). Churn profiles use
+// it to resurrect an endpoint that Set(FailAll) killed.
+func (in *Injector) Clear(addr string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.eps, Key(addr))
+}
+
 // Calls reports how many calls the endpoint has absorbed since its
 // schedule was set (faulted and passed alike).
 func (in *Injector) Calls(addr string) int {

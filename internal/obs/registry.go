@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"strconv"
@@ -229,30 +230,62 @@ func NewValueHistogram(name, labels, help string, bounds []float64) *Histogram {
 	return h
 }
 
-// Observe records one duration when enabled.
+// Observe records one duration when enabled. Negative durations
+// (clock steps, subtraction bugs upstream) are dropped rather than
+// recorded: a negative sample would land in the first bucket and
+// walk _sum backwards, poisoning every later quantile read.
 func (h *Histogram) Observe(d time.Duration) {
-	if !enabled.Load() {
+	if !enabled.Load() || d < 0 {
 		return
 	}
 	sec := d.Seconds()
 	i := sort.SearchFloat64s(h.bounds, sec)
 	h.buckets[i].Add(1)
-	h.sumNanos.Add(d.Nanoseconds())
+	satAdd(&h.sumNanos, d.Nanoseconds())
 	h.count.Add(1)
 }
 
 // ObserveValue records one dimensionless value when enabled. The sum
 // shares the duration path's fixed-point representation (units of
 // 1e-9), so mixed use of Observe and ObserveValue on one histogram
-// still exposes a consistent _sum.
+// still exposes a consistent _sum. Values too large for that
+// representation (v*1e9 past int64 range — cumulative queue depths
+// can get there) saturate instead of wrapping negative; negative and
+// NaN values are dropped.
 func (h *Histogram) ObserveValue(v float64) {
-	if !enabled.Load() {
+	if !enabled.Load() || v < 0 || v != v {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[i].Add(1)
-	h.sumNanos.Add(int64(v * 1e9))
+	satAdd(&h.sumNanos, fixedPointNanos(v))
 	h.count.Add(1)
+}
+
+// fixedPointNanos converts v to the sum's 1e-9 fixed-point unit,
+// saturating at MaxInt64: the float-to-int conversion of an
+// out-of-range value is otherwise unspecified (on amd64 it produces
+// MinInt64, flipping _sum negative in one observation).
+func fixedPointNanos(v float64) int64 {
+	f := v * 1e9
+	if f >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	return int64(f)
+}
+
+// satAdd adds n (>= 0) to a, pinning at MaxInt64 instead of wrapping.
+func satAdd(a *atomic.Int64, n int64) {
+	for {
+		cur := a.Load()
+		next := cur + n
+		if next < cur {
+			next = math.MaxInt64
+		}
+		if a.CompareAndSwap(cur, next) {
+			return
+		}
+	}
 }
 
 // ObserveSince records the time elapsed since t0 as returned by

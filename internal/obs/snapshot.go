@@ -1,0 +1,138 @@
+package obs
+
+// HistogramSnapshot is a point-in-time copy of one histogram's state,
+// safe to hold, diff, and query after the fact. It exists for harness
+// code (cmd/loadgen and tests) that needs percentiles as numbers: the
+// text exposition is for scrapers, and re-parsing it to learn a p99
+// would be both fragile and a lie about what the process itself knows.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds, ascending, in the histogram's
+	// native unit (seconds for latency histograms). The final implicit
+	// bucket is +Inf.
+	Bounds []float64
+	// Counts holds len(Bounds)+1 per-bucket counts (not cumulative);
+	// the last entry is the +Inf bucket.
+	Counts []int64
+	// Sum is the running sum of observed values, in the native unit.
+	Sum float64
+	// Count is the total number of observations across all buckets.
+	Count int64
+}
+
+// Snapshot copies the histogram's current state. Counts are loaded
+// bucket by bucket without a global lock, so a snapshot taken during
+// concurrent observation can be off by the handful of in-flight
+// samples — fine for the before/after diffs it exists for.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // registered bounds are never mutated
+		Counts: make([]int64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = float64(h.sumNanos.Load()) / 1e9
+	return s
+}
+
+// Delta returns the observations present in s but not in prev — the
+// standard pattern for isolating one measurement window from a
+// process-lifetime histogram. prev must be a snapshot of the same
+// histogram (same bounds); a mismatched diff returns s unchanged.
+func (s HistogramSnapshot) Delta(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Counts) != len(s.Counts) {
+		return s
+	}
+	d := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Sum:    s.Sum - prev.Sum,
+		Count:  s.Count - prev.Count,
+	}
+	for i := range s.Counts {
+		d.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	return d
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded
+// distribution by linear interpolation inside the bucket holding the
+// target rank, the same estimate a Prometheus histogram_quantile would
+// give. Observations in the +Inf bucket resolve to the highest finite
+// bound (the estimate cannot exceed what the buckets can say). An
+// empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: report the top finite bound.
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Values returns the current value of every registered counter and
+// gauge, keyed "name" or "name{labels}" exactly as the text exposition
+// renders the sample name. It is the programmatic mirror of
+// WritePrometheus for harnesses that assert on metric deltas
+// (cmd/loadgen's soak invariants) without scraping text. GaugeFunc and
+// Histogram metrics are omitted; read histograms via Snapshot.
+func (r *Registry) Values() map[string]int64 {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	out := make(map[string]int64, len(ms))
+	for _, m := range ms {
+		switch v := m.(type) {
+		case *Counter:
+			out[sampleName(v.name, v.labels, "")] = v.Value()
+		case *Gauge:
+			out[sampleName(v.name, v.labels, "")] = v.Value()
+		}
+	}
+	return out
+}
+
+// Values reads the Default registry; see Registry.Values.
+func Values() map[string]int64 { return Default.Values() }
+
+// Stages returns the six pipeline stage histograms keyed by stage
+// name, so harness code can iterate them without hard-coding the
+// variable list.
+func Stages() map[string]*Histogram {
+	return map[string]*Histogram{
+		"dispatch":  StageDispatch,
+		"verify":    StageVerify,
+		"handler":   StageHandler,
+		"storage":   StageStorage,
+		"serialize": StageSerialize,
+		"deliver":   StageDeliver,
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestHist builds an unregistered histogram so repeated test runs
+// don't trip the Default registry's duplicate-name panic.
+func newTestHist(bounds []float64) *Histogram {
+	return &Histogram{
+		name:    "test_hist",
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+func TestSnapshotQuantile(t *testing.T) {
+	Enable()
+	defer Disable()
+	h := newTestHist([]float64{0.001, 0.01, 0.1, 1})
+	// 90 observations in (0.001, 0.01], 10 in (0.01, 0.1].
+	for i := 0; i < 90; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if p50 := s.Quantile(0.5); p50 <= 0.001 || p50 > 0.01 {
+		t.Fatalf("p50 = %v, want in (0.001, 0.01]", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 <= 0.01 || p99 > 0.1 {
+		t.Fatalf("p99 = %v, want in (0.01, 0.1]", p99)
+	}
+	// The +Inf bucket resolves to the highest finite bound.
+	h.Observe(30 * time.Second)
+	if q := h.Snapshot().Quantile(1); q != 1 {
+		t.Fatalf("max quantile = %v, want top bound 1", q)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	Enable()
+	defer Disable()
+	h := newTestHist([]float64{0.01, 0.1})
+	h.Observe(time.Millisecond)
+	before := h.Snapshot()
+	h.Observe(50 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	d := h.Snapshot().Delta(before)
+	if d.Count != 2 {
+		t.Fatalf("delta Count = %d, want 2", d.Count)
+	}
+	if q := d.Quantile(0.5); q <= 0.01 || q > 0.1 {
+		t.Fatalf("delta p50 = %v, want in (0.01, 0.1]", q)
+	}
+}
+
+// TestObserveValueOverflowSaturates is the regression test for the
+// fixed-point sum overflow: int64(v*1e9) of a large dimensionless
+// value (cumulative queue depths) is out of int64 range, and the
+// unspecified conversion flipped _sum negative in one observation.
+func TestObserveValueOverflowSaturates(t *testing.T) {
+	Enable()
+	defer Disable()
+	h := newTestHist([]float64{1, 10, 100})
+	h.ObserveValue(1e12) // v*1e9 = 1e21 >> MaxInt64; pre-fix: Sum goes negative
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	if s.Sum < 0 {
+		t.Fatalf("Sum = %v, went negative (fixed-point overflow)", s.Sum)
+	}
+	// A second saturating observation must not wrap the pinned sum.
+	h.ObserveValue(1e12)
+	if s := h.Snapshot(); s.Sum < 0 || s.Count != 2 {
+		t.Fatalf("after second observation Sum = %v Count = %d, want non-negative/2", s.Sum, s.Count)
+	}
+	if max := h.Snapshot().Sum; max > float64(math.MaxInt64)/1e9*1.01 {
+		t.Fatalf("Sum = %v exceeds the saturation ceiling", max)
+	}
+}
+
+// TestNegativeObservationsDropped pins the guard on both entry points:
+// a negative duration or value must not land in bucket 0 and must not
+// walk the sum backwards.
+func TestNegativeObservationsDropped(t *testing.T) {
+	Enable()
+	defer Disable()
+	h := newTestHist([]float64{1, 10})
+	h.Observe(-time.Second)
+	h.ObserveValue(-5)
+	h.ObserveValue(math.NaN())
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("negative/NaN observations recorded: Count=%d Sum=%v", s.Count, s.Sum)
+	}
+}
+
+func TestRegistryValues(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := &Registry{}
+	c := &Counter{name: "test_total", labels: `k="v"`}
+	g := &Gauge{name: "test_level"}
+	r.register(c)
+	r.register(g)
+	c.Add(3)
+	g.Set(7)
+	vals := r.Values()
+	if vals[`test_total{k="v"}`] != 3 {
+		t.Fatalf("counter value = %d, want 3", vals[`test_total{k="v"}`])
+	}
+	if vals["test_level"] != 7 {
+		t.Fatalf("gauge value = %d, want 7", vals["test_level"])
+	}
+}
+
+func TestStagesCoversAllSix(t *testing.T) {
+	st := Stages()
+	for _, name := range []string{"dispatch", "verify", "handler", "storage", "serialize", "deliver"} {
+		if st[name] == nil {
+			t.Fatalf("Stages() missing %q", name)
+		}
+	}
+	if len(st) != 6 {
+		t.Fatalf("Stages() has %d entries, want 6", len(st))
+	}
+}

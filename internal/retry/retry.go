@@ -49,6 +49,13 @@ func (p Policy) attempts() int {
 	return p.MaxAttempts
 }
 
+// maxBackoffCeiling bounds the doubling loop when MaxBackoff is 0
+// (uncapped): one hour is beyond any plausible delivery retry horizon,
+// and stopping the doubling there keeps base<<n from overflowing
+// time.Duration's int64 at high attempt indices — an overflow would
+// turn the delay negative and panic the jitter draw below.
+const maxBackoffCeiling = time.Hour
+
 // Backoff returns the randomized delay to sleep after failed attempt n
 // (0-based): base<<n capped at MaxBackoff, with full jitter drawn from
 // [d/2, d]. Jitter decorrelates the retry storms of a fan-out pool all
@@ -58,16 +65,21 @@ func (p Policy) Backoff(n int) time.Duration {
 	if base <= 0 {
 		base = 10 * time.Millisecond
 	}
+	cap := p.MaxBackoff
+	if cap <= 0 {
+		cap = maxBackoffCeiling
+	}
 	d := base
 	for i := 0; i < n; i++ {
-		d *= 2
-		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
-			d = p.MaxBackoff
+		if d >= cap/2 {
+			// Doubling again would exceed (or overflow past) the cap.
+			d = cap
 			break
 		}
+		d *= 2
 	}
-	if p.MaxBackoff > 0 && d > p.MaxBackoff {
-		d = p.MaxBackoff
+	if d > cap {
+		d = cap
 	}
 	half := d / 2
 	return half + time.Duration(rand.Int64N(int64(half)+1))

@@ -91,3 +91,36 @@ func TestAttemptTimeoutBoundsEachTry(t *testing.T) {
 		t.Fatalf("attempt timeout did not bound the hang: %v", elapsed)
 	}
 }
+
+// TestBackoffUncappedLargeAttemptDoesNotOverflow is the regression
+// test for the doubling-loop int64 overflow: with MaxBackoff == 0 the
+// pre-fix loop doubled base straight past math.MaxInt64 at high
+// attempt indices, producing a negative duration and panicking the
+// jitter draw (rand.Int64N of a non-positive bound). A soak-length
+// retry sequence against a dead-forever endpoint reaches exactly these
+// indices.
+func TestBackoffUncappedLargeAttemptDoesNotOverflow(t *testing.T) {
+	p := Policy{MaxAttempts: 1 << 30, BaseBackoff: time.Second} // uncapped: MaxBackoff 0
+	for _, n := range []int{0, 1, 10, 62, 63, 64, 100, 1 << 20} {
+		d := p.Backoff(n) // pre-fix: panics for n >= 62
+		if d <= 0 {
+			t.Fatalf("Backoff(%d) = %v, want positive", n, d)
+		}
+		if d > maxBackoffCeiling {
+			t.Fatalf("Backoff(%d) = %v exceeds the uncapped ceiling %v", n, d, maxBackoffCeiling)
+		}
+	}
+}
+
+// TestBackoffHugeBaseClampsToCap pins the clamp when BaseBackoff alone
+// already exceeds the effective cap.
+func TestBackoffHugeBaseClampsToCap(t *testing.T) {
+	p := Policy{BaseBackoff: 3 * time.Hour} // above the uncapped ceiling
+	if d := p.Backoff(5); d <= 0 || d > maxBackoffCeiling {
+		t.Fatalf("Backoff = %v, want in (0, %v]", d, maxBackoffCeiling)
+	}
+	capped := Policy{BaseBackoff: time.Hour, MaxBackoff: time.Millisecond}
+	if d := capped.Backoff(0); d <= 0 || d > time.Millisecond {
+		t.Fatalf("Backoff = %v, want in (0, 1ms]", d)
+	}
+}

@@ -133,10 +133,17 @@ func backendHas(b Backend, collection, id string) (bool, error) {
 
 // Cache bounds. Parsed documents dominate memory, so their cap is the
 // one that matters; compiled paths are tiny (the handful of query
-// shapes the services issue).
+// shapes the services issue). The exported names let harnesses
+// (cmd/loadgen's soak invariants) assert resident growth stays under
+// the caps without reaching into cache internals.
 const (
 	docCacheCap  = 4096
 	pathCacheCap = 256
+
+	// DocCacheCap is the resident parsed-document cache capacity.
+	DocCacheCap = docCacheCap
+	// PathCacheCap is the compiled-XPath cache capacity.
+	PathCacheCap = pathCacheCap
 )
 
 // DB is the document database: a backend plus cost model and stats.
