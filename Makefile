@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-delivery bench-smoke bench bench-delivery bench-storage bench-load soak-smoke fuzz-smoke obs-smoke check ci
+.PHONY: all build vet lint lint-self test race check-race race-delivery bench-smoke bench bench-delivery bench-storage bench-load soak-smoke fuzz-smoke obs-smoke check ci
 
 all: build
 
@@ -16,18 +16,33 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific analyzers (internal/lint): pooling, lock-scope,
-# context-flow, fault-surfacing, and raw-XML invariants. Exits non-zero
-# on any finding; suppress intentional violations with
-# `//lint:ignore ogsalint/<name> reason`.
-lint:
+# context-flow, fault-surfacing, raw-XML, and the concurrency pack
+# (atomicmix, goroutinelife, timerleak, copylock), run interprocedurally
+# over one whole-module Program. Exits non-zero on any finding;
+# suppress intentional violations with
+# `//lint:ignore ogsalint/<name> reason`. `-json` emits a finding
+# inventory; `-baseline file.json` gates on new findings only.
+lint: lint-self
 	$(GO) run ./cmd/ogsalint ./...
+
+# Self-check: the analyzers and their driver must pass their own rules.
+# The ./... sweep in `lint` covers these packages too; this target pins
+# the guarantee explicitly so it survives any future narrowing of the
+# lint patterns.
+lint-self:
+	$(GO) run ./cmd/ogsalint ./internal/lint ./cmd/ogsalint
 
 # Tests run shuffled so inter-test ordering dependencies can't hide.
 test:
 	$(GO) test -shuffle=on ./...
 
-race:
+# Full suite under the race detector, shuffled: the required CI gate
+# for the parallel core. The loadgen/soak harnesses stay advisory (see
+# soak-smoke); everything `go test` reaches races here.
+check-race:
 	$(GO) test -shuffle=on -race ./...
+
+race: check-race
 
 # The delivery-robustness packages (retry/eviction fan-out paths and
 # the fault-injection harness) re-run race-pinned and named explicitly:
@@ -87,6 +102,6 @@ obs-smoke:
 	./scripts/obs-smoke.sh
 
 # Everything a change should pass before review.
-check: build vet lint race race-delivery bench-smoke fuzz-smoke obs-smoke
+check: build vet lint check-race race-delivery bench-smoke fuzz-smoke obs-smoke
 
 ci: check

@@ -210,11 +210,14 @@ func wsEventingTour() {
 }
 
 func drain(label string, ch chan wsn.Notification, n int) {
+	timeout := time.NewTimer(5 * time.Second)
+	defer timeout.Stop()
 	for i := 0; i < n; i++ {
+		timeout.Reset(5 * time.Second)
 		select {
 		case ev := <-ch:
 			fmt.Printf("  %s got topic=%s code=%s\n", label, ev.Topic, ev.Message.ChildText(ns, "Code"))
-		case <-time.After(5 * time.Second):
+		case <-timeout.C:
 			log.Fatalf("%s: expected %d events, got %d", label, n, i)
 		}
 	}

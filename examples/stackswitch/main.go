@@ -41,13 +41,16 @@ func workload(cl counter.Client) (final int, err error) {
 
 	// Ratchet the counter up three times, confirming each change both
 	// synchronously (Get) and asynchronously (notification).
+	timeout := time.NewTimer(5 * time.Second)
+	defer timeout.Stop()
 	for i := 1; i <= 3; i++ {
 		if err := cl.Set(epr, counter.Representation(10+i)); err != nil {
 			return 0, fmt.Errorf("set %d: %w", i, err)
 		}
+		timeout.Reset(5 * time.Second)
 		select {
 		case <-stream.Events():
-		case <-time.After(5 * time.Second):
+		case <-timeout.C:
 			return 0, fmt.Errorf("notification %d never arrived", i)
 		}
 	}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix catches the half-converted counter: a field (or package
+// variable) that some code accesses through sync/atomic functions
+// (atomic.AddInt64(&s.n, 1)) and other code reads or writes plainly
+// (s.n++ or v := s.n). The plain access races with the atomic ones —
+// the compiler and CPU are free to tear, cache, or reorder it — and
+// -race only notices if both sides fire in the same run. This is
+// exactly the striped-cache / per-collection-stats shape from the
+// storage scale-out: a stats field moved to atomics in the hot path
+// keeps a forgotten plain read in a snapshot or reset method.
+//
+// Initialization in a composite literal is exempt (no concurrency
+// before publication); everything else needs the atomic spelling or a
+// reasoned lint:ignore stating the happens-before that makes the
+// plain access safe.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must not also be read or written plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	info := pass.TypesInfo
+	// atomicObjs: variables (fields or globals) whose address is taken
+	// inside a sync/atomic call, with one representative position.
+	atomicObjs := map[types.Object]token.Position{}
+	// atomicIdents: the ident nodes inside those calls, so the use
+	// walk below does not count them as plain accesses.
+	atomicIdents := map[*ast.Ident]bool{}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj, id := addrTargetVar(info, un.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = pass.Fset.Position(un.Pos())
+				}
+				if id != nil {
+					atomicIdents[id] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	type plainUse struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var plain []plainUse
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				// Composite-literal initialization happens before the
+				// value is shared; skip the key (and only the key).
+				ast.Inspect(kv.Value, func(c ast.Node) bool {
+					if id, ok := c.(*ast.Ident); ok {
+						if use := atomicUseOf(info, id, atomicObjs); use != nil && !atomicIdents[id] {
+							plain = append(plain, plainUse{id.Pos(), use})
+						}
+					}
+					return true
+				})
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || atomicIdents[id] {
+				return true
+			}
+			if use := atomicUseOf(info, id, atomicObjs); use != nil {
+				plain = append(plain, plainUse{id.Pos(), use})
+			}
+			return true
+		})
+	}
+	sort.Slice(plain, func(i, j int) bool { return plain[i].pos < plain[j].pos })
+	for _, u := range plain {
+		pass.Reportf(u.pos, "%s is accessed with sync/atomic at %s but read or written plainly here; use the atomic API (or document the happens-before with a lint:ignore)",
+			u.obj.Name(), shortPos(atomicObjs[u.obj]))
+	}
+	return nil
+}
+
+// atomicUseOf returns the tracked object id refers to, or nil.
+func atomicUseOf(info *types.Info, id *ast.Ident, tracked map[types.Object]token.Position) types.Object {
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	if _, ok := tracked[obj]; !ok {
+		return nil
+	}
+	return obj
+}
+
+// addrTargetVar resolves &X to the variable X names: a struct field
+// selector (s.n → field n) or a plain variable. Returns the ident that
+// names it so the caller can whitelist that node.
+func addrTargetVar(info *types.Info, x ast.Expr) (types.Object, *ast.Ident) {
+	switch v := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[v.Sel].(*types.Var); ok && obj.IsField() {
+			return obj, v.Sel
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[v].(*types.Var); ok && !obj.IsField() {
+			return obj, v
+		}
+	case *ast.IndexExpr:
+		// &xs[i]: per-element atomics (striped counters); track the
+		// backing variable only when it is a field or global, via the
+		// base expression.
+		return addrTargetVar(info, v.X)
+	}
+	return nil, nil
+}
+
+// isAtomicFuncCall reports whether call invokes a sync/atomic
+// package-level function (AddInt64, LoadUint32, CompareAndSwap...,
+// not the method set of atomic.Int64 and friends, which cannot be
+// accessed plainly in the first place).
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	f := callee(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return f.Pkg().Path() == "sync/atomic"
+}
+
+// shortPos renders a position as file:line for embedding in messages.
+func shortPos(p token.Position) string {
+	name := p.Filename
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			name = name[i+1:]
+			break
+		}
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CopyLock flags values of lock-bearing types travelling by value: a
+// struct embedding sync.Mutex, RWMutex, WaitGroup, Once, Cond, Map,
+// Pool, or a sync/atomic typed value that is passed as a by-value
+// parameter, used as a by-value method receiver, bound as a range
+// value variable, or copied out of an existing variable. The copy
+// carries a private replica of the lock state: goroutines that
+// synchronize through the copy and the original see two different
+// mutexes guarding "the same" data — the striped-cache stats shape
+// where ranging over a []shard by value silently makes every shard's
+// mutex useless.
+//
+// Constructors returning fresh composite literals are fine (a literal
+// has no lock state yet); it is copying an existing value that is
+// flagged.
+var CopyLock = &Analyzer{
+	Name: "copylock",
+	Doc:  "structs carrying sync.Mutex/RWMutex/WaitGroup/Once/Cond/Map/Pool or atomic values must move by pointer, not by value",
+	Run:  runCopyLock,
+}
+
+func runCopyLock(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSigLocks(pass, v)
+			case *ast.FuncLit:
+				checkFieldListLocks(pass, v.Type.Params, "parameter")
+			case *ast.RangeStmt:
+				if v.Value != nil {
+					if t := rangeValueType(info, v.Value); t != nil {
+						if lock := lockPathIn(t); lock != "" {
+							pass.Reportf(v.Value.Pos(), "range value copies %s (contains %s); iterate by index or over pointers so the lock state is shared", typeShort(t), lock)
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				checkAssignCopiesLock(pass, v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFuncSigLocks(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv != nil {
+		checkFieldListLocks(pass, fd.Recv, "receiver")
+	}
+	checkFieldListLocks(pass, fd.Type.Params, "parameter")
+}
+
+func checkFieldListLocks(pass *Pass, fields *ast.FieldList, what string) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		tv, ok := pass.TypesInfo.Types[f.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if lock := lockPathIn(tv.Type); lock != "" {
+			pass.Reportf(f.Type.Pos(), "by-value %s of type %s carries %s; every call copies the lock state — take a pointer", what, typeShort(tv.Type), lock)
+		}
+	}
+}
+
+// checkAssignCopiesLock flags `x := y` / `x := *p` / `x := s.field`
+// where the right-hand side is an existing lock-bearing value (not a
+// fresh composite literal or call result).
+func checkAssignCopiesLock(pass *Pass, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		e := ast.Unparen(rhs)
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue // literals, calls, conversions produce fresh values
+		}
+		// Skip when the target is the blank identifier.
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		t := exprTypeOf(info, e)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		// An ident RHS that names a type or package is not a value copy.
+		if id, ok := e.(*ast.Ident); ok {
+			if _, isVar := objectOf(info, id).(*types.Var); !isVar {
+				continue
+			}
+		}
+		if lock := lockPathIn(t); lock != "" {
+			pass.Reportf(rhs.Pos(), "assignment copies a value of type %s (contains %s); copy a pointer instead so both names share one lock", typeShort(t), lock)
+		}
+	}
+}
+
+// rangeValueType resolves the type of a range value variable: idents
+// introduced by `:=` live in info.Defs, not info.Types.
+func rangeValueType(info *types.Info, e ast.Expr) types.Type {
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := objectOf(info, id); obj != nil {
+			return obj.Type()
+		}
+		return nil
+	}
+	return exprTypeOf(info, e)
+}
+
+func exprTypeOf(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// lockPathIn reports the first lock-bearing component found inside t
+// ("sync.Mutex", "field mu sync.Mutex", ...), or "" when t is safely
+// copyable. Pointers stop the search: a *Mutex field copies fine.
+func lockPathIn(t types.Type) string {
+	return lockPath(t, map[types.Type]bool{}, true)
+}
+
+func lockPath(t types.Type, seen map[types.Type]bool, root bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if name := syncTypeName(t); name != "" {
+		return name
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if inner := lockPath(f.Type(), seen, false); inner != "" {
+				if root {
+					return "field " + f.Name() + " " + inner
+				}
+				return inner
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen, false)
+	}
+	return ""
+}
+
+// syncTypeName recognizes the non-copyable sync and sync/atomic types.
+func syncTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		switch obj.Name() {
+		case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+			return "sync." + obj.Name()
+		}
+	case "sync/atomic":
+		switch obj.Name() {
+		case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+			return "atomic." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// typeShort renders t compactly for diagnostics.
+func typeShort(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -18,9 +18,15 @@ import (
 // instrumented stage would start an orphan trace instead of a child
 // span. (obs.StartSpan counts as *consuming* the in-scope context —
 // threading ctx into it is the correct flow, not a violation.)
+// The interprocedural engine closes the wrapper loophole: a helper
+// whose summary says it returns a context rooted at Background/TODO
+// (`func freshCtx() context.Context { return context.Background() }`)
+// is treated exactly like the Background() call itself — both when its
+// result is passed to retry.Do/obs.StartSpan (directly or through a
+// local) and when it is called while a real context is in scope.
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
-	Doc:  "thread in-scope contexts through to retry.Do, obs.StartSpan, and deliveries instead of minting context.Background()/TODO()",
+	Doc:  "thread in-scope contexts through to retry.Do, obs.StartSpan, and deliveries instead of minting context.Background()/TODO(), directly or via a helper",
 	Run:  runCtxFlow,
 }
 
@@ -39,6 +45,37 @@ func checkCtxFlow(pass *Pass, file *ast.File) {
 	// re-flagged by the in-scope rule when the visitor descends to it.
 	var funcStack []ast.Node
 	reported := map[ast.Node]bool{}
+	// freshVars holds locals bound to a Background-rooted context,
+	// computed per declaration from the summary engine's var analysis.
+	var freshVars map[types.Object]bool
+
+	// freshSource describes how expr yields a Background-rooted
+	// context: a direct Background/TODO call, a fresh-returning helper
+	// call, or a local carrying one. Empty when it doesn't. The
+	// indirect shapes (helper, local) are reported only when a real
+	// context is in scope: a daemon entry point minting its root into
+	// a local is the legitimate idiom, but doing so while the caller's
+	// context sits unused is the severed chain the check exists for.
+	freshSource := func(expr ast.Expr) string {
+		if name := backgroundOrTODO(info, expr); name != "" {
+			return "context." + name + "()"
+		}
+		if ctxInScope(info, funcStack) == "" {
+			return ""
+		}
+		e := ast.Unparen(expr)
+		switch v := e.(type) {
+		case *ast.CallExpr:
+			if cs := pass.Prog.calleeSummary(info, v); cs != nil && len(cs.FreshCtxResults) > 0 && cs.FreshCtxResults[0] {
+				return "a Background-rooted context from " + funcDisplayName(cs.Func)
+			}
+		case *ast.Ident:
+			if freshVars[objectOf(info, v)] {
+				return "a Background-rooted context (via " + v.Name + ")"
+			}
+		}
+		return ""
+	}
 
 	var visit func(n ast.Node) bool
 	visit = func(n ast.Node) bool {
@@ -50,23 +87,30 @@ func checkCtxFlow(pass *Pass, file *ast.File) {
 			return false
 		case *ast.CallExpr:
 			if calleeIsFunc(info, v, "altstacks/internal/retry", "Do") && len(v.Args) > 0 {
-				if name := backgroundOrTODO(info, v.Args[0]); name != "" {
+				if src := freshSource(v.Args[0]); src != "" {
 					pass.Reportf(v.Args[0].Pos(),
-						"context.%s() passed to retry.Do: thread the caller's context so cancellation bounds the backoff", name)
+						"%s passed to retry.Do: thread the caller's context so cancellation bounds the backoff", src)
 					reported[ast.Unparen(v.Args[0])] = true
 				}
 			}
 			if calleeIsFunc(info, v, "altstacks/internal/obs", "StartSpan") && len(v.Args) > 0 {
-				if name := backgroundOrTODO(info, v.Args[0]); name != "" {
+				if src := freshSource(v.Args[0]); src != "" {
 					pass.Reportf(v.Args[0].Pos(),
-						"context.%s() passed to obs.StartSpan: a span rooted on a fresh context starts an orphan trace; thread the request context", name)
+						"%s passed to obs.StartSpan: a span rooted on a fresh context starts an orphan trace; thread the request context", src)
 					reported[ast.Unparen(v.Args[0])] = true
 				}
 			}
-			if name := backgroundOrTODO(info, v); name != "" && !reported[v] {
-				if param := ctxInScope(info, funcStack); param != "" {
+			if reported[v] {
+				return true
+			}
+			if param := ctxInScope(info, funcStack); param != "" {
+				if name := backgroundOrTODO(info, v); name != "" {
 					pass.Reportf(v.Pos(),
 						"context.%s() minted while %s is in scope: thread it through instead", name, param)
+				} else if cs := pass.Prog.calleeSummary(info, v); cs != nil && len(cs.FreshCtxResults) > 0 && cs.FreshCtxResults[0] {
+					pass.Reportf(v.Pos(),
+						"%s mints a context rooted at context.Background() while %s is in scope: thread %s through instead",
+						funcDisplayName(cs.Func), param, param)
 				}
 			}
 		}
@@ -78,6 +122,7 @@ func checkCtxFlow(pass *Pass, file *ast.File) {
 		if !ok || fd.Body == nil {
 			continue
 		}
+		freshVars = pass.Prog.freshCtxVars(info, fd.Body)
 		visit(fd)
 	}
 }

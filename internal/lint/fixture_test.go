@@ -25,6 +25,30 @@ func TestCtxFlowFixtures(t *testing.T)    { runFixture(t, CtxFlow, "ctxflow") }
 func TestSoapFaultFixtures(t *testing.T)  { runFixture(t, SoapFault, "soapfault") }
 func TestRawXMLFixtures(t *testing.T)     { runFixture(t, RawXML, "rawxml") }
 
+func TestAtomicMixFixtures(t *testing.T)     { runFixture(t, AtomicMix, "atomicmix") }
+func TestGoroutineLifeFixtures(t *testing.T) { runFixture(t, GoroutineLife, "goroutinelife") }
+func TestTimerLeakFixtures(t *testing.T)     { runFixture(t, TimerLeak, "timerleak") }
+func TestCopyLockFixtures(t *testing.T)      { runFixture(t, CopyLock, "copylock") }
+
+// The *_interproc fixtures put every violation behind at least one
+// helper call, so they fail against a purely intraprocedural walk.
+func TestLockHeldInterprocFixtures(t *testing.T) {
+	runFixture(t, LockHeld, "lockheld_interproc")
+}
+func TestPoolEscapeInterprocFixtures(t *testing.T) {
+	runFixture(t, PoolEscape, "poolescape_interproc")
+}
+func TestCtxFlowInterprocFixtures(t *testing.T) {
+	runFixture(t, CtxFlow, "ctxflow_interproc")
+}
+
+// interproc_cycle pins that the summary fixed point terminates on
+// recursive and mutually recursive call graphs and that facts still
+// propagate out of the cycle.
+func TestInterprocCycleFixtures(t *testing.T) {
+	runFixture(t, LockHeld, "interproc_cycle")
+}
+
 var wantPayloadRe = regexp.MustCompile("`([^`]*)`")
 
 type wantKey struct {

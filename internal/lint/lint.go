@@ -1,28 +1,6 @@
-// Package lint is ogsalint: a project-specific static-analysis suite
-// that mechanically enforces the container invariants PRs 1–3 piled
-// onto this codebase — pooled serializer buffers that must not escape,
-// health-ledger locks that must never be held across a delivery RPC,
-// contexts that must flow into retry.Do so Shutdown stays bounded,
-// errors on delivery paths that must reach the SOAP-fault mapper or
-// the health ledger, and XML that must go through xmlutil so escaping
-// cannot be bypassed.
-//
-// The package mirrors the shape of golang.org/x/tools/go/analysis (an
-// Analyzer runs over one type-checked package via a Pass and reports
-// Diagnostics) but is built purely on the standard library's go/ast,
-// go/parser, and go/types, because this module carries no external
-// dependencies. Type information for dependencies comes from compiler
-// export data produced by `go list -export` (see load.go), the same
-// mechanism the go command's own vet driver uses.
-//
-// Findings are suppressed with a staticcheck-style comment on the
-// flagged line or the line above it:
-//
-//	//lint:ignore ogsalint/<name> reason
-//
-// The reason is mandatory; an ignore directive without one is itself
-// reported. Suppression is handled here in the driver, so analyzers
-// stay pure reporters.
+// Analyzer/Pass/Diagnostic plumbing and the suppression-aware runner.
+// The package documentation, including the guide to writing analyzers
+// against interprocedural summaries, lives in doc.go.
 package lint
 
 import (
@@ -54,15 +32,21 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the whole-load call graph and summary table; analyzers
+	// use it to see through helper calls (see summary.go and doc.go).
+	Prog *Program
 
 	diags *[]Diagnostic
 }
 
 // A Diagnostic is one finding, positioned and attributed.
 type Diagnostic struct {
-	Pos      token.Position
-	Check    string // "ogsalint/<name>"
-	Message  string
+	Pos     token.Position
+	Check   string // "ogsalint/<name>"
+	Message string
+	// Suppressed marks findings covered by a lint:ignore directive;
+	// RunPackage keeps them (for -json inventories), Run drops them.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -86,13 +70,33 @@ func Analyzers() []*Analyzer {
 		CtxFlow,
 		SoapFault,
 		RawXML,
+		AtomicMix,
+		GoroutineLife,
+		TimerLeak,
+		CopyLock,
 	}
 }
 
 // Run applies the analyzers to one loaded package and returns the
 // surviving (non-suppressed) diagnostics in file/line order. Invalid
 // ignore directives (missing reason) are reported as driver findings.
+// Interprocedural resolution is limited to the package itself; drivers
+// analyzing a whole load should build one Program and use RunPackage
+// so summaries span every loaded package.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := NewProgram([]*Package{pkg}).RunPackage(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return FilterSuppressed(diags), nil
+}
+
+// RunPackage applies the analyzers to one package of prog's load and
+// returns every diagnostic in file/line order, with findings covered
+// by a lint:ignore directive marked Suppressed rather than removed.
+// Invalid ignore directives (missing reason) are reported as driver
+// findings.
+func (prog *Program) RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -101,6 +105,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Prog:      prog,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
@@ -108,24 +113,34 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	ignores, bad := collectIgnores(pkg.Fset, pkg.Files)
-	kept := diags[:0]
-	for _, d := range diags {
-		if !ignores.covers(d) {
-			kept = append(kept, d)
+	for i := range diags {
+		if ignores.covers(diags[i]) {
+			diags[i].Suppressed = true
 		}
 	}
-	kept = append(kept, bad...)
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i].Pos, kept[j].Pos
+	diags = append(diags, bad...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return kept[i].Check < kept[j].Check
+		return diags[i].Check < diags[j].Check
 	})
-	return kept, nil
+	return diags, nil
+}
+
+// FilterSuppressed drops suppressed diagnostics, preserving order.
+func FilterSuppressed(diags []Diagnostic) []Diagnostic {
+	kept := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
 }
 
 // ignoreSet records, per file, the checks suppressed at each line. A

@@ -97,6 +97,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // single package, resolving imports on demand. This is the fixture
 // path: analysistest packages live under testdata, outside the go
 // tool's view, so they are never part of a `go list ./...` walk.
+//
+// The importer (and with it the export-data table and the gc reader's
+// package cache) is shared process-wide per module root: the first
+// LoadDir pays for `go list -export` and export-file decoding, every
+// later one reuses both instead of re-running the subprocess per
+// fixture.
 func LoadDir(moduleRoot, dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -111,9 +117,34 @@ func LoadDir(moduleRoot, dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no .go files in %s", dir)
 	}
-	fset := token.NewFileSet()
-	imp := newExportImporter(fset, moduleRoot, map[string]string{})
+	fset, imp := sharedLoader(moduleRoot)
 	return checkPackage(fset, imp, "testdata/"+filepath.Base(dir), dir, files)
+}
+
+// loaderCache holds one fset+importer pair per module root. The fset
+// is shared with the parsed fixture files so importer positions and
+// source positions live in one space; a FileSet is append-only, so
+// accumulating every fixture package in it is safe.
+var loaderCache = struct {
+	sync.Mutex
+	byRoot map[string]*loaderEntry
+}{byRoot: map[string]*loaderEntry{}}
+
+type loaderEntry struct {
+	fset *token.FileSet
+	imp  *exportImporter
+}
+
+func sharedLoader(moduleRoot string) (*token.FileSet, *exportImporter) {
+	loaderCache.Lock()
+	defer loaderCache.Unlock()
+	e := loaderCache.byRoot[moduleRoot]
+	if e == nil {
+		fset := token.NewFileSet()
+		e = &loaderEntry{fset: fset, imp: newExportImporter(fset, moduleRoot, map[string]string{})}
+		loaderCache.byRoot[moduleRoot] = e
+	}
+	return e.fset, e.imp
 }
 
 func absFiles(dir string, names []string) []string {

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -16,9 +17,14 @@ import (
 // consumer (and can deadlock outright when the consumer calls back
 // in); the record/snapshot/unlock/persist shape in wsn and wse exists
 // precisely to avoid this.
+// Since the interprocedural engine landed, "performs delivery I/O"
+// and "acquires/releases a mutex" both see through helpers: a call to
+// a function whose summary says it blocks is flagged exactly like a
+// direct http.Client.Do, and lock/unlock helper methods (s.lockAll(),
+// s.unlockAll()) transfer their net effect into the caller's held set.
 var LockHeld = &Analyzer{
 	Name: "lockheld",
-	Doc:  "no delivery I/O (HTTP, net.Conn, retry.Do, fanout.Do, channel send) while a mutex acquired in the same function is held",
+	Doc:  "no delivery I/O (HTTP, net.Conn, retry.Do, fanout.Do, channel send, or a helper that performs any of these) while a mutex acquired in the same function is held",
 	Run:  runLockHeld,
 }
 
@@ -189,16 +195,38 @@ func classifyLockCall(pass *Pass, call *ast.CallExpr, held map[string]token.Pos)
 		}
 		return
 	}
-	if len(held) == 0 {
+	if len(held) > 0 {
+		if what := deliveryCall(pass.TypesInfo, call); what != "" {
+			pass.Reportf(call.Pos(), "%s while %s is held — release the lock before delivery I/O", what, heldNames(held))
+			return
+		}
+	}
+	// Helper calls: a summarized callee can perform the delivery, or
+	// shift the held set (lock/unlock helper methods).
+	cs := pass.Prog.calleeSummary(pass.TypesInfo, call)
+	if cs == nil {
 		return
 	}
-	if what := deliveryCall(pass, call); what != "" {
-		pass.Reportf(call.Pos(), "%s while %s is held — release the lock before delivery I/O", what, heldNames(held))
+	if len(held) > 0 && cs.Blocking != "" {
+		pass.Reportf(call.Pos(), "call to %s performs delivery I/O (%s) while %s is held — release the lock before delivery I/O",
+			funcDisplayName(cs.Func), cs.Blocking, heldNames(held))
+	}
+	for k := range cs.UnlocksAtEntry {
+		if ck, ok := translateLockKey(pass.TypesInfo, k, call); ok {
+			delete(held, ck)
+		}
+	}
+	for k := range cs.LocksAtExit {
+		if ck, ok := translateLockKey(pass.TypesInfo, k, call); ok {
+			held[ck] = call.Pos()
+		}
 	}
 }
 
 // mutexCall recognizes X.Lock/Unlock/RLock/RUnlock where X is a
 // sync.Mutex or sync.RWMutex, returning X's stable expression key.
+// Package-level mutexes normalize to the same "g:" key the summary
+// engine uses, so a direct Lock pairs with a helper's Unlock.
 func mutexCall(pass *Pass, call *ast.CallExpr) (key, method string, ok bool) {
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel {
@@ -216,12 +244,14 @@ func mutexCall(pass *Pass, call *ast.CallExpr) (key, method string, ok bool) {
 	if !isNamed(tv.Type, "sync", "Mutex") && !isNamed(tv.Type, "sync", "RWMutex") {
 		return "", "", false
 	}
+	if gk, isGlobal := normalizeLockKey(pass.TypesInfo, nil, sel.X); isGlobal {
+		return gk, sel.Sel.Name, true
+	}
 	return exprString(sel.X), sel.Sel.Name, true
 }
 
 // deliveryCall names the delivery operation call performs, or "".
-func deliveryCall(pass *Pass, call *ast.CallExpr) string {
-	info := pass.TypesInfo
+func deliveryCall(info *types.Info, call *ast.CallExpr) string {
 	switch {
 	case calleeIsMethod(info, call, "net/http", "Client", "Do"):
 		return "http.Client.Do"
@@ -248,9 +278,20 @@ func deliveryCall(pass *Pass, call *ast.CallExpr) string {
 }
 
 // heldNames renders the held set for diagnostics, stably ordered.
+// Normalized package-level keys ("g:path/pkg.Var.mu") print as their
+// source spelling ("Var.mu").
 func heldNames(held map[string]token.Pos) string {
 	names := make([]string, 0, len(held))
 	for k := range held {
+		if rest, ok := strings.CutPrefix(k, "g:"); ok {
+			if dot := strings.LastIndex(rest, "/"); dot >= 0 {
+				rest = rest[dot+1:]
+			}
+			if dot := strings.Index(rest, "."); dot >= 0 {
+				rest = rest[dot+1:]
+			}
+			k = rest
+		}
 		names = append(names, k)
 	}
 	sort.Strings(names)

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -17,9 +18,15 @@ import (
 // concurrent Get and corrupts a message in flight. The races this
 // catches are exactly the ones -race cannot see: the pool serializes
 // the handoff, so the corruption is silent.
+// The interprocedural engine extends the span across helpers: a value
+// from a function whose summary says "returns a pooled pointer" (a
+// GetBuffer-style wrapper, even one whose own escape is suppressed
+// with a justified ignore) is tracked exactly like a direct Get, and
+// passing a pooled value to a helper that stores or returns it is an
+// escape even though the sink is a call away.
 var PoolEscape = &Analyzer{
 	Name: "poolescape",
-	Doc:  "sync.Pool values must not escape the Get/Put span or be used after Put",
+	Doc:  "sync.Pool values must not escape the Get/Put span or be used after Put, including via helpers that return or store them",
 	Run:  runPoolEscape,
 }
 
@@ -53,7 +60,7 @@ func checkPoolSpans(pass *Pass, body *ast.BlockStmt) {
 		if !ok || id.Name == "_" {
 			return true
 		}
-		if !isPoolGet(info, as.Rhs[0]) {
+		if !pass.Prog.isPoolDerived(info, as.Rhs[0]) {
 			return true
 		}
 		if obj := objectOf(info, id); obj != nil {
@@ -143,6 +150,21 @@ func collectPoolEvents(pass *Pass, body *ast.BlockStmt, obj types.Object) []pool
 			case *ast.CallExpr:
 				if isPoolPutOf(info, v, obj) && !inDefer {
 					events = append(events, poolEvent{pos: v.End(), kind: 1})
+					return true
+				}
+				// A helper whose summary says the argument escapes is a
+				// sink one call away.
+				if cs := pass.Prog.calleeSummary(info, v); cs != nil {
+					for i, arg := range v.Args {
+						if i >= len(cs.ParamEscapes) || !cs.ParamEscapes[i] {
+							continue
+						}
+						if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+							markEscape(info, arg, obj,
+								fmt.Sprintf("passed to %s, where it is %s", funcDisplayName(cs.Func), cs.ParamEscapeHow[i]),
+								&events, escapeUses)
+						}
+					}
 				}
 			case *ast.Ident:
 				if info.Uses[v] == obj && !escapeUses[v] {
@@ -169,7 +191,9 @@ func leaksDirectly(info *types.Info, expr ast.Expr, obj types.Object) bool {
 	case *ast.Ident:
 		return info.Uses[v] == obj
 	case *ast.UnaryExpr:
-		return leaksDirectly(info, v.X, obj)
+		// Only address-of propagates identity: `<-x.C` yields an
+		// element received from a channel, not x itself.
+		return v.Op == token.AND && leaksDirectly(info, v.X, obj)
 	case *ast.StarExpr:
 		return leaksDirectly(info, v.X, obj)
 	case *ast.SelectorExpr:

@@ -1,0 +1,195 @@
+package lint
+
+// Unit tests for the summary engine itself: the fixtures check
+// end-to-end diagnostics, these pin the facts the analyzers consume —
+// blocking chains, lock effects, pool provenance, parameter escapes,
+// fresh-context results, and termination on cyclic call graphs.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"go/types"
+)
+
+// loadProgram builds a Program over one testdata/src dir.
+func loadProgram(t *testing.T, name string) (*Package, *Program) {
+	t.Helper()
+	moduleRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(moduleRoot, filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, te := range pkg.TypeErrors {
+		t.Fatalf("fixture does not type-check: %v", te)
+	}
+	return pkg, NewProgram([]*Package{pkg})
+}
+
+// lookupFunc resolves a package-level function, or a method when name
+// is "Type.Method".
+func lookupFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	scope := pkg.Types.Scope()
+	if typ, method, ok := strings.Cut(name, "."); ok {
+		obj := scope.Lookup(typ)
+		if obj == nil {
+			t.Fatalf("type %s not found in %s", typ, pkg.ImportPath)
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			t.Fatalf("%s is not a named type", typ)
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == method {
+				return m
+			}
+		}
+		t.Fatalf("method %s not found on %s", method, typ)
+	}
+	obj := scope.Lookup(name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("func %s not found in %s", name, pkg.ImportPath)
+	}
+	return fn
+}
+
+func TestSummaryBlockingChains(t *testing.T) {
+	pkg, prog := loadProgram(t, "lockheld_interproc")
+
+	deliver := prog.Summary(lookupFunc(t, pkg, "ledger.deliver"))
+	if deliver == nil || deliver.Blocking != "http.Client.Do" {
+		t.Fatalf("deliver.Blocking = %+v, want http.Client.Do", deliver)
+	}
+	notify := prog.Summary(lookupFunc(t, pkg, "ledger.notify"))
+	want := "(*lockheld_interproc.ledger).deliver → http.Client.Do"
+	if notify == nil || notify.Blocking != want {
+		t.Fatalf("notify.Blocking = %+v, want %q", notify, want)
+	}
+	pure := prog.Summary(lookupFunc(t, pkg, "ledger.pureHelper"))
+	if pure == nil || pure.Blocking != "" {
+		t.Fatalf("pureHelper.Blocking = %+v, want empty", pure)
+	}
+}
+
+func TestSummaryLockEffects(t *testing.T) {
+	pkg, prog := loadProgram(t, "lockheld_interproc")
+
+	lock := prog.Summary(lookupFunc(t, pkg, "ledger.lockState"))
+	if lock == nil || !lock.LocksAtExit["recv.mu"] {
+		t.Fatalf("lockState.LocksAtExit = %+v, want recv.mu", lock)
+	}
+	if len(lock.UnlocksAtEntry) != 0 {
+		t.Fatalf("lockState.UnlocksAtEntry = %+v, want empty", lock.UnlocksAtEntry)
+	}
+	unlock := prog.Summary(lookupFunc(t, pkg, "ledger.unlockState"))
+	if unlock == nil || !unlock.UnlocksAtEntry["recv.mu"] {
+		t.Fatalf("unlockState.UnlocksAtEntry = %+v, want recv.mu", unlock)
+	}
+	if len(unlock.LocksAtExit) != 0 {
+		t.Fatalf("unlockState.LocksAtExit = %+v, want empty", unlock.LocksAtExit)
+	}
+}
+
+func TestSummaryPoolAndEscapes(t *testing.T) {
+	pkg, prog := loadProgram(t, "poolescape_interproc")
+
+	for _, name := range []string{"getBuf", "getBufTwoDeep"} {
+		s := prog.Summary(lookupFunc(t, pkg, name))
+		if s == nil || !s.ReturnsPooled {
+			t.Errorf("%s.ReturnsPooled = %+v, want true", name, s)
+		}
+	}
+	for _, tc := range []struct {
+		name    string
+		escapes bool
+	}{
+		{"stash", true},
+		{"forward", true},
+		{"consume", false},
+		{"putBuf", false},
+	} {
+		s := prog.Summary(lookupFunc(t, pkg, tc.name))
+		if s == nil {
+			t.Fatalf("no summary for %s", tc.name)
+		}
+		got := len(s.ParamEscapes) > 0 && s.ParamEscapes[0]
+		if got != tc.escapes {
+			t.Errorf("%s.ParamEscapes[0] = %v, want %v (how=%v)", tc.name, got, tc.escapes, s.ParamEscapeHow)
+		}
+	}
+	if s := prog.Summary(lookupFunc(t, pkg, "stash")); s != nil && len(s.ParamEscapeHow) > 0 {
+		if want := "stored in package variable captured"; s.ParamEscapeHow[0] != want {
+			t.Errorf("stash.ParamEscapeHow[0] = %q, want %q", s.ParamEscapeHow[0], want)
+		}
+	}
+}
+
+func TestSummaryFreshContexts(t *testing.T) {
+	pkg, prog := loadProgram(t, "ctxflow_interproc")
+
+	for _, name := range []string{"freshCtx", "freshCtxTwoDeep"} {
+		s := prog.Summary(lookupFunc(t, pkg, name))
+		if s == nil || len(s.FreshCtxResults) == 0 || !s.FreshCtxResults[0] {
+			t.Errorf("%s.FreshCtxResults = %+v, want [true]", name, s)
+		}
+	}
+	tuple := prog.Summary(lookupFunc(t, pkg, "freshWithTimeout"))
+	if tuple == nil || len(tuple.FreshCtxResults) < 1 || !tuple.FreshCtxResults[0] {
+		t.Errorf("freshWithTimeout.FreshCtxResults = %+v, want fresh first result", tuple)
+	}
+	derive := prog.Summary(lookupFunc(t, pkg, "deriveCtx"))
+	if derive != nil && len(derive.FreshCtxResults) > 0 && derive.FreshCtxResults[0] {
+		t.Errorf("deriveCtx.FreshCtxResults = %+v, want not fresh (parameter-derived)", derive)
+	}
+}
+
+func TestSummaryUnexitableLoop(t *testing.T) {
+	pkg, prog := loadProgram(t, "goroutinelife")
+
+	s := prog.Summary(lookupFunc(t, pkg, "worker.runForever"))
+	if s == nil || !s.UnexitableLoop {
+		t.Fatalf("runForever.UnexitableLoop = %+v, want true", s)
+	}
+	h := prog.Summary(lookupFunc(t, pkg, "handle"))
+	if h == nil || h.UnexitableLoop {
+		t.Fatalf("handle.UnexitableLoop = %+v, want false", h)
+	}
+}
+
+// TestSummaryCycleTermination pins that the fixed point converges on
+// recursive call graphs within a bounded wall-clock budget and still
+// carries facts out of the cycle.
+func TestSummaryCycleTermination(t *testing.T) {
+	done := make(chan struct{})
+	var pkg *Package
+	var prog *Program
+	go func() {
+		defer close(done)
+		pkg, prog = loadProgram(t, "interproc_cycle")
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("summary computation did not terminate on cyclic call graph")
+	}
+
+	for _, name := range []string{"gateway.ping", "gateway.pong", "gateway.retrySend"} {
+		s := prog.Summary(lookupFunc(t, pkg, name))
+		if s == nil || s.Blocking == "" {
+			t.Errorf("%s.Blocking = %+v, want non-empty through the cycle", name, s)
+		}
+	}
+	for _, name := range []string{"evenStep", "oddStep"} {
+		s := prog.Summary(lookupFunc(t, pkg, name))
+		if s == nil || s.Blocking != "" {
+			t.Errorf("%s.Blocking = %+v, want empty (pure cycle)", name, s)
+		}
+	}
+}

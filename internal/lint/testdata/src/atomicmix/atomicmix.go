@@ -1,0 +1,66 @@
+// Package atomicmix exercises ogsalint/atomicmix: a field touched via
+// sync/atomic must not also be read or written plainly.
+package atomicmix
+
+import "sync/atomic"
+
+// collStats mirrors xmldb's per-collection stats shape: counters
+// bumped with atomic adds on the hot path.
+type collStats struct {
+	reads  int64
+	writes int64
+	name   string
+}
+
+// --- flagged ---
+
+// badSnapshot is the half-converted pattern: the hot path adds
+// atomically, the snapshot reads plainly and can tear.
+func badSnapshot(s *collStats) int64 {
+	atomic.AddInt64(&s.reads, 1)
+	return s.reads // want `reads is accessed with sync/atomic at atomicmix.go:\d+ but read or written plainly`
+}
+
+// badReset writes the field plainly while the hot path owns it with
+// atomics.
+func badReset(s *collStats) {
+	atomic.AddInt64(&s.writes, 1)
+	s.writes = 0 // want `writes is accessed with sync/atomic at atomicmix.go:\d+ but read or written plainly`
+}
+
+var totalOps int64
+
+// badGlobalMix mixes atomic and plain access to a package variable.
+func badGlobalMix() int64 {
+	atomic.AddInt64(&totalOps, 1)
+	totalOps++ // want `totalOps is accessed with sync/atomic at atomicmix.go:\d+ but read or written plainly`
+	return atomic.LoadInt64(&totalOps)
+}
+
+// --- clean ---
+
+// goodAllAtomic keeps every access through the atomic API.
+func goodAllAtomic(s *collStats) int64 {
+	atomic.AddInt64(&s.reads, 1)
+	return atomic.LoadInt64(&s.reads)
+}
+
+// goodPlainOnly never uses atomics on name, so plain access is fine.
+func goodPlainOnly(s *collStats) string {
+	return s.name
+}
+
+// goodLiteralInit seeds an atomically-owned field in a composite
+// literal: construction happens before the value is shared.
+func goodLiteralInit() *collStats {
+	s := &collStats{reads: 0, writes: 0, name: "c"}
+	atomic.AddInt64(&s.reads, 1)
+	return s
+}
+
+// goodSuppressed documents a single-threaded reset with an ignore.
+func goodSuppressed(s *collStats) {
+	atomic.AddInt64(&s.reads, 1)
+	//lint:ignore ogsalint/atomicmix reset runs after Stop, single-goroutine by construction
+	s.reads = 0
+}

@@ -1,0 +1,102 @@
+// Package copylock exercises ogsalint/copylock: lock-bearing values
+// move by pointer, never by value.
+package copylock
+
+import "sync"
+
+// shard mirrors the striped-cache shape: a mutex guarding per-shard
+// state.
+type shard struct {
+	mu   sync.Mutex
+	hits int
+}
+
+// table embeds shards by value; the array itself is fine in place.
+type table struct {
+	shards [4]shard
+}
+
+// group carries a WaitGroup.
+type group struct {
+	wg      sync.WaitGroup
+	pending int
+}
+
+// --- flagged ---
+
+// badByValueParam copies the shard — callers lock the original, this
+// function locks a private replica.
+func badByValueParam(s shard) int { // want `by-value parameter of type copylock.shard carries field mu sync.Mutex`
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// badValueReceiver does the same through the receiver.
+func (s shard) badValueReceiver() int { // want `by-value receiver of type copylock.shard carries field mu sync.Mutex`
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// badRangeCopy is the sweep bug: every iteration locks a throwaway
+// copy, so the "guarded" reads race with writers holding the real
+// locks.
+func badRangeCopy(t *table) int {
+	total := 0
+	for _, s := range t.shards { // want `range value copies copylock.shard`
+		s.mu.Lock()
+		total += s.hits
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// badAssignCopy duplicates the WaitGroup state: Add on the copy,
+// Wait on the original, deadlock or early return.
+func badAssignCopy(g *group) {
+	local := g.wg // want `assignment copies a value of type sync.WaitGroup`
+	local.Add(1)
+}
+
+// badDerefCopy copies through a pointer dereference.
+func badDerefCopy(p *shard) shard {
+	cp := *p // want `assignment copies a value of type copylock.shard`
+	return cp
+}
+
+// --- clean ---
+
+// goodPointerParam shares the one true lock.
+func goodPointerParam(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// goodIndexRange iterates by index, locking the stored shard.
+func goodIndexRange(t *table) int {
+	total := 0
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		total += t.shards[i].hits
+		t.shards[i].mu.Unlock()
+	}
+	return total
+}
+
+// goodFreshLiteral builds a new value; a literal has no lock state to
+// copy.
+func goodFreshLiteral() *shard {
+	s := shard{hits: 0}
+	return &s
+}
+
+// goodPlainStruct has no locks; copying it is fine.
+type plain struct{ n int }
+
+func goodPlainCopy(p plain) plain {
+	cp := p
+	cp.n++
+	return cp
+}

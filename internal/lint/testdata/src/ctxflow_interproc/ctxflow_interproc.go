@@ -1,0 +1,85 @@
+// Package ctxflow_interproc exercises the interprocedural side of
+// ogsalint/ctxflow: Background-rooted contexts laundered through
+// helpers and locals.
+package ctxflow_interproc
+
+import (
+	"context"
+	"time"
+
+	"altstacks/internal/retry"
+)
+
+// freshCtx is the wrapper shape: the Background call is one level
+// down, so callers never mention context.Background themselves.
+func freshCtx() context.Context {
+	return context.Background()
+}
+
+// freshCtxTwoDeep hides it behind a second level, wrapped on the way.
+func freshCtxTwoDeep() context.Context {
+	return context.WithValue(freshCtx(), ctxKey{}, "v")
+}
+
+// freshWithTimeout launders Background through WithTimeout's tuple.
+func freshWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+type ctxKey struct{}
+
+// --- flagged ---
+
+// badHelperArg drops the caller's context by rooting the retry on the
+// helper's fresh one.
+func badHelperArg(ctx context.Context, p retry.Policy) error {
+	_, err := retry.Do(freshCtx(), p, func(context.Context) error { return nil }) // want `a Background-rooted context from ctxflow_interproc.freshCtx passed to retry.Do`
+	_ = ctx
+	return err
+}
+
+// badTwoDeepHelper does the same through two wrapper levels.
+func badTwoDeepHelper(ctx context.Context, p retry.Policy) error {
+	_, err := retry.Do(freshCtxTwoDeep(), p, func(context.Context) error { return nil }) // want `a Background-rooted context from ctxflow_interproc.freshCtxTwoDeep passed to retry.Do`
+	_ = ctx
+	return err
+}
+
+// badLocalLaunder assigns the helper's fresh context to a local first;
+// the local rule and the mint-in-scope rule both see through it.
+func badLocalLaunder(ctx context.Context, p retry.Policy) error {
+	c := freshCtx()                                                      // want `ctxflow_interproc.freshCtx mints a context rooted at context.Background\(\) while ctx is in scope`
+	_, err := retry.Do(c, p, func(context.Context) error { return nil }) // want `a Background-rooted context \(via c\) passed to retry.Do`
+	_ = ctx
+	return err
+}
+
+// badTupleLaunder launders through the WithTimeout tuple helper.
+func badTupleLaunder(ctx context.Context, p retry.Policy) error {
+	c, cancel := freshWithTimeout(time.Second) // want `ctxflow_interproc.freshWithTimeout mints a context rooted at context.Background\(\) while ctx is in scope`
+	defer cancel()
+	_, err := retry.Do(c, p, func(context.Context) error { return nil }) // want `a Background-rooted context \(via c\) passed to retry.Do`
+	_ = ctx
+	return err
+}
+
+// --- clean ---
+
+// deriveCtx threads its parameter; derived contexts are not fresh.
+func deriveCtx(ctx context.Context) context.Context {
+	return context.WithValue(ctx, ctxKey{}, "v")
+}
+
+// goodDerivedHelper keeps the chain intact through a wrapper.
+func goodDerivedHelper(ctx context.Context, p retry.Policy) error {
+	_, err := retry.Do(deriveCtx(ctx), p, func(context.Context) error { return nil })
+	return err
+}
+
+// goodDaemonRoot mints its root with no caller context to thread —
+// the legitimate entry-point idiom, even through the helper.
+func goodDaemonRoot(p retry.Policy) error {
+	c := freshCtx()
+	_, err := retry.Do(c, p, func(context.Context) error { return nil })
+	return err
+}

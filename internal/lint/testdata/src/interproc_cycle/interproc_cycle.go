@@ -1,0 +1,91 @@
+// Package interproc_cycle pins termination of the summary engine on
+// recursive and mutually recursive call graphs: the fixed point must
+// converge within the bounded rounds, and facts must still propagate
+// out of the cycle to callers.
+package interproc_cycle
+
+import (
+	"net/http"
+	"sync"
+)
+
+type gateway struct {
+	mu     sync.Mutex
+	client *http.Client
+	req    *http.Request
+}
+
+// send is the blocking leaf the cycles below reach.
+func (g *gateway) send() error {
+	_, err := g.client.Do(g.req)
+	return err
+}
+
+// ping/pong form a two-node cycle; the blocking fact must escape it.
+func (g *gateway) ping(n int) error {
+	if n == 0 {
+		return g.send()
+	}
+	return g.pong(n - 1)
+}
+
+func (g *gateway) pong(n int) error {
+	return g.ping(n)
+}
+
+// retrySend is directly self-recursive and blocking.
+func (g *gateway) retrySend(attempts int) error {
+	if err := g.send(); err != nil && attempts > 0 {
+		return g.retrySend(attempts - 1)
+	}
+	return nil
+}
+
+// evenStep/oddStep are a pure cycle: no blocking anywhere, so holding
+// the lock across them is fine.
+func evenStep(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return oddStep(n - 1)
+}
+
+func oddStep(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return evenStep(n - 1)
+}
+
+// --- flagged ---
+
+// badCycleUnderLock holds the lock across the ping/pong cycle; the
+// delivery fact propagated out of the cycle must surface here.
+func badCycleUnderLock(g *gateway) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ping(3) // want `call to \(\*interproc_cycle.gateway\).ping performs delivery I/O .* while mutex g.mu is held`
+}
+
+// badSelfRecursiveUnderLock holds it across the self-recursive helper.
+func badSelfRecursiveUnderLock(g *gateway) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.retrySend(2) // want `call to \(\*interproc_cycle.gateway\).retrySend performs delivery I/O .* while mutex g.mu is held`
+}
+
+// --- clean ---
+
+// goodPureCycleUnderLock calls the non-blocking cycle under the lock.
+func goodPureCycleUnderLock(g *gateway, n int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return evenStep(n)
+}
+
+// goodCycleAfterUnlock releases before entering the blocking cycle.
+func goodCycleAfterUnlock(g *gateway) error {
+	g.mu.Lock()
+	g.mu.Unlock()
+	return g.pong(1)
+}

@@ -1,0 +1,94 @@
+// Package lockheld_interproc exercises the interprocedural side of
+// ogsalint/lockheld: delivery I/O and lock transitions hidden behind
+// helpers and method wrappers.
+package lockheld_interproc
+
+import (
+	"net/http"
+	"sync"
+)
+
+type ledger struct {
+	mu     sync.Mutex
+	client *http.Client
+	hits   map[string]int
+}
+
+// deliver is the one-level helper: the HTTP exchange is invisible to a
+// purely intraprocedural walk of its callers.
+func (l *ledger) deliver(req *http.Request) error {
+	_, err := l.client.Do(req)
+	return err
+}
+
+// notify is the two-level helper: deliver behind another wrapper.
+func (l *ledger) notify(req *http.Request) error {
+	return l.deliver(req)
+}
+
+// lockState / unlockState are the lock-helper pair: their net effect
+// must transfer into callers.
+func (l *ledger) lockState()   { l.mu.Lock() }
+func (l *ledger) unlockState() { l.mu.Unlock() }
+
+// --- flagged ---
+
+// badOneDeep holds the ledger lock across the one-level helper.
+func badOneDeep(l *ledger, req *http.Request) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.deliver(req) // want `call to \(\*lockheld_interproc.ledger\).deliver performs delivery I/O \(http.Client.Do\) while mutex l.mu is held`
+}
+
+// badTwoDeep holds it across the two-level wrapper chain.
+func badTwoDeep(l *ledger, req *http.Request) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.notify(req) // want `call to \(\*lockheld_interproc.ledger\).notify performs delivery I/O \(\(\*lockheld_interproc.ledger\).deliver → http.Client.Do\) while mutex l.mu is held`
+}
+
+// badLockHelper acquires through the helper method, then performs the
+// delivery directly: the held set must carry the translated key.
+func badLockHelper(l *ledger, req *http.Request) error {
+	l.lockState()
+	_, err := l.client.Do(req) // want `http.Client.Do while mutex l.mu is held`
+	l.unlockState()
+	return err
+}
+
+// badInsideLiteral is the function-literal caller: the violation sits
+// in a closure handed to a dispatcher.
+func badInsideLiteral(l *ledger, req *http.Request) func() {
+	return func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		_ = l.deliver(req) // want `call to \(\*lockheld_interproc.ledger\).deliver performs delivery I/O`
+	}
+}
+
+// --- clean ---
+
+// goodHelperAfterUnlock releases through the helper before delivering.
+func goodHelperAfterUnlock(l *ledger, req *http.Request) error {
+	l.lockState()
+	l.hits["sub"]++
+	l.unlockState()
+	return l.deliver(req)
+}
+
+// goodSnapshotThenNotify keeps the lock for the map touch only.
+func goodSnapshotThenNotify(l *ledger, req *http.Request) error {
+	l.mu.Lock()
+	l.hits["sub"]++
+	l.mu.Unlock()
+	return l.notify(req)
+}
+
+// pureHelper does no delivery; calling it under the lock is fine.
+func (l *ledger) pureHelper() int { return len(l.hits) }
+
+func goodPureHelperUnderLock(l *ledger) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pureHelper()
+}

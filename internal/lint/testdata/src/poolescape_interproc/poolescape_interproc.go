@@ -1,0 +1,97 @@
+// Package poolescape_interproc exercises the interprocedural side of
+// ogsalint/poolescape: pooled values obtained or leaked through
+// helpers.
+package poolescape_interproc
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// getBuf is the wrapper shape xmlutil uses: the Get (and its own
+// suppressed escape) live here, so callers never see a pool.Get.
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	//lint:ignore ogsalint/poolescape matched by putBuf; callers are checked via the summary engine
+	return b
+}
+
+// getBufTwoDeep hides the wrapper behind a second level.
+func getBufTwoDeep() *bytes.Buffer {
+	return getBuf()
+}
+
+func putBuf(b *bytes.Buffer) { bufPool.Put(b) }
+
+var captured *bytes.Buffer
+
+// stash is a one-level escape helper: its parameter lands in a global.
+func stash(b *bytes.Buffer) { captured = b }
+
+// forward is the two-level escape: it only passes its parameter on.
+func forward(b *bytes.Buffer) { stash(b) }
+
+// --- flagged ---
+
+// badReturnFromHelper returns a pooled value it obtained through the
+// wrapper — invisible without summaries.
+func badReturnFromHelper() *bytes.Buffer {
+	b := getBuf()
+	b.WriteString("payload")
+	return b // want `pooled b escapes its Get/Put span: returned to the caller`
+}
+
+// badTwoDeepGet is the same leak through two wrapper levels.
+func badTwoDeepGet() *bytes.Buffer {
+	b := getBufTwoDeep()
+	return b // want `pooled b escapes its Get/Put span: returned to the caller`
+}
+
+// badEscapeViaHelper hands the pooled buffer to a helper that stores
+// it in a global.
+func badEscapeViaHelper() {
+	b := getBuf()
+	stash(b) // want `pooled b escapes its Get/Put span: passed to poolescape_interproc.stash, where it is stored in package variable captured`
+	putBuf(b)
+}
+
+// badEscapeTwoDeep leaks through the forwarding helper.
+func badEscapeTwoDeep() {
+	b := getBuf()
+	forward(b) // want `pooled b escapes its Get/Put span: passed to poolescape_interproc.forward`
+	putBuf(b)
+}
+
+// badUseAfterHelperPut mirrors use-after-put with the wrapper-obtained
+// value.
+func badUseAfterHelperPut() string {
+	b := getBuf()
+	b.WriteString("x")
+	out := b.String()
+	bufPool.Put(b)
+	b.Reset() // want `b is used after being returned to its pool`
+	return out
+}
+
+// --- clean ---
+
+// goodWrapperSpan keeps the wrapper-obtained value inside its span.
+func goodWrapperSpan() string {
+	b := getBuf()
+	defer bufPool.Put(b)
+	b.WriteString("ok")
+	return b.String()
+}
+
+// consume only reads its parameter; passing a pooled value is fine.
+func consume(b *bytes.Buffer) int { return b.Len() }
+
+func goodHelperConsumer() int {
+	b := getBuf()
+	defer bufPool.Put(b)
+	b.WriteString("ok")
+	return consume(b)
+}

@@ -1,0 +1,102 @@
+// Package timerleak exercises ogsalint/timerleak: timers and tickers
+// must be owned — no time.After in loops, no time.Tick, Stop what you
+// make.
+package timerleak
+
+import (
+	"context"
+	"time"
+)
+
+// --- flagged ---
+
+// badAfterInLoop is the retry-loop shape: one orphaned timer per
+// iteration, held by the runtime until it fires.
+func badAfterInLoop(ctx context.Context, attempts int) bool {
+	for i := 0; i < attempts; i++ {
+		select {
+		case <-time.After(5 * time.Second): // want `time.After in a loop leaks one timer per iteration`
+		case <-ctx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+// badAfterInRange leaks the same way from a range loop.
+func badAfterInRange(items []int, out chan<- int) {
+	for _, it := range items {
+		select {
+		case out <- it:
+		case <-time.After(time.Second): // want `time.After in a loop leaks one timer per iteration`
+		}
+	}
+}
+
+// badTick can never be stopped.
+func badTick(every time.Duration, out chan<- time.Time) {
+	for t := range time.Tick(every) { // want `time.Tick can never be stopped`
+		out <- t
+	}
+}
+
+// badTickerNoStop makes a ticker, uses it once, and drops it on the
+// floor still ticking.
+func badTickerNoStop(out chan<- time.Time) {
+	tk := time.NewTicker(time.Second) // want `ticker is never Stopped in this function`
+	out <- <-tk.C
+}
+
+// --- clean ---
+
+// goodHoistedTimer is the fix for badAfterInLoop: one timer, reset per
+// iteration, stopped on the way out.
+func goodHoistedTimer(ctx context.Context, attempts int) bool {
+	t := time.NewTimer(5 * time.Second)
+	defer t.Stop()
+	for i := 0; i < attempts; i++ {
+		t.Reset(5 * time.Second)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+// goodDeferredTickerStop owns its ticker for the function's span.
+func goodDeferredTickerStop(n int, out chan<- time.Time) {
+	tk := time.NewTicker(time.Second)
+	defer tk.Stop()
+	for i := 0; i < n; i++ {
+		out <- <-tk.C
+	}
+}
+
+// goodAfterOutsideLoop arms one deadline before the loop — the
+// gridbox polling shape.
+func goodAfterOutsideLoop(poll <-chan struct{}) bool {
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case <-poll:
+			return true
+		case <-deadline:
+			return false
+		}
+	}
+}
+
+// goodOneShotWait blocks until the timer fires; a fired timer has
+// nothing left to stop.
+func goodOneShotWait(d time.Duration) {
+	t := time.NewTimer(d)
+	<-t.C
+}
+
+// goodOwnershipTransfer hands the timer to the caller, who stops it.
+func goodOwnershipTransfer(d time.Duration) *time.Timer {
+	t := time.NewTimer(d)
+	return t
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TimerLeak catches the three timer-ownership mistakes that show up
+// under sustained load but never in a unit test:
+//
+//   - time.After inside a loop: every iteration allocates a timer the
+//     runtime holds until it fires. In a delivery retry loop with a
+//     5-second After and a hot subscriber, that is thousands of
+//     orphaned timers per minute — the soak harness sees it as heap
+//     growth. Hoist a time.NewTimer and Reset it, or use a Ticker.
+//   - time.Tick: the returned ticker can never be stopped; the
+//     goroutine-backed channel leaks for the life of the process.
+//   - time.NewTimer/time.NewTicker whose Stop is never called in the
+//     owning function (and which does not escape to another owner):
+//     the timer keeps its runtime entry — and for tickers, keeps
+//     firing — after the function is done with it.
+//
+// The Stop check is ownership-based: a timer that is returned, stored,
+// sent, or passed to another function has transferred ownership and is
+// not flagged (the receiving code is then the one on the hook).
+var TimerLeak = &Analyzer{
+	Name: "timerleak",
+	Doc:  "no time.After in loops, no time.Tick, and NewTimer/NewTicker must be Stopped by their owner",
+	Run:  runTimerLeak,
+}
+
+func runTimerLeak(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		// Loop-nesting walk for time.After/time.Tick: function literal
+		// boundaries reset loop depth (the literal may be a one-shot
+		// goroutine body even when written inside a loop).
+		var walk func(n ast.Node, loopDepth int)
+		walk = func(n ast.Node, loopDepth int) {
+			if n == nil {
+				return
+			}
+			switch v := n.(type) {
+			case *ast.FuncLit:
+				walk(v.Body, 0)
+				return
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth++
+			case *ast.CallExpr:
+				if calleeIsFunc(info, v, "time", "After") && loopDepth > 0 {
+					pass.Reportf(v.Pos(), "time.After in a loop leaks one timer per iteration until it fires; hoist a time.NewTimer and Reset it, or use a Ticker")
+				}
+				if calleeIsFunc(info, v, "time", "Tick") {
+					pass.Reportf(v.Pos(), "time.Tick can never be stopped and leaks the ticker; use time.NewTicker with a deferred Stop")
+				}
+			}
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == n {
+					return true
+				}
+				walk(c, loopDepth)
+				return false
+			})
+		}
+		walk(file, 0)
+
+		// Per-function Stop/ownership accounting for NewTimer/NewTicker.
+		enclosingFuncs(file, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+			checkTimerStops(pass, body)
+		})
+	}
+	return nil
+}
+
+// checkTimerStops flags `t := time.NewTimer(...)` / `time.NewTicker`
+// bindings in body whose variable neither has Stop called on it nor
+// escapes the function.
+func checkTimerStops(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	type binding struct {
+		obj  types.Object
+		call *ast.CallExpr
+		kind string
+	}
+	var bindings []binding
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var kind string
+		switch {
+		case calleeIsFunc(info, call, "time", "NewTimer"), calleeIsFunc(info, call, "time", "AfterFunc"):
+			kind = "timer"
+		case calleeIsFunc(info, call, "time", "NewTicker"):
+			kind = "ticker"
+		default:
+			return true
+		}
+		if obj := objectOf(info, id); obj != nil {
+			bindings = append(bindings, binding{obj, call, kind})
+		}
+		return true
+	})
+
+	for _, b := range bindings {
+		if timerStoppedOrEscapes(info, body, b.obj, b.kind) {
+			continue
+		}
+		pass.Reportf(b.call.Pos(), "%s is never Stopped in this function and does not escape to another owner; add a (deferred) Stop so the runtime entry is reclaimed", b.kind)
+	}
+}
+
+// timerStoppedOrEscapes reports whether obj has Stop called on it in
+// body (directly or deferred, including inside nested literals — a
+// cleanup goroutine counts) or ownership leaves the function: returned,
+// stored in a field/global/element, sent on a channel, or passed as a
+// call argument.
+func timerStoppedOrEscapes(info *types.Info, body *ast.BlockStmt, obj types.Object, kind string) bool {
+	done := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.UnaryExpr:
+			// `<-t.C` blocks until the timer fires, after which there
+			// is nothing left to stop; a one-shot wait is not a leak.
+			// Tickers get no such pass — their channel never exhausts.
+			if v.Op == token.ARROW && kind == "timer" {
+				if sel, ok := ast.Unparen(v.X).(*ast.SelectorExpr); ok && sel.Sel.Name == "C" {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == obj {
+						done = true
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Stop" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == obj {
+					done = true
+					return false
+				}
+			}
+			for _, arg := range v.Args {
+				if leaksDirectly(info, arg, obj) {
+					done = true // ownership handed to the callee
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range v.Results {
+				if leaksDirectly(info, res, obj) {
+					done = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if leaksDirectly(info, v.Value, obj) {
+				done = true
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				var rhs ast.Expr
+				if len(v.Rhs) == len(v.Lhs) {
+					rhs = v.Rhs[i]
+				} else if len(v.Rhs) == 1 {
+					rhs = v.Rhs[0]
+				}
+				if rhs == nil || !leaksDirectly(info, rhs, obj) {
+					continue
+				}
+				if storeSink(info, lhs) != "" {
+					done = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return done
+}
