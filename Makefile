@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-self test race check-race race-delivery bench-smoke bench bench-delivery bench-storage bench-load soak-smoke fuzz-smoke obs-smoke check ci
+.PHONY: all build vet lint lint-self test race check-race race-delivery bench-smoke bench bench-delivery bench-storage bench-load bench-obs soak-smoke fuzz-smoke obs-smoke check ci
 
 all: build
 
@@ -82,6 +82,15 @@ bench-storage:
 bench-load:
 	$(GO) run ./cmd/loadgen -stack both -mix fig2,pubsub1k -duration 5s \
 		| $(GO) run ./cmd/benchjson > BENCH_load.json
+
+# Observability-plane benchmarks: the disabled-path floor, observation
+# and exemplar-capture cost, flight-recorder append, exposition
+# render/parse, fleet merge, and the SLO engine's steady-state
+# evaluation pass, emitted as machine-readable JSON. Advisory in CI
+# like the other timing runs.
+bench-obs:
+	$(GO) test -run NONE -bench 'Obs|SLO' -benchmem ./internal/obs/... \
+		| $(GO) run ./cmd/benchjson > BENCH_obs.json
 
 # Short churn soak on both stacks: scripted fault injection (flaky,
 # slow, and killed subscribers with resurrection) under sustained

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"altstacks/internal/container"
@@ -23,6 +24,7 @@ import (
 	"altstacks/internal/counter"
 	"altstacks/internal/netlat"
 	"altstacks/internal/obs"
+	"altstacks/internal/obs/slo"
 	"altstacks/internal/wse"
 	"altstacks/internal/xmldb"
 )
@@ -34,6 +36,7 @@ func main() {
 	shards := flag.Int("shards", 1, "number of storage shards (>1 stripes the resource store)")
 	subsPath := flag.String("subs", "", "WS-Eventing subscription file (wst stack; empty = memory)")
 	admin := flag.String("admin", "", "serve /metrics, /traces, and pprof on this address (e.g. :9090; enables instrumentation)")
+	peers := flag.String("peers", "", "comma-separated admin URLs of peer instances merged into /federate")
 	flag.Parse()
 
 	if *admin != "" {
@@ -77,6 +80,16 @@ func main() {
 	fmt.Printf("counterd: stack=%s security=%s\n", *stack, mode)
 	fmt.Printf("  counter service:       %s/counter\n", base)
 	if *admin != "" {
+		if *peers != "" {
+			obs.SetFederatePeers(strings.Split(*peers, ","))
+		}
+		// The SLO engine rides the admin endpoint: burn-rate state at
+		// /slo, flight-recorder dumps to stderr when an alert fires.
+		reqs, faults := container.RequestCounters()
+		engine := slo.New(slo.Config{Objectives: slo.DefaultObjectives(reqs, faults)})
+		engine.Start()
+		defer engine.Stop()
+		obs.HandleAdmin("/slo", engine.Handler())
 		adminURL, stopAdmin, err := obs.ServeAdmin(*admin)
 		if err != nil {
 			fatal("%v", err)

@@ -23,6 +23,7 @@ import (
 	"altstacks/internal/gridbox"
 	"altstacks/internal/netlat"
 	"altstacks/internal/obs"
+	"altstacks/internal/obs/slo"
 	"altstacks/internal/xmldb"
 )
 
@@ -34,6 +35,7 @@ func main() {
 	usersFlag := flag.String("users", "CN=alice,O=UVA", "user DNs to pre-provision, separated by |")
 	adminDN := flag.String("admin-dn", "", "restrict administrative operations to this DN")
 	admin := flag.String("admin", "", "serve /metrics, /traces, and pprof on this address (e.g. :9090; enables instrumentation)")
+	peers := flag.String("peers", "", "comma-separated admin URLs of peer instances merged into /federate")
 	delta := flag.Duration("reservation-delta", gridbox.DefaultReservationDelta, "initial reservation lifetime")
 	shards := flag.Int("shards", 1, "number of storage shards (>1 stripes the resource store)")
 	flag.Parse()
@@ -107,6 +109,14 @@ func main() {
 
 	fmt.Printf("gridboxd: stack=%s security=%s data=%s\n", *stack, mode, root)
 	if *admin != "" {
+		if *peers != "" {
+			obs.SetFederatePeers(strings.Split(*peers, ","))
+		}
+		reqs, faults := container.RequestCounters()
+		engine := slo.New(slo.Config{Objectives: slo.DefaultObjectives(reqs, faults)})
+		engine.Start()
+		defer engine.Stop()
+		obs.HandleAdmin("/slo", engine.Handler())
 		adminURL, stopAdmin, err := obs.ServeAdmin(*admin)
 		if err != nil {
 			fatal("%v", err)

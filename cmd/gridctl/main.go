@@ -25,12 +25,20 @@
 //	  -in  N=V      stage input file N with content V (repeatable)
 //	  -out N=V      job writes output file N with content V (repeatable)
 //
-// Two observability commands speak to a daemon's admin endpoint (the
-// URL counterd or gridboxd prints when started with -admin) instead of
-// the VO base URL. Flags precede the command:
+// The observability commands speak to daemon admin endpoints (the URL
+// counterd or gridboxd prints when started with -admin) instead of the
+// VO base URL; -admin takes one URL or a comma-separated fleet. Flags
+// precede the command:
 //
-//	gridctl -admin http://host:port metrics   dump the Prometheus metrics
-//	gridctl -admin http://host:port trace     fetch, stitch, and print traces
+//	gridctl -admin URL[,URL...] metrics [-fleet]  Prometheus metrics (fleet-merged
+//	                                              when several URLs or -fleet)
+//	gridctl -admin URL[,URL...] top               fleet overview: per-instance and
+//	                                              merged counters, stage quantiles,
+//	                                              slowest-bucket exemplars
+//	gridctl -admin URL           trace            fetch, stitch, and print traces
+//	gridctl -admin URL[,URL...]  slo              SLO burn-rate state per instance
+//	gridctl -admin URL           dump             fault flight-recorder events
+//	gridctl -admin URL           federate         the daemon's own /federate merge
 package main
 
 import (
@@ -55,13 +63,47 @@ func main() {
 	if flag.NArg() > 0 {
 		switch flag.Arg(0) {
 		case "metrics":
-			if err := showMetrics(*adminURL); err != nil {
+			// Several admin URLs (or an explicit -fleet) merge the
+			// instances' expositions; one URL dumps it verbatim.
+			fleet := len(adminURLs(*adminURL)) > 1
+			for _, a := range flag.Args()[1:] {
+				if a == "-fleet" || a == "--fleet" {
+					fleet = true
+				}
+			}
+			var err error
+			if fleet {
+				err = showFleetMetrics(*adminURL)
+			} else {
+				err = showMetrics(*adminURL)
+			}
+			if err != nil {
 				fatal("metrics: %v", err)
+			}
+			return
+		case "top":
+			if err := showTop(*adminURL); err != nil {
+				fatal("top: %v", err)
 			}
 			return
 		case "trace":
 			if err := showTraces(*adminURL); err != nil {
 				fatal("trace: %v", err)
+			}
+			return
+		case "slo":
+			if err := showSLO(*adminURL); err != nil {
+				fatal("slo: %v", err)
+			}
+			return
+		case "dump":
+			if err := showDump(*adminURL); err != nil {
+				fatal("dump: %v", err)
+			}
+			return
+		case "federate":
+			if err := showFederate(*adminURL); err != nil {
+				fatal("federate: %v", err)
 			}
 			return
 		}
@@ -165,7 +207,7 @@ func dispatch(g grid, cmd string, args []string) error {
 	case "run":
 		return runJob(g, args)
 	default:
-		return fmt.Errorf("unknown command (want account-add, account-exists, account-remove, site-add, resources, reserve, unreserve, reserved-by, run, metrics, trace)")
+		return fmt.Errorf("unknown command (want account-add, account-exists, account-remove, site-add, resources, reserve, unreserve, reserved-by, run, metrics, top, trace, slo, dump, federate)")
 	}
 }
 

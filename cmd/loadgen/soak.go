@@ -12,6 +12,7 @@ import (
 	"altstacks/internal/core"
 	"altstacks/internal/faultinject"
 	"altstacks/internal/obs"
+	"altstacks/internal/obs/slo"
 	"altstacks/internal/retry"
 	"altstacks/internal/wse"
 	"altstacks/internal/wsn"
@@ -36,7 +37,12 @@ import (
 //     within their configured caps;
 //  5. no goroutine leak: after teardown the process settles back to
 //     its pre-deployment goroutine count (plus slack for the runtime's
-//     own pools).
+//     own pools);
+//  6. working alerting: a delivery-availability SLO evaluated with
+//     tight burn windows must fire while the churn is killing
+//     endpoints (an alert that cannot detect scripted carnage is
+//     decoration) and must clear once Stop() heals the population and
+//     the windows slide past the churn tail.
 //
 // Failing any invariant returns an error; main exits nonzero.
 
@@ -83,6 +89,9 @@ type soakDeployment struct {
 	subCount  func() (int, error)
 	hasSub    func(epKey string) (bool, error)
 	evictions func() int64
+	// sloSource feeds the soak's delivery-availability objective:
+	// cumulative (good, total) deliveries.
+	sloSource slo.Source
 	teardown  func()
 }
 
@@ -124,6 +133,26 @@ func runSoak(stack core.Stack, dur time.Duration, rate float64, nsinks int, seed
 			}
 		}
 	}
+
+	// The delivery-availability SLO, scaled to soak time: windows of
+	// 1s/4s instead of 5m/1h, threshold 5 instead of 14.4. During the
+	// churn the kill-induced failure fraction (~1.5% at the default 32
+	// sinks) burns a 99.9% budget at ~15× — comfortably past the
+	// threshold — while a stray single failure after the heal burns at
+	// ~2 and stays quiet.
+	var sloFired atomic.Int64
+	engine := slo.New(slo.Config{
+		Objectives: []slo.Objective{
+			slo.SourceObjective("delivery-availability", "availability", 0.999, dep.sloSource),
+		},
+		ShortWindow: time.Second,
+		LongWindow:  4 * time.Second,
+		Interval:    150 * time.Millisecond,
+		Burn:        5,
+		DumpTo:      os.Stderr,
+		OnFire:      func(slo.State) { sloFired.Add(1) },
+	})
+	engine.Start()
 
 	fmt.Fprintf(os.Stderr, "loadgen: soak %s: %d endpoints, %v at %g publishes/s, seed %d\n",
 		stackShort(string(stack)), nsinks, dur, rate, seed)
@@ -174,6 +203,33 @@ func runSoak(stack core.Stack, dur time.Duration, rate float64, nsinks int, seed
 				c.cache, resident, miss, evict, c.cap))
 		}
 	}
+
+	// Sixth invariant, firing half: the scripted kills must have tripped
+	// the alert. Gated on a long enough run with actual kills — a
+	// 2-second smoke with no carnage has nothing to detect.
+	if dur >= 5*time.Second && stats.Killed > 0 && sloFired.Load() == 0 {
+		violations = append(violations, fmt.Sprintf(
+			"SLO alert never fired: %d kills during churn left the burn rate under threshold", stats.Killed))
+	}
+	// Clearing half: once healed, the burn windows slide past the churn
+	// tail and the alert must resolve.
+	if sloFired.Load() > 0 {
+		cleared := false
+		for deadline := time.Now().Add(10 * time.Second); ; {
+			if !engine.Firing() {
+				cleared = true
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if !cleared {
+			violations = append(violations, "SLO alert still firing 10s after the churn healed")
+		}
+	}
+	engine.Stop()
 
 	// Teardown before the leak check; disarm the deferred cleanup.
 	dep.teardown()
@@ -304,6 +360,10 @@ func buildSoakDeployment(stack core.Stack, in *faultinject.Injector, nsinks int)
 			return false, nil
 		}
 		dep.evictions = func() int64 { return p.DeliveryStats().Evictions }
+		dep.sloSource = func() (int64, int64) {
+			st := p.DeliveryStats()
+			return st.Deliveries, st.Deliveries + st.Failures
+		}
 	case core.StackWST:
 		store, err := wse.NewStore("")
 		if err != nil {
@@ -360,6 +420,10 @@ func buildSoakDeployment(stack core.Stack, in *faultinject.Injector, nsinks int)
 			return false, nil
 		}
 		dep.evictions = func() int64 { return src.DeliveryStats().Evictions }
+		dep.sloSource = func() (int64, int64) {
+			st := src.DeliveryStats()
+			return st.Deliveries, st.Deliveries + st.Failures
+		}
 	default:
 		teardown()
 		return nil, fmt.Errorf("loadgen: unknown stack %q", stack)

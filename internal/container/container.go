@@ -44,6 +44,13 @@ var (
 		"SOAP fault responses written by the container")
 )
 
+// RequestCounters exposes the pipeline's request and fault counters so
+// the slo layer can build an availability objective over them without
+// reaching into this package's internals.
+func RequestCounters() (requests, faults *obs.Counter) {
+	return requestsTotal, faultsTotal
+}
+
 // SecurityMode selects the paper's three security scenarios.
 type SecurityMode int
 
@@ -242,7 +249,7 @@ func (c *Container) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	span.SetAttr("path", r.URL.Path)
 	requestsTotal.Inc()
 	defer func() {
-		obs.StageDispatch.ObserveSince(t0)
+		obs.StageDispatch.ObserveSinceSpan(t0, span)
 		span.End()
 	}()
 	buf := bodyPool.Get().(*bytes.Buffer)
@@ -289,7 +296,7 @@ func (c *Container) dispatch(reqCtx context.Context, svc *Service, env *soap.Env
 		vt := obs.Start()
 		vspan := obs.ChildSpan(reqCtx, "wssec.verify")
 		cert, err := c.Verifier.Verify(env)
-		obs.StageVerify.ObserveSince(vt)
+		obs.StageVerify.ObserveSinceSpan(vt, vspan)
 		if err != nil {
 			vspan.Fail(err)
 			vspan.End()
@@ -319,7 +326,7 @@ func (c *Container) dispatch(reqCtx context.Context, svc *Service, env *soap.Env
 	hctx, hspan := obs.StartSpan(reqCtx, "handler")
 	ctx.Context = hctx
 	respBody, err := handler(ctx)
-	obs.StageHandler.ObserveSince(ht)
+	obs.StageHandler.ObserveSinceSpan(ht, hspan)
 	if err != nil {
 		hspan.Fail(err)
 		hspan.End()
@@ -360,7 +367,7 @@ func (c *Container) writeResponse(ctx context.Context, w http.ResponseWriter, st
 	buf := bodyPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	env.MarshalTo(buf)
-	obs.StageSerialize.ObserveSince(st)
+	obs.StageSerialize.ObserveSinceSpan(st, sspan)
 	sspan.SetAttr("bytes", fmt.Sprint(buf.Len()))
 	sspan.End()
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")

@@ -29,6 +29,7 @@ func TestAtomicMixFixtures(t *testing.T)     { runFixture(t, AtomicMix, "atomicm
 func TestGoroutineLifeFixtures(t *testing.T) { runFixture(t, GoroutineLife, "goroutinelife") }
 func TestTimerLeakFixtures(t *testing.T)     { runFixture(t, TimerLeak, "timerleak") }
 func TestCopyLockFixtures(t *testing.T)      { runFixture(t, CopyLock, "copylock") }
+func TestSpanLeakFixtures(t *testing.T)      { runFixture(t, SpanLeak, "spanleak") }
 
 // The *_interproc fixtures put every violation behind at least one
 // helper call, so they fail against a purely intraprocedural walk.

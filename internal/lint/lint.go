@@ -74,6 +74,7 @@ func Analyzers() []*Analyzer {
 		GoroutineLife,
 		TimerLeak,
 		CopyLock,
+		SpanLeak,
 	}
 }
 

@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanLeak verifies span ownership: the *obs.Span returned by
+// obs.StartSpan or obs.ChildSpan must be Ended on every path out of
+// the scope that owns it. An un-Ended span never flushes into its
+// trace; when it is the root, the whole trace silently vanishes from
+// the ring, and child spans that end later count as dropped — the
+// exemplar and stitch machinery then point at traces that do not
+// exist.
+//
+// The check is path-sensitive within the declaring scope:
+//
+//   - `defer span.End()` (directly or inside a deferred literal that
+//     mentions the span) covers every subsequent path;
+//   - an explicit span.End() covers the paths that flow through it —
+//     a return reachable without passing an End is flagged;
+//   - falling off the end of the declaring scope without an End is
+//     flagged at the declaration.
+//
+// Ownership transfers are respected, not flagged: a span that is
+// returned, stored into a field/global/element, sent on a channel,
+// passed as a call argument, captured by a non-deferred function
+// literal, or re-assigned to another variable has a new owner, and
+// that owner is the one on the hook.
+var SpanLeak = &Analyzer{
+	Name: "spanleak",
+	Doc:  "obs.StartSpan/ChildSpan results must be Ended on every path of their owning scope",
+	Run:  runSpanLeak,
+}
+
+const obsPkgPath = "altstacks/internal/obs"
+
+func runSpanLeak(pass *Pass) error {
+	for _, file := range pass.Files {
+		enclosingFuncs(file, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+			checkSpanLeaks(pass, body)
+		})
+	}
+	return nil
+}
+
+// spanBinding is one `span := obs.StartSpan/ChildSpan(...)` in a
+// function, with the statement list it is declared in and its index
+// there (the span's scope is the remainder of that list).
+type spanBinding struct {
+	obj  types.Object
+	call *ast.CallExpr
+	fn   string
+	list []ast.Stmt
+	idx  int
+}
+
+func checkSpanLeaks(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var bindings []spanBinding
+	// Collect bindings list-by-list so each knows its declaring scope.
+	// Nested function literals get their own enclosingFuncs visit.
+	var scan func(list []ast.Stmt)
+	scan = func(list []ast.Stmt) {
+		for i, stmt := range list {
+			if as, ok := stmt.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+					var id *ast.Ident
+					var fn string
+					switch {
+					case calleeIsFunc(info, call, obsPkgPath, "StartSpan") && len(as.Lhs) == 2:
+						id, _ = as.Lhs[1].(*ast.Ident)
+						fn = "obs.StartSpan"
+					case calleeIsFunc(info, call, obsPkgPath, "ChildSpan") && len(as.Lhs) == 1:
+						id, _ = as.Lhs[0].(*ast.Ident)
+						fn = "obs.ChildSpan"
+					}
+					if id != nil && id.Name != "_" {
+						if obj := objectOf(info, id); obj != nil {
+							bindings = append(bindings, spanBinding{obj: obj, call: call, fn: fn, list: list, idx: i})
+						}
+					}
+				}
+			}
+			for _, nested := range nestedStmtLists(stmt) {
+				scan(nested)
+			}
+		}
+	}
+	scan(body.List)
+
+	for _, b := range bindings {
+		w := &spanWalker{pass: pass, info: info, b: b}
+		covered, terminated := w.evalStmts(b.list[b.idx+1:], false)
+		if !covered && !terminated {
+			pass.Reportf(b.call.Pos(),
+				"span from %s reaches the end of its scope without End; the span never flushes into its trace", b.fn)
+		}
+	}
+}
+
+// nestedStmtLists returns the statement lists directly nested in stmt
+// (so binding collection can descend without entering func literals).
+func nestedStmtLists(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch v := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, v.List)
+	case *ast.IfStmt:
+		out = append(out, v.Body.List)
+		if v.Else != nil {
+			out = append(out, nestedStmtLists(v.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, v.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, v.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedStmtLists(v.Stmt)...)
+	}
+	return out
+}
+
+// spanWalker evaluates the statements of a span's owning scope,
+// tracking whether every path out of the scope passes an End (or an
+// ownership transfer) first.
+type spanWalker struct {
+	pass *Pass
+	info *types.Info
+	b    spanBinding
+}
+
+// evalStmts walks one statement list with the entry coverage state and
+// returns (covered at fall-through, terminated: every path returned).
+// Returns reached while uncovered are reported as leaks.
+func (w *spanWalker) evalStmts(stmts []ast.Stmt, covered bool) (bool, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		covered, terminated = w.evalStmt(stmt, covered)
+		if terminated {
+			return covered, true
+		}
+	}
+	return covered, false
+}
+
+func (w *spanWalker) evalStmt(stmt ast.Stmt, covered bool) (bool, bool) {
+	switch v := stmt.(type) {
+	case *ast.ReturnStmt:
+		if w.mentionsSpan(v) {
+			return true, true // span returned: ownership transferred
+		}
+		if !covered {
+			w.pass.Reportf(v.Pos(),
+				"span from %s is not Ended on this return path", w.b.fn)
+		}
+		return covered, true
+	case *ast.BranchStmt:
+		// break/continue/goto: leave the list early. Coverage on this
+		// path is whatever it is now; treat as termination of the list
+		// walk (the loop/switch context decides what happens next —
+		// conservative for goto, fine for the shapes the repo uses).
+		return covered, true
+	case *ast.DeferStmt:
+		if w.deferCovers(v) {
+			return true, false
+		}
+		return covered, false
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(v.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return covered, true
+			}
+		}
+		return covered || w.stmtCovers(v), false
+	case *ast.IfStmt:
+		if w.stmtCovers(v.Init) || w.exprCovers(v.Cond) {
+			covered = true
+		}
+		thenCov, thenTerm := w.evalStmts(v.Body.List, covered)
+		elseCov, elseTerm := covered, false
+		switch e := v.Else.(type) {
+		case *ast.BlockStmt:
+			elseCov, elseTerm = w.evalStmts(e.List, covered)
+		case *ast.IfStmt:
+			elseCov, elseTerm = w.evalStmt(e, covered)
+		}
+		if thenTerm && elseTerm {
+			return true, true
+		}
+		// Coverage after the if: every continuing path must be covered.
+		after := true
+		if !thenTerm && !thenCov {
+			after = false
+		}
+		if !elseTerm && !elseCov {
+			after = false
+		}
+		return after, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.evalBranches(stmt, covered)
+	case *ast.ForStmt:
+		if w.stmtCovers(v.Init) || w.exprCovers(v.Cond) || w.stmtCovers(v.Post) {
+			covered = true
+		}
+		bodyCov, _ := w.evalStmts(v.Body.List, covered)
+		// A loop may run zero times, so its coverage cannot downgrade;
+		// but an End inside the body is an intentional hand-off on the
+		// iterating path, so it may upgrade (optimistic — this check
+		// hunts forgotten Ends, not loop-iteration counting).
+		return covered || bodyCov, false
+	case *ast.RangeStmt:
+		if w.exprCovers(v.X) {
+			covered = true
+		}
+		bodyCov, _ := w.evalStmts(v.Body.List, covered)
+		return covered || bodyCov, false
+	case *ast.BlockStmt:
+		return w.evalStmts(v.List, covered)
+	case *ast.LabeledStmt:
+		return w.evalStmt(v.Stmt, covered)
+	case nil:
+		return covered, false
+	default:
+		return covered || w.stmtCovers(stmt), false
+	}
+}
+
+// evalBranches handles switch/type-switch/select: the state after is
+// covered only when every continuing branch (and, without a default,
+// the skip path) is covered.
+func (w *spanWalker) evalBranches(stmt ast.Stmt, covered bool) (bool, bool) {
+	var clauses [][]ast.Stmt
+	hasDefault := false
+	note := func(isDefault bool, body []ast.Stmt) {
+		if isDefault {
+			hasDefault = true
+		}
+		clauses = append(clauses, body)
+	}
+	switch v := stmt.(type) {
+	case *ast.SwitchStmt:
+		if w.stmtCovers(v.Init) || w.exprCovers(v.Tag) {
+			covered = true
+		}
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				note(cc.List == nil, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if w.stmtCovers(v.Init) || w.stmtCovers(v.Assign) {
+			covered = true
+		}
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				note(cc.List == nil, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault = true // select always takes exactly one branch
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				note(false, cc.Body)
+			}
+		}
+	}
+	after, terminated := true, hasDefault
+	for _, body := range clauses {
+		cov, term := w.evalStmts(body, covered)
+		if !term {
+			terminated = false
+			if !cov {
+				after = false
+			}
+		}
+	}
+	if len(clauses) == 0 {
+		return covered, false
+	}
+	if !hasDefault {
+		terminated = false
+		if !covered {
+			after = false // the no-case-matched path continues uncovered
+		}
+	}
+	if terminated {
+		return true, true
+	}
+	return after, false
+}
+
+// deferCovers reports whether the defer guarantees the span's End (or
+// transfer): `defer span.End()`, a deferred literal that mentions the
+// span, or the span passed to any deferred call.
+func (w *spanWalker) deferCovers(d *ast.DeferStmt) bool {
+	if w.isEndCall(d.Call) {
+		return true
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok && mentions(w.info, lit.Body, w.b.obj) {
+		return true
+	}
+	for _, arg := range d.Call.Args {
+		if mentions(w.info, arg, w.b.obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtCovers reports whether the statement Ends the span or transfers
+// its ownership: an End call, the span as a call argument, a store
+// into anything (alias, field, global, element), a send, or capture by
+// a non-deferred function literal.
+func (w *spanWalker) stmtCovers(stmt ast.Stmt) bool {
+	if stmt == nil {
+		return false
+	}
+	covers := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if covers {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if mentions(w.info, v.Body, w.b.obj) {
+				covers = true
+			}
+			return false
+		case *ast.CallExpr:
+			if w.isEndCall(v) {
+				covers = true
+				return false
+			}
+			for _, arg := range v.Args {
+				if mentions(w.info, arg, w.b.obj) {
+					covers = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if mentions(w.info, v.Value, w.b.obj) {
+				covers = true
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range v.Rhs {
+				if mentions(w.info, rhs, w.b.obj) {
+					covers = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return covers
+}
+
+// exprCovers is stmtCovers for bare expressions (conditions, range
+// operands).
+func (w *spanWalker) exprCovers(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	return w.stmtCovers(&ast.ExprStmt{X: e})
+}
+
+// isEndCall reports whether call is span.End() on the tracked span.
+func (w *spanWalker) isEndCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && w.info.Uses[id] == w.b.obj
+}
+
+// mentionsSpan reports whether the node uses the tracked span.
+func (w *spanWalker) mentionsSpan(n ast.Node) bool {
+	return mentions(w.info, n, w.b.obj)
+}

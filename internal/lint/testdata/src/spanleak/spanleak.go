@@ -1,0 +1,112 @@
+// Package spanleak exercises ogsalint/spanleak: spans returned by
+// obs.StartSpan/ChildSpan must be Ended on every path out of their
+// owning scope, unless ownership transfers to another holder.
+package spanleak
+
+import (
+	"context"
+	"errors"
+
+	"altstacks/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+// --- flagged ---
+
+// badNeverEnded starts a span and forgets it entirely: the trace it
+// roots never flushes.
+func badNeverEnded(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "bad.never") // want `span from obs.StartSpan reaches the end of its scope without End`
+	span.SetAttr("k", "v")
+}
+
+// badEarlyReturn Ends on the happy path but returns early on error
+// with the span still open.
+func badEarlyReturn(ctx context.Context, fail bool) error {
+	_, span := obs.StartSpan(ctx, "bad.early")
+	if fail {
+		return errBoom // want `span from obs.StartSpan is not Ended on this return path`
+	}
+	span.End()
+	return nil
+}
+
+// badChildBranch never Ends the child span: both the error return and
+// the happy return leave it open.
+func badChildBranch(ctx context.Context, err error) error {
+	span := obs.ChildSpan(ctx, "bad.branch")
+	if err != nil {
+		span.Fail(err)
+		return err // want `span from obs.ChildSpan is not Ended on this return path`
+	}
+	span.SetAttr("ok", "true")
+	return nil // want `span from obs.ChildSpan is not Ended on this return path`
+}
+
+// badSwitchCase covers two cases but lets the default fall through
+// without an End.
+func badSwitchCase(ctx context.Context, mode int) {
+	span := obs.ChildSpan(ctx, "bad.switch") // want `span from obs.ChildSpan reaches the end of its scope without End`
+	switch mode {
+	case 0:
+		span.End()
+	case 1:
+		span.End()
+	}
+}
+
+// --- not flagged ---
+
+// goodDefer is the canonical shape: the deferred End covers every
+// path, including the early return.
+func goodDefer(ctx context.Context, fail bool) error {
+	_, span := obs.StartSpan(ctx, "good.defer")
+	defer span.End()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// goodBothBranches Ends explicitly on each path, the shape the
+// container uses for its verify span.
+func goodBothBranches(ctx context.Context, err error) error {
+	span := obs.ChildSpan(ctx, "good.branches")
+	if err != nil {
+		span.Fail(err)
+		span.End()
+		return err
+	}
+	span.SetAttr("ok", "true")
+	span.End()
+	return nil
+}
+
+// goodDeferredLiteral Ends inside a deferred closure — the shape the
+// container dispatcher uses to pair the stage observation with End.
+func goodDeferredLiteral(ctx context.Context) {
+	t0 := obs.Start()
+	_, span := obs.StartSpan(ctx, "good.litdefer")
+	defer func() {
+		obs.StageDispatch.ObserveSinceSpan(t0, span)
+		span.End()
+	}()
+}
+
+// goodTransfer hands the span to a helper; the helper is the owner on
+// the hook for End, so the caller is not flagged.
+func goodTransfer(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "good.transfer")
+	finish(span)
+}
+
+func finish(s *obs.Span) {
+	s.End()
+}
+
+// goodReturned transfers ownership to the caller.
+func goodReturned(ctx context.Context) *obs.Span {
+	_, span := obs.StartSpan(ctx, "good.returned")
+	return span
+}

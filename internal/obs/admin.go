@@ -5,19 +5,41 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
+// adminExtra holds handlers registered by higher layers (the slo
+// engine's /slo lives here). A map consulted per request — not at mux
+// build time — so daemons may start the admin server before the layer
+// that registers the handler exists.
+var adminExtra sync.Map // path -> http.Handler
+
+// HandleAdmin registers (or, with a nil handler, removes) an extra
+// admin endpoint under path. The obs package cannot import the layers
+// built on top of it, so those layers hook their endpoints in here.
+func HandleAdmin(path string, h http.Handler) {
+	if h == nil {
+		adminExtra.Delete(path)
+		return
+	}
+	adminExtra.Store(path, h)
+}
+
 // AdminMux returns the admin HTTP handler: /metrics (Prometheus text
-// exposition of the Default registry), /traces (finished traces as
-// JSON, stitched across MessageID links), and the net/http/pprof
-// suite under /debug/pprof/.
+// exposition of the Default registry), /federate (the fleet-merged
+// exposition: local registry plus every configured peer), /traces
+// (finished traces as JSON, stitched across MessageID links), /dump
+// (the fault flight recorder as JSON), endpoints registered through
+// HandleAdmin (the slo engine's /slo), and the net/http/pprof suite
+// under /debug/pprof/.
 func AdminMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = Default.WritePrometheus(w)
 	})
+	mux.HandleFunc("/federate", federateHandler)
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		b, err := TracesJSON()
 		if err != nil {
@@ -26,6 +48,22 @@ func AdminMux() *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(b)
+	})
+	mux.HandleFunc("/dump", func(w http.ResponseWriter, r *http.Request) {
+		b, err := EventsJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if h, ok := adminExtra.Load(r.URL.Path); ok {
+			h.(http.Handler).ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

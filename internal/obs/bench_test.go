@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// Microbenchmarks for the observability hot paths, emitted into
+// BENCH_obs.json by `make bench-obs`. The numbers that matter:
+// the disabled path must be a bool load, and exemplar capture must
+// cost one pointer store over a plain observation.
+
+var (
+	benchHist     = NewHistogram("bench_obs_hist_seconds", "", "bench histogram")
+	benchExemplar = NewHistogram("bench_obs_exemplar_seconds", "", "bench exemplar histogram")
+	benchCounter  = NewCounter("bench_obs_total", "", "bench counter")
+)
+
+func BenchmarkObsObserveDisabled(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchHist.Observe(time.Millisecond)
+	}
+}
+
+func BenchmarkObsObserve(b *testing.B) {
+	Enable()
+	b.Cleanup(Disable)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchHist.Observe(time.Millisecond)
+	}
+}
+
+func BenchmarkObsObserveSpanExemplar(b *testing.B) {
+	Enable()
+	b.Cleanup(func() {
+		Disable()
+		ResetTraces()
+	})
+	_, span := StartSpan(context.Background(), "bench")
+	defer span.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchExemplar.ObserveSpan(time.Millisecond, span)
+	}
+}
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	Enable()
+	b.Cleanup(Disable)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchCounter.Inc()
+	}
+}
+
+func BenchmarkObsRecordEvent(b *testing.B) {
+	Enable()
+	b.Cleanup(func() {
+		Disable()
+		ResetEvents()
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RecordEvent("bench.tick", Attr{K: "k", V: "v"})
+	}
+}
+
+func BenchmarkObsWritePrometheus(b *testing.B) {
+	Enable()
+	b.Cleanup(Disable)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Default.WritePrometheus(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObsParseExposition(b *testing.B) {
+	Enable()
+	b.Cleanup(Disable)
+	var buf bytes.Buffer
+	if err := Default.WritePrometheus(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseExposition(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObsMergeFleet4(b *testing.B) {
+	Enable()
+	b.Cleanup(Disable)
+	var buf bytes.Buffer
+	if err := Default.WritePrometheus(&buf); err != nil {
+		b.Fatal(err)
+	}
+	insts := make([]*Exposition, 4)
+	for i := range insts {
+		exp, err := ParseExposition(buf.Bytes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts[i] = exp
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merge(insts)
+	}
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExemplarCaptureAndRoundTrip pins the exemplar path end to end:
+// a span-linked observation lands its exemplar in the right bucket,
+// the registry renders it in OpenMetrics `# {...}` syntax, and the
+// federation parser recovers trace id, message id, and value.
+func TestExemplarCaptureAndRoundTrip(t *testing.T) {
+	h := NewHistogram("test_exemplar_seconds", "", "exemplar round-trip fixture")
+	withEnabled(t, func() {
+		_, span := StartSpan(context.Background(), "dispatch")
+		span.SetMessageID("urn:msg:exemplar")
+		h.ObserveSpan(3*time.Millisecond, span) // lands in the le="0.005" bucket
+		span.End()
+
+		exs := h.Exemplars()
+		var idx int = -1
+		for i, e := range exs {
+			if e != nil {
+				idx = i
+			}
+		}
+		if idx == -1 {
+			t.Fatal("span observation left no exemplar")
+		}
+		if exs[idx].TraceID != span.TraceID() || exs[idx].MessageID != "urn:msg:exemplar" {
+			t.Fatalf("exemplar ids wrong: %+v", exs[idx])
+		}
+
+		var buf bytes.Buffer
+		if err := Default.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), `# {trace_id="`+span.TraceID()+`"`) {
+			t.Fatal("exposition missing OpenMetrics exemplar suffix")
+		}
+
+		exp, err := ParseExposition(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := exp.Get("test_exemplar_seconds", "")
+		if s == nil || s.Hist == nil {
+			t.Fatal("parsed exposition lost the test histogram")
+		}
+		ex := s.Hist.Exemplars[idx]
+		if ex == nil || ex.TraceID != span.TraceID() || ex.MessageID != "urn:msg:exemplar" {
+			t.Fatalf("exemplar did not survive the round trip: %+v", ex)
+		}
+		if ex.Value < 0.0025 || ex.Value > 0.005 {
+			t.Fatalf("exemplar value %v outside its bucket", ex.Value)
+		}
+	})
+}
+
+// TestHostileLabelValue is the escaping regression test: a label value
+// containing every character that can corrupt the text exposition —
+// quote, backslash, newline, and a closing brace — must render as one
+// parseable line and survive a parse round trip intact.
+func TestHostileLabelValue(t *testing.T) {
+	hostile := `sink"},evil="1` + "\n" + `back\slash`
+	labels := Label("endpoint", hostile)
+	c := NewCounter("test_hostile_total", labels, "hostile label fixture")
+	withEnabled(t, func() {
+		c.Add(7)
+
+		var buf bytes.Buffer
+		if err := Default.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.Contains(line, "test_hostile_total") && !strings.HasPrefix(line, "#") {
+				if !strings.HasSuffix(line, " 7") {
+					t.Fatalf("hostile label broke the sample line: %q", line)
+				}
+			}
+		}
+
+		exp, err := ParseExposition(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := exp.Get("test_hostile_total", labels)
+		if s == nil {
+			t.Fatalf("hostile label did not survive the parse; series: %+v",
+				exp.Family("test_hostile_total"))
+		}
+		if s.Value != 7 {
+			t.Fatalf("hostile-labeled counter = %v, want 7", s.Value)
+		}
+	})
+}
+
+const instA = `# HELP reqs_total requests
+# TYPE reqs_total counter
+reqs_total 5
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 2 # {trace_id="tA",message_id="mA"} 0.05 100.000
+lat_seconds_bucket{le="1"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 1.5
+lat_seconds_count 4
+`
+
+const instB = `# HELP reqs_total requests
+# TYPE reqs_total counter
+reqs_total 7
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 10 # {trace_id="tB"} 0.07 200.000
+lat_seconds_bucket{le="1"} 10
+lat_seconds_bucket{le="+Inf"} 11
+lat_seconds_sum 3.25
+lat_seconds_count 11
+`
+
+// TestParseMergeRoundTrip: two hand-written instance expositions merge
+// into bucket-aligned fleet totals with the most recent exemplar
+// winning, and the merged render re-parses to the same numbers.
+func TestParseMergeRoundTrip(t *testing.T) {
+	a, err := ParseExposition([]byte(instA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseExposition([]byte(instB))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Parsed bucket counts must be de-cumulated.
+	ha := a.Get("lat_seconds", "").Hist
+	if want := []int64{2, 1, 1}; len(ha.Counts) != 3 ||
+		ha.Counts[0] != want[0] || ha.Counts[1] != want[1] || ha.Counts[2] != want[2] {
+		t.Fatalf("de-cumulated counts = %v, want %v", ha.Counts, want)
+	}
+
+	m := Merge([]*Exposition{a, b})
+	if got := m.Get("reqs_total", "").Value; got != 12 {
+		t.Fatalf("merged counter = %v, want 12", got)
+	}
+	hm := m.Get("lat_seconds", "").Hist
+	if want := []int64{12, 1, 2}; hm.Counts[0] != want[0] || hm.Counts[1] != want[1] || hm.Counts[2] != want[2] {
+		t.Fatalf("merged bucket counts = %v, want %v", hm.Counts, want)
+	}
+	if hm.Count != 15 || hm.Sum != 4.75 {
+		t.Fatalf("merged count/sum = %d/%v, want 15/4.75", hm.Count, hm.Sum)
+	}
+	if hm.Exemplars[0] == nil || hm.Exemplars[0].TraceID != "tB" {
+		t.Fatalf("merge kept the stale exemplar: %+v", hm.Exemplars[0])
+	}
+
+	var buf bytes.Buffer
+	if err := m.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("merged render did not re-parse: %v\n%s", err, buf.String())
+	}
+	h2 := again.Get("lat_seconds", "").Hist
+	if h2.Count != hm.Count || h2.Counts[0] != hm.Counts[0] || h2.Exemplars[0].TraceID != "tB" {
+		t.Fatalf("render/parse round trip drifted: %+v vs %+v", h2, hm)
+	}
+}
+
+// TestMergeSkewedBounds: a version-skewed peer whose bucket bounds
+// disagree must not corrupt the fleet histogram — its series is
+// dropped, the first instance's data kept.
+func TestMergeSkewedBounds(t *testing.T) {
+	skewed := strings.ReplaceAll(instB, `le="0.1"`, `le="0.25"`)
+	a, err := ParseExposition([]byte(instA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseExposition([]byte(skewed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Merge([]*Exposition{a, b})
+	hm := m.Get("lat_seconds", "").Hist
+	if hm.Count != 4 || hm.Counts[0] != 2 {
+		t.Fatalf("skewed peer leaked into the merge: %+v", hm)
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// The fault flight recorder: a bounded per-process ring of structured
+// events — delivery faults, evictions, retries, SLO state transitions
+// — that survives long enough to explain an alert after the fact.
+// Metrics say *that* the burn rate spiked; the recorder says which
+// subscribers were striking out, in what order, with what errors,
+// during the breach window. It dumps automatically when an SLO fires
+// (the slo package calls DumpEvents) and on demand via the /dump admin
+// endpoint and `gridctl dump`.
+//
+// Recording is gated on the same process-wide switch as metrics, so a
+// disabled process pays one atomic bool load per event site.
+
+// EventData is one recorded flight event.
+type EventData struct {
+	// Seq orders events totally even when timestamps collide.
+	Seq  int64     `json:"seq"`
+	Time time.Time `json:"time"`
+	// Kind names the event class, dotted: "wsn.evict",
+	// "wse.delivery_fault", "slo.fire", ...
+	Kind string `json:"kind"`
+	// TraceID links the event to a retained trace when the emitting
+	// code ran under a span.
+	TraceID string `json:"trace_id,omitempty"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// RecorderCap bounds how many events the ring retains.
+const RecorderCap = 2048
+
+type eventRing struct {
+	mu   sync.Mutex
+	buf  []EventData
+	next int
+	seq  int64
+}
+
+var events eventRing
+
+var eventsTotal = NewCounter("ogsa_flight_events_total", "",
+	"structured events recorded by the fault flight recorder")
+
+// RecordEvent appends one event to the flight recorder (no-op while
+// the obs layer is disabled). Attrs are retained as given; callers
+// should keep them small — this is a black box, not a log stream.
+func RecordEvent(kind string, attrs ...Attr) {
+	recordEvent(kind, "", attrs)
+}
+
+// RecordEventCtx is RecordEvent stamped with the trace id of the span
+// ctx carries, linking the event to its request.
+func RecordEventCtx(ctx context.Context, kind string, attrs ...Attr) {
+	recordEvent(kind, SpanFromContext(ctx).TraceID(), attrs)
+}
+
+func recordEvent(kind, traceID string, attrs []Attr) {
+	if !enabled.Load() {
+		return
+	}
+	eventsTotal.Inc()
+	now := time.Now()
+	events.mu.Lock()
+	events.seq++
+	e := EventData{Seq: events.seq, Time: now, Kind: kind, TraceID: traceID, Attrs: attrs}
+	if len(events.buf) < RecorderCap {
+		events.buf = append(events.buf, e)
+	} else {
+		events.buf[events.next] = e
+		events.next = (events.next + 1) % RecorderCap
+	}
+	events.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func Events() []EventData {
+	events.mu.Lock()
+	defer events.mu.Unlock()
+	out := make([]EventData, 0, len(events.buf))
+	out = append(out, events.buf[events.next:]...)
+	out = append(out, events.buf[:events.next]...)
+	return out
+}
+
+// EventsJSON renders the retained events as a JSON array — the body
+// the /dump admin endpoint serves.
+func EventsJSON() ([]byte, error) {
+	return json.MarshalIndent(Events(), "", "  ")
+}
+
+// ResetEvents empties the ring (tests isolate themselves with it).
+func ResetEvents() {
+	events.mu.Lock()
+	events.buf, events.next, events.seq = nil, 0, 0
+	events.mu.Unlock()
+}
+
+// DumpEvents writes the retained events to w as one text line each,
+// newest last, bounded to the trailing window when window > 0. The slo
+// engine calls it on a breach so the events explaining the burn land
+// next to the alert in the daemon's log.
+func DumpEvents(w io.Writer, window time.Duration) {
+	evs := Events()
+	cut := time.Time{}
+	if window > 0 {
+		cut = time.Now().Add(-window)
+	}
+	n := 0
+	for _, e := range evs {
+		if e.Time.Before(cut) {
+			continue
+		}
+		n++
+	}
+	fmt.Fprintf(w, "flight recorder: %d event(s)", n)
+	if window > 0 {
+		fmt.Fprintf(w, " in the last %v", window)
+	}
+	fmt.Fprintln(w)
+	for _, e := range evs {
+		if e.Time.Before(cut) {
+			continue
+		}
+		fmt.Fprintf(w, "  %s %s", e.Time.Format("15:04:05.000"), e.Kind)
+		if e.TraceID != "" {
+			fmt.Fprintf(w, " trace=%s", e.TraceID)
+		}
+		for _, a := range e.Attrs {
+			fmt.Fprintf(w, " %s=%s", a.K, a.V)
+		}
+		fmt.Fprintln(w)
+	}
+}

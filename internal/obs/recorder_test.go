@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFlightRecorderRing: the recorder is a bounded ring — overflow
+// evicts oldest-first, order and sequence numbers survive wraparound,
+// and the JSON dump the /dump endpoint serves decodes cleanly.
+func TestFlightRecorderRing(t *testing.T) {
+	withEnabled(t, func() {
+		ResetEvents()
+		defer ResetEvents()
+		const extra = 10
+		for i := 0; i < RecorderCap+extra; i++ {
+			RecordEvent("test.tick", Attr{K: "i", V: fmt.Sprint(i)})
+		}
+		evs := Events()
+		if len(evs) != RecorderCap {
+			t.Fatalf("ring holds %d events, want %d", len(evs), RecorderCap)
+		}
+		if evs[0].Seq != extra+1 {
+			t.Fatalf("oldest surviving seq = %d, want %d (oldest evicted first)", evs[0].Seq, extra+1)
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Seq != evs[i-1].Seq+1 {
+				t.Fatalf("events out of order at %d: %d after %d", i, evs[i].Seq, evs[i-1].Seq)
+			}
+		}
+
+		data, err := EventsJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded []EventData
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		if len(decoded) != RecorderCap || decoded[0].Kind != "test.tick" {
+			t.Fatalf("JSON dump lost events: %d", len(decoded))
+		}
+
+		var buf bytes.Buffer
+		DumpEvents(&buf, 0)
+		if !strings.HasPrefix(buf.String(), fmt.Sprintf("flight recorder: %d event(s)", RecorderCap)) {
+			t.Fatalf("dump header wrong: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+		}
+	})
+}
+
+// TestFlightRecorderTraceLink: RecordEventCtx stamps the event with
+// the trace id of the span the context carries, so a dump line leads
+// straight to its retained trace.
+func TestFlightRecorderTraceLink(t *testing.T) {
+	withEnabled(t, func() {
+		ResetEvents()
+		defer ResetEvents()
+		ctx, span := StartSpan(context.Background(), "container.dispatch")
+		RecordEventCtx(ctx, "test.fault", Attr{K: "sub", V: "s-1"})
+		span.End()
+		evs := Events()
+		if len(evs) != 1 || evs[0].TraceID != span.TraceID() {
+			t.Fatalf("event not linked to its trace: %+v", evs)
+		}
+	})
+}
+
+// TestFlightRecorderDisabled: a disabled process records nothing.
+func TestFlightRecorderDisabled(t *testing.T) {
+	Disable()
+	ResetEvents()
+	RecordEvent("test.noop")
+	if got := len(Events()); got != 0 {
+		t.Fatalf("disabled recorder captured %d events", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,41 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		m.writeSamples(bw)
 	}
 	return bw.Flush()
+}
+
+// EscapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double-quote, and newline become \\,
+// \", and \n. Anything else passes through. Label values reaching the
+// exposition unescaped corrupt the whole scrape — a subscriber URL
+// with a quote in it must not be able to break /metrics.
+func EscapeLabelValue(v string) string {
+	// Fast path: nothing to escape (the overwhelmingly common case for
+	// the baked label sets this package uses).
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// Label renders one k="v" exposition label pair with the value
+// escaped. Use it (not string concatenation) whenever a label value
+// comes from data rather than a literal.
+func Label(k, v string) string {
+	return k + `="` + EscapeLabelValue(v) + `"`
 }
 
 // sampleName renders name{labels} with an optional extra label (for
@@ -209,6 +245,10 @@ type Histogram struct {
 	buckets            []atomic.Int64 // len(bounds)+1; last is +Inf
 	sumNanos           atomic.Int64
 	count              atomic.Int64
+	// exemplars holds, per bucket, the most recent span-linked
+	// observation (see exemplar.go); written only by ObserveSinceSpan
+	// and friends, so plain Observe paths never touch it.
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 // NewHistogram registers a latency histogram with the standard bucket
@@ -223,8 +263,9 @@ func NewHistogram(name, labels, help string) *Histogram {
 func NewValueHistogram(name, labels, help string, bounds []float64) *Histogram {
 	h := &Histogram{
 		name: name, labels: labels, help: help,
-		bounds:  bounds,
-		buckets: make([]atomic.Int64, len(bounds)+1),
+		bounds:    bounds,
+		buckets:   make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 	Default.register(h)
 	return h
@@ -309,11 +350,13 @@ func (h *Histogram) writeSamples(w *bufio.Writer) {
 	cum := int64(0)
 	for i, b := range h.bounds {
 		cum += h.buckets[i].Load()
-		fmt.Fprintf(w, "%s %d\n",
-			sampleName(h.name+"_bucket", h.labels, `le="`+strconv.FormatFloat(b, 'g', -1, 64)+`"`), cum)
+		fmt.Fprintf(w, "%s %d%s\n",
+			sampleName(h.name+"_bucket", h.labels, `le="`+strconv.FormatFloat(b, 'g', -1, 64)+`"`), cum,
+			writeExemplar(h.exemplars[i].Load()))
 	}
 	cum += h.buckets[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s %d\n", sampleName(h.name+"_bucket", h.labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s %d%s\n", sampleName(h.name+"_bucket", h.labels, `le="+Inf"`), cum,
+		writeExemplar(h.exemplars[len(h.bounds)].Load()))
 	fmt.Fprintf(w, "%s %s\n", sampleName(h.name+"_sum", h.labels, ""),
 		strconv.FormatFloat(float64(h.sumNanos.Load())/1e9, 'g', -1, 64))
 	fmt.Fprintf(w, "%s %d\n", sampleName(h.name+"_count", h.labels, ""), cum)
@@ -332,7 +375,7 @@ var (
 )
 
 func newStage(stage, help string) *Histogram {
-	return NewHistogram("ogsa_stage_duration_seconds", `stage="`+stage+`"`, help)
+	return NewHistogram("ogsa_stage_duration_seconds", Label("stage", stage), help)
 }
 
 var processStart = time.Now()

@@ -1,0 +1,44 @@
+package slo
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// BenchmarkSLOEvaluate measures one synchronous evaluation pass over
+// three objectives with a saturated (LongWindow-deep) history — the
+// steady-state cost a daemon pays every Interval.
+func BenchmarkSLOEvaluate(b *testing.B) {
+	var good, total int64
+	src := func() (int64, int64) { return good, total }
+	now := time.Unix(1000, 0)
+	e := New(Config{
+		Objectives: []Objective{
+			SourceObjective("a", "availability", 0.999, src),
+			SourceObjective("b", "availability", 0.99, src),
+			SourceObjective("c", "latency", 0.95, src),
+		},
+		ShortWindow: 5 * time.Minute,
+		LongWindow:  time.Hour,
+		Interval:    10 * time.Second,
+		Now:         func() time.Time { return now },
+		DumpTo:      io.Discard,
+	})
+	// Saturate the history: one sample per interval across the long
+	// window, so prune and burnRate walk full-depth slices.
+	for i := 0; i < int(time.Hour/(10*time.Second)); i++ {
+		now = now.Add(10 * time.Second)
+		good += 100
+		total += 100
+		e.Evaluate()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(10 * time.Second)
+		good += 100
+		total += 100
+		e.Evaluate()
+	}
+}

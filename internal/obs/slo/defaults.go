@@ -1,0 +1,16 @@
+package slo
+
+import "altstacks/internal/obs"
+
+// DefaultObjectives are the stock objectives the daemons evaluate: the
+// availability of the container pipeline plus latency objectives on
+// the dispatch and delivery stages. Latency thresholds sit exactly on
+// histogram bucket bounds (0.25s, 1s) — the snapshot cannot resolve
+// a threshold between bounds.
+func DefaultObjectives(requests, faults *obs.Counter) []Objective {
+	return []Objective{
+		Availability("availability", 0.999, requests, faults),
+		Latency("dispatch-latency", 0.99, 0.25, obs.StageDispatch),
+		Latency("deliver-latency", 0.95, 1, obs.StageDeliver),
+	}
+}

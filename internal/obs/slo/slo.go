@@ -1,0 +1,388 @@
+// Package slo evaluates service-level objectives as multi-window
+// burn rates over the obs registry's counters and histograms.
+//
+// An objective declares a target fraction of good events
+// (availability: non-fault requests; latency: requests finishing under
+// a threshold). The engine samples the cumulative good/total totals on
+// a fixed cadence and computes, for a short and a long trailing
+// window, the burn rate: the fraction of the error budget consumed per
+// unit of budget — badFraction / (1 - target). A burn of 1 spends the
+// budget exactly at the rate the objective allows; the Google SRE
+// workbook's fast-burn pair (5m and 1h windows, threshold 14.4) fires
+// only when both windows agree, so a single bad scrape cannot page and
+// a long-running slow burn cannot hide behind one good minute.
+//
+// Alert transitions are recorded into the obs flight recorder and, on
+// firing, the recorder's recent window is dumped to the engine's
+// writer — the metrics say the budget is burning, the dump says which
+// deliveries were failing while it burned.
+package slo
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"altstacks/internal/obs"
+)
+
+// Source reports an objective's cumulative event totals: good events
+// and all events. Totals must be monotonic; the engine differences
+// them over windows.
+type Source func() (good, total int64)
+
+// Objective is one SLO: a named target over a good/total source.
+type Objective struct {
+	Name string
+	// Kind is "availability" or "latency" (display only; the math is
+	// identical once reduced to good/total).
+	Kind string
+	// Target is the objective's good fraction, e.g. 0.999.
+	Target float64
+	// Threshold is the latency bound in seconds (latency kind only).
+	Threshold float64
+	source    Source
+}
+
+// Availability builds an objective from a total-requests counter and a
+// fault counter: good = total - bad.
+func Availability(name string, target float64, total, bad *obs.Counter) Objective {
+	return Objective{
+		Name: name, Kind: "availability", Target: target,
+		source: func() (int64, int64) {
+			t := total.Value()
+			return t - bad.Value(), t
+		},
+	}
+}
+
+// Latency builds an objective over a stage histogram: an event is good
+// when it landed in a bucket whose upper bound is at or under
+// threshold. Pick a threshold equal to a bucket bound — the histogram
+// cannot resolve between bounds, and a threshold inside a bucket
+// silently rounds down to the previous bound.
+func Latency(name string, target, threshold float64, h *obs.Histogram) Objective {
+	return Objective{
+		Name: name, Kind: "latency", Target: target, Threshold: threshold,
+		source: func() (int64, int64) {
+			snap := h.Snapshot()
+			good := int64(0)
+			for i, b := range snap.Bounds {
+				if b > threshold {
+					break
+				}
+				good += snap.Counts[i]
+			}
+			return good, snap.Count
+		},
+	}
+}
+
+// SourceObjective builds an objective from an arbitrary source (tests
+// and layers with bespoke counters).
+func SourceObjective(name, kind string, target float64, src Source) Objective {
+	return Objective{Name: name, Kind: kind, Target: target, source: src}
+}
+
+// Config parameterizes an Engine. Zero fields take the defaults noted
+// on each.
+type Config struct {
+	Objectives []Objective
+	// ShortWindow and LongWindow are the two burn-rate windows
+	// (defaults 5m and 1h). Both must see a burn at or above Burn for
+	// an alert to fire.
+	ShortWindow, LongWindow time.Duration
+	// Interval is the evaluation cadence of Start (default 10s).
+	Interval time.Duration
+	// Burn is the firing threshold (default 14.4: a 99.9% monthly
+	// budget fully spent in ~2 days).
+	Burn float64
+	// Now is the clock (default time.Now); tests inject a fake.
+	Now func() time.Time
+	// DumpTo receives the flight-recorder dump when an alert fires
+	// (default os.Stderr; io.Discard to suppress).
+	DumpTo io.Writer
+	// OnFire and OnResolve observe alert transitions (optional).
+	OnFire, OnResolve func(State)
+}
+
+// State is the published evaluation result for one objective.
+type State struct {
+	Name      string    `json:"name"`
+	Kind      string    `json:"kind"`
+	Target    float64   `json:"target"`
+	Threshold float64   `json:"threshold_seconds,omitempty"`
+	Good      int64     `json:"good"`
+	Total     int64     `json:"total"`
+	ShortBurn float64   `json:"short_burn"`
+	LongBurn  float64   `json:"long_burn"`
+	Firing    bool      `json:"firing"`
+	Since     time.Time `json:"since,omitempty"`
+}
+
+type sample struct {
+	t           time.Time
+	good, total int64
+}
+
+// Engine evaluates a set of objectives on a cadence and publishes
+// their alert state.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	history map[string][]sample
+	states  map[string]*State
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+}
+
+// Engine transition counters are package vars: the registry rejects
+// duplicate registration, and tests build many engines.
+var (
+	evalsTotal = obs.NewCounter("ogsa_slo_evaluations_total", "",
+		"SLO evaluation passes across all engines")
+	firedTotal = obs.NewCounter("ogsa_slo_alerts_fired_total", "",
+		"SLO alerts that transitioned to firing")
+	resolvedTotal = obs.NewCounter("ogsa_slo_alerts_resolved_total", "",
+		"SLO alerts that transitioned back to ok")
+	firingGauge = obs.NewGauge("ogsa_slo_alerts_firing", "",
+		"SLO alerts currently firing (all engines)")
+)
+
+// New builds an engine; call Start for background evaluation or
+// Evaluate directly for a synchronous pass.
+func New(cfg Config) *Engine {
+	if cfg.ShortWindow <= 0 {
+		cfg.ShortWindow = 5 * time.Minute
+	}
+	if cfg.LongWindow <= 0 {
+		cfg.LongWindow = time.Hour
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	if cfg.Burn <= 0 {
+		cfg.Burn = 14.4
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.DumpTo == nil {
+		cfg.DumpTo = os.Stderr
+	}
+	return &Engine{
+		cfg:     cfg,
+		history: map[string][]sample{},
+		states:  map[string]*State{},
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+}
+
+// Start launches background evaluation at the configured interval.
+// Second and later calls are no-ops.
+func (e *Engine) Start() {
+	if !e.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(e.doneCh)
+		// Evaluate once up front so /slo publishes states as soon as the
+		// daemon is up rather than one full interval later.
+		e.Evaluate()
+		tick := time.NewTicker(e.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-e.stopCh:
+				return
+			case <-tick.C:
+				e.Evaluate()
+			}
+		}
+	}()
+}
+
+// Stop halts background evaluation and clears this engine's firing
+// alerts from the shared gauge. Idempotent.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() {
+		close(e.stopCh)
+		// An engine driven synchronously (Evaluate, never Start) has no
+		// loop goroutine to wait for.
+		if e.started.Load() {
+			<-e.doneCh
+		}
+		e.mu.Lock()
+		for _, st := range e.states {
+			if st.Firing {
+				firingGauge.Add(-1)
+			}
+		}
+		e.mu.Unlock()
+	})
+}
+
+// Evaluate runs one evaluation pass over every objective and returns
+// the resulting states, name-sorted. Safe to call concurrently with a
+// running Start loop (tests drive it directly with a fake clock).
+func (e *Engine) Evaluate() []State {
+	evalsTotal.Inc()
+	now := e.cfg.Now()
+	var fired, resolved []State
+
+	e.mu.Lock()
+	for i := range e.cfg.Objectives {
+		o := &e.cfg.Objectives[i]
+		good, total := o.source()
+		hist := append(e.history[o.Name], sample{t: now, good: good, total: total})
+		hist = prune(hist, now.Add(-e.cfg.LongWindow))
+		e.history[o.Name] = hist
+
+		st := e.states[o.Name]
+		if st == nil {
+			st = &State{Name: o.Name, Kind: o.Kind, Target: o.Target, Threshold: o.Threshold}
+			e.states[o.Name] = st
+		}
+		st.Good, st.Total = good, total
+		st.ShortBurn = burnRate(hist, now.Add(-e.cfg.ShortWindow), o.Target)
+		st.LongBurn = burnRate(hist, now.Add(-e.cfg.LongWindow), o.Target)
+
+		firing := st.ShortBurn >= e.cfg.Burn && st.LongBurn >= e.cfg.Burn
+		if firing && !st.Firing {
+			st.Firing, st.Since = true, now
+			fired = append(fired, *st)
+		} else if !firing && st.Firing {
+			st.Firing, st.Since = false, time.Time{}
+			resolved = append(resolved, *st)
+		}
+	}
+	out := e.statesLocked()
+	e.mu.Unlock()
+
+	// Transition side effects run unlocked: the dump writer and the
+	// callbacks may themselves query the engine.
+	for _, st := range fired {
+		firedTotal.Inc()
+		firingGauge.Add(1)
+		obs.RecordEvent("slo.fire",
+			obs.Attr{K: "objective", V: st.Name},
+			obs.Attr{K: "short_burn", V: formatBurn(st.ShortBurn)},
+			obs.Attr{K: "long_burn", V: formatBurn(st.LongBurn)})
+		obs.DumpEvents(e.cfg.DumpTo, e.cfg.LongWindow)
+		if e.cfg.OnFire != nil {
+			e.cfg.OnFire(st)
+		}
+	}
+	for _, st := range resolved {
+		resolvedTotal.Inc()
+		firingGauge.Add(-1)
+		obs.RecordEvent("slo.resolve", obs.Attr{K: "objective", V: st.Name})
+		if e.cfg.OnResolve != nil {
+			e.cfg.OnResolve(st)
+		}
+	}
+	return out
+}
+
+// States returns the latest evaluation results, name-sorted.
+func (e *Engine) States() []State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.statesLocked()
+}
+
+func (e *Engine) statesLocked() []State {
+	out := make([]State, 0, len(e.states))
+	for _, st := range e.states {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Firing reports whether any objective is currently firing.
+func (e *Engine) Firing() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.states {
+		if st.Firing {
+			return true
+		}
+	}
+	return false
+}
+
+// Handler serves the engine's states as JSON — the /slo admin
+// endpoint's body. Register it with obs.HandleAdmin("/slo", ...).
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		b, err := json.MarshalIndent(e.States(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+	})
+}
+
+// burnRate computes the error-budget burn over the window starting at
+// cutoff: the bad fraction of events in the window divided by the
+// budget fraction (1 - target). The baseline is the newest sample at
+// or before the cutoff — or the oldest retained sample when the
+// process is younger than the window, which makes a cold engine
+// conservative (it judges the whole short history) rather than blind.
+func burnRate(hist []sample, cutoff time.Time, target float64) float64 {
+	if len(hist) == 0 {
+		return 0
+	}
+	cur := hist[len(hist)-1]
+	base := hist[0]
+	for _, s := range hist {
+		if s.t.After(cutoff) {
+			break
+		}
+		base = s
+	}
+	dTotal := cur.total - base.total
+	dGood := cur.good - base.good
+	if dTotal <= 0 {
+		return 0
+	}
+	badFrac := 1 - float64(dGood)/float64(dTotal)
+	budget := 1 - target
+	if budget <= 0 {
+		budget = 1e-9 // a 100% target has no budget; treat any badness as infinite-ish burn
+	}
+	return badFrac / budget
+}
+
+// prune drops samples older than cutoff but always keeps the newest
+// pre-cutoff sample: it is the long window's baseline.
+func prune(hist []sample, cutoff time.Time) []sample {
+	keep := 0
+	for i, s := range hist {
+		if s.t.After(cutoff) {
+			break
+		}
+		keep = i
+	}
+	return hist[keep:]
+}
+
+// formatBurn renders a burn rate for an event attribute; two decimals
+// is plenty there.
+func formatBurn(b float64) string {
+	return strconv.FormatFloat(b, 'f', 2, 64)
+}

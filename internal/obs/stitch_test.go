@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// Stitch edge cases: correlation headers that are partially missing,
+// spans arriving in end order rather than tree order, upstream halves
+// evicted by ring wraparound, and MessageIDs that are not unique.
+
+// recordTrace pushes one finished trace through the real span API into
+// the ring: a dispatch root (optionally tagged as the receiver of
+// rootMsg) with an optional deliver child that sent linkMsg.
+func recordTrace(rootMsg, linkMsg string) {
+	ctx, root := StartSpan(context.Background(), "container.dispatch")
+	root.SetMessageID(rootMsg)
+	if linkMsg != "" {
+		d := ChildSpan(ctx, "wsn.deliver")
+		d.SetMessageID(linkMsg)
+		d.End()
+	}
+	root.End()
+}
+
+// TestStitchMissingRelatesTo pins that MessageID alone is the join
+// key: a sender that never recorded RelatesTo still stitches, and a
+// pair correlated only by RelatesTo does not (Stitch never guesses
+// from the reply direction).
+func TestStitchMissingRelatesTo(t *testing.T) {
+	up := TraceData{ID: "t1", Spans: []SpanData{
+		{ID: "s1", Name: "container.dispatch"},
+		{ID: "s2", Parent: "s1", Name: "wsn.deliver", MessageID: "urn:msg:a"},
+	}}
+	down := TraceData{ID: "t2", Spans: []SpanData{
+		{ID: "s1", Name: "container.dispatch", MessageID: "urn:msg:a"},
+	}}
+	if got := Stitch([]TraceData{down, up}); len(got) != 1 || got[0].ID != "t1" {
+		t.Fatalf("MessageID-only link did not stitch: %+v", got)
+	}
+
+	upReply := TraceData{ID: "t3", Spans: []SpanData{
+		{ID: "s1", Name: "container.dispatch"},
+		{ID: "s2", Parent: "s1", Name: "wsn.deliver", RelatesTo: "urn:msg:b"},
+	}}
+	downReply := TraceData{ID: "t4", Spans: []SpanData{
+		{ID: "s1", Name: "container.dispatch", RelatesTo: "urn:msg:b"},
+	}}
+	if got := Stitch([]TraceData{downReply, upReply}); len(got) != 2 {
+		t.Fatalf("RelatesTo-only pair merged without a MessageID: %+v", got)
+	}
+}
+
+// TestStitchOutOfOrderSpans feeds spans in end order (children before
+// their roots, the order End produces) and the downstream trace ahead
+// of the upstream one; the graft must not depend on either ordering.
+func TestStitchOutOfOrderSpans(t *testing.T) {
+	up := TraceData{ID: "t1", Spans: []SpanData{
+		{ID: "s2", Parent: "s1", Name: "wsn.deliver", MessageID: "urn:msg:ooo"},
+		{ID: "s1", Name: "container.dispatch"},
+	}}
+	down := TraceData{ID: "t2", Spans: []SpanData{
+		{ID: "s2", Parent: "s1", Name: "handler"},
+		{ID: "s1", Name: "container.dispatch", MessageID: "urn:msg:ooo"},
+	}}
+	got := Stitch([]TraceData{down, up})
+	if len(got) != 1 || got[0].ID != "t1" || len(got[0].Spans) != 4 {
+		t.Fatalf("out-of-order stitch failed: %+v", got)
+	}
+	for i := range got[0].Spans {
+		s := &got[0].Spans[i]
+		if s.ID == "t2.s1" && s.Parent != "s2" {
+			t.Fatalf("absorbed root parented at %q, want the deliver span", s.Parent)
+		}
+	}
+}
+
+// TestStitchRingWraparoundEviction evicts the upstream half of a link
+// by flooding the ring past RingCap; the downstream trace must survive
+// the stitch as its own root instead of vanishing or dangling.
+func TestStitchRingWraparoundEviction(t *testing.T) {
+	withEnabled(t, func() {
+		ResetTraces()
+		recordTrace("", "urn:msg:evicted") // upstream sender, about to be evicted
+		for i := 0; i < RingCap; i++ {
+			recordTrace("", "")
+		}
+		recordTrace("urn:msg:evicted", "") // downstream half arrives after eviction
+		got := Stitch(Traces())
+		if len(got) != RingCap {
+			t.Fatalf("stitch over wrapped ring left %d traces, want %d", len(got), RingCap)
+		}
+		found := false
+		for _, tr := range got {
+			if r := tr.Root(); r != nil && r.MessageID == "urn:msg:evicted" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("orphaned downstream trace lost after upstream eviction")
+		}
+	})
+}
+
+// TestStitchDuplicateMessageIDs: two downstream traces claiming the
+// same MessageID both graft under the one sending span, and a trace
+// whose root re-uses one of its own span's MessageIDs must not absorb
+// itself or hang the fixpoint loop.
+func TestStitchDuplicateMessageIDs(t *testing.T) {
+	up := TraceData{ID: "up", Spans: []SpanData{
+		{ID: "s1", Name: "container.dispatch"},
+		{ID: "s2", Parent: "s1", Name: "wsn.deliver", MessageID: "urn:msg:dup"},
+	}}
+	d1 := TraceData{ID: "d1", Spans: []SpanData{
+		{ID: "s1", Name: "container.dispatch", MessageID: "urn:msg:dup"},
+		{ID: "s2", Parent: "s1", Name: "handler"},
+	}}
+	d2 := TraceData{ID: "d2", Spans: []SpanData{
+		{ID: "s1", Name: "container.dispatch", MessageID: "urn:msg:dup"},
+	}}
+	got := Stitch([]TraceData{up, d1, d2})
+	if len(got) != 1 || len(got[0].Spans) != 5 {
+		t.Fatalf("duplicate-MessageID stitch: %+v", got)
+	}
+	for i := range got[0].Spans {
+		s := &got[0].Spans[i]
+		if (s.ID == "d1.s1" || s.ID == "d2.s1") && s.Parent != "s2" {
+			t.Fatalf("duplicate downstream root %s parented at %q, want s2", s.ID, s.Parent)
+		}
+	}
+
+	self := TraceData{ID: "a", Spans: []SpanData{
+		{ID: "s1", Name: "container.dispatch", MessageID: "urn:msg:self"},
+		{ID: "s2", Parent: "s1", Name: "wsn.deliver", MessageID: "urn:msg:self"},
+	}}
+	if got := Stitch([]TraceData{self}); len(got) != 1 || len(got[0].Spans) != 2 {
+		t.Fatalf("self-referential MessageID mangled the trace: %+v", got)
+	}
+}

@@ -124,6 +124,16 @@ func SpanFromContext(ctx context.Context) *Span {
 	return s
 }
 
+// TraceID returns the id of the trace the span belongs to ("" for a
+// nil span). Exemplars use it to link a histogram bucket back to the
+// retained trace.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace.id
+}
+
 // SetMessageID records the WS-Addressing MessageID this span sent or
 // received — the cross-process correlation key Stitch joins on.
 func (s *Span) SetMessageID(id string) {

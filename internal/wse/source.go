@@ -261,6 +261,10 @@ func (s *Source) recordFault(sub *Subscription, cause error) {
 	evict := s.EvictAfter > 0 && h.ConsecutiveFailures >= s.EvictAfter
 	snap := *h
 	s.healthMu.Unlock()
+	obs.RecordEvent("wse.delivery_fault",
+		obs.Attr{K: "subscription", V: sub.ID},
+		obs.Attr{K: "consecutive", V: fmt.Sprint(snap.ConsecutiveFailures)},
+		obs.Attr{K: "err", V: cause.Error()})
 	if err := s.Store.SetHealth(sub.ID, snap); err != nil {
 		s.noteStateWriteError(err)
 	}
@@ -282,6 +286,9 @@ func (s *Source) evict(sub *Subscription, cause error) {
 	s.dropChannel(sub)
 	s.stats.evictions.Add(1)
 	wseEvictionsTotal.Inc()
+	obs.RecordEvent("wse.evict",
+		obs.Attr{K: "subscription", V: sub.ID},
+		obs.Attr{K: "cause", V: cause.Error()})
 	s.sendEnd(s.endClient(), sub, StatusDeliveryFailure, cause.Error())
 }
 
@@ -656,13 +663,16 @@ func (s *Source) deliverWithRetry(ctx context.Context, client *container.Client,
 	attempts, err := retry.Do(dctx, s.Retry, func(actx context.Context) error {
 		return s.deliverOnce(actx, client, pl)
 	})
-	obs.StageDeliver.ObserveSince(t0)
+	obs.StageDeliver.ObserveSinceSpan(t0, dspan)
 	s.stats.attempts.Add(int64(attempts))
 	wseAttemptsTotal.Add(int64(attempts))
 	if attempts > 1 {
 		s.stats.retries.Add(int64(attempts - 1))
 		wseRetriesTotal.Add(int64(attempts - 1))
 		dspan.Annotate(fmt.Sprintf("retried: %d attempts", attempts))
+		obs.RecordEventCtx(dctx, "wse.retry",
+			obs.Attr{K: "subscription", V: pl.sub.ID},
+			obs.Attr{K: "attempts", V: fmt.Sprint(attempts)})
 	}
 	dspan.Fail(err)
 	dspan.End()

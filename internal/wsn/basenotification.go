@@ -758,13 +758,16 @@ func (p *Producer) deliverWithRetry(ctx context.Context, client *container.Clien
 	attempts, err := retry.Do(dctx, p.Retry, func(actx context.Context) error {
 		return p.deliverOnce(actx, client, pl)
 	})
-	obs.StageDeliver.ObserveSince(t0)
+	obs.StageDeliver.ObserveSinceSpan(t0, dspan)
 	p.stats.attempts.Add(int64(attempts))
 	wsnAttemptsTotal.Add(int64(attempts))
 	if attempts > 1 {
 		p.stats.retries.Add(int64(attempts - 1))
 		wsnRetriesTotal.Add(int64(attempts - 1))
 		dspan.Annotate(fmt.Sprintf("retried: %d attempts", attempts))
+		obs.RecordEventCtx(dctx, "wsn.retry",
+			obs.Attr{K: "subscription", V: pl.sub.ID},
+			obs.Attr{K: "attempts", V: fmt.Sprint(attempts)})
 	}
 	dspan.Fail(err)
 	dspan.End()

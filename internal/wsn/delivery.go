@@ -186,6 +186,10 @@ func (p *Producer) recordFault(id string, cause error) {
 	evict := p.EvictAfter > 0 && h.ConsecutiveFailures >= p.EvictAfter
 	snap := *h
 	p.healthMu.Unlock()
+	obs.RecordEvent("wsn.delivery_fault",
+		obs.Attr{K: "subscription", V: id},
+		obs.Attr{K: "consecutive", V: strconv.Itoa(snap.ConsecutiveFailures)},
+		obs.Attr{K: "err", V: cause.Error()})
 	p.persistHealth(id, snap)
 	if evict {
 		p.evict(id)
@@ -205,6 +209,7 @@ func (p *Producer) evict(id string) {
 	}
 	p.stats.evictions.Add(1)
 	wsnEvictionsTotal.Inc()
+	obs.RecordEvent("wsn.evict", obs.Attr{K: "subscription", V: id})
 }
 
 func (p *Producer) persistHealth(id string, h SubscriptionHealth) {

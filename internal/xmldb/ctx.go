@@ -22,7 +22,7 @@ func dbOp(ctx context.Context, name, collection string, fn func() error) error {
 	span := obs.ChildSpan(ctx, "xmldb."+name)
 	span.SetAttr("collection", collection)
 	err := fn()
-	obs.StageStorage.ObserveSince(t0)
+	obs.StageStorage.ObserveSinceSpan(t0, span)
 	span.Fail(err)
 	span.End()
 	return err

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# Observability smoke test: build counterd and gridctl, start counterd
-# with the admin endpoint enabled, scrape /metrics through
-# `gridctl metrics`, and assert every migrated counter family plus the
-# per-stage latency histogram is exposed. Also exercises
-# `gridctl trace` against /traces. Run via `make obs-smoke`.
+# Observability smoke test: build counterd and gridctl, start a
+# two-instance sharded cluster with the admin endpoints enabled, scrape
+# /metrics through `gridctl metrics`, and assert every migrated counter
+# family plus the per-stage latency histogram is exposed. Also
+# exercises `gridctl trace` against /traces, the fleet view
+# (`gridctl top` across both admins), server-side federation
+# (`gridctl federate` on the peer-configured instance), and the SLO and
+# flight-recorder endpoints. Run via `make obs-smoke`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 tmp="$(mktemp -d)"
 pid=""
+pid2=""
 cleanup() {
     [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    [ -n "$pid2" ] && kill "$pid2" 2>/dev/null || true
     rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -18,27 +23,36 @@ trap cleanup EXIT
 go build -o "$tmp/counterd" ./cmd/counterd
 go build -o "$tmp/gridctl" ./cmd/gridctl
 
-"$tmp/counterd" -admin 127.0.0.1:0 >"$tmp/counterd.log" 2>&1 &
-pid=$!
-
 # The daemon prints its admin endpoint once the listener is up; poll
 # the log for it rather than guessing a port.
-admin=""
-for _ in $(seq 1 100); do
-    admin="$(sed -n 's/.*admin endpoint: *//p' "$tmp/counterd.log" | head -n 1)"
-    [ -n "$admin" ] && break
-    if ! kill -0 "$pid" 2>/dev/null; then
-        echo "obs-smoke: counterd exited early:" >&2
-        cat "$tmp/counterd.log" >&2
+wait_admin() { # logfile pidvar -> echoes admin URL
+    local log="$1" dpid="$2" admin=""
+    for _ in $(seq 1 100); do
+        admin="$(sed -n 's/.*admin endpoint: *//p' "$log" | head -n 1)"
+        [ -n "$admin" ] && break
+        if ! kill -0 "$dpid" 2>/dev/null; then
+            echo "obs-smoke: counterd exited early:" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$admin" ]; then
+        echo "obs-smoke: counterd never printed its admin endpoint:" >&2
+        cat "$log" >&2
         exit 1
     fi
-    sleep 0.1
-done
-if [ -z "$admin" ]; then
-    echo "obs-smoke: counterd never printed its admin endpoint:" >&2
-    cat "$tmp/counterd.log" >&2
-    exit 1
-fi
+    echo "$admin"
+}
+
+"$tmp/counterd" -shards 2 -admin 127.0.0.1:0 >"$tmp/counterd.log" 2>&1 &
+pid=$!
+admin="$(wait_admin "$tmp/counterd.log" "$pid")"
+
+# Second instance federates the first through its /federate endpoint.
+"$tmp/counterd" -shards 2 -admin 127.0.0.1:0 -peers "$admin" >"$tmp/counterd2.log" 2>&1 &
+pid2=$!
+admin2="$(wait_admin "$tmp/counterd2.log" "$pid2")"
 
 "$tmp/gridctl" -admin "$admin" metrics >"$tmp/metrics.txt"
 
@@ -87,4 +101,39 @@ fi
 # ring is empty (no requests have been served yet).
 "$tmp/gridctl" -admin "$admin" trace >"$tmp/traces.txt"
 
-echo "obs-smoke: ok ($(grep -c '^ogsa_' "$tmp/metrics.txt") samples exposed)"
+# Fleet view across both admins: the merged FLEET row appears only
+# when more than one instance is reachable.
+"$tmp/gridctl" -admin "$admin,$admin2" top >"$tmp/top.txt"
+if ! grep -q '^FLEET' "$tmp/top.txt"; then
+    echo "obs-smoke: gridctl top across two admins shows no FLEET row:" >&2
+    cat "$tmp/top.txt" >&2
+    exit 1
+fi
+
+# Server-side federation: the peer-configured instance's /federate must
+# merge both instances and carry the request counter family.
+"$tmp/gridctl" -admin "$admin2" federate >"$tmp/federate.txt"
+if ! grep -q '^# federate: 2 instance(s)$' "$tmp/federate.txt"; then
+    echo "obs-smoke: /federate did not merge 2 instances:" >&2
+    cat "$tmp/federate.txt" >&2
+    exit 1
+fi
+if ! grep -q '^ogsa_container_requests_total' "$tmp/federate.txt"; then
+    echo "obs-smoke: /federate output is missing the request counter:" >&2
+    cat "$tmp/federate.txt" >&2
+    exit 1
+fi
+
+# SLO engine: the daemon evaluates once at startup, so the objectives
+# table is populated immediately.
+"$tmp/gridctl" -admin "$admin2" slo >"$tmp/slo.txt"
+if ! grep -q 'OBJECTIVE' "$tmp/slo.txt" || ! grep -q 'availability' "$tmp/slo.txt"; then
+    echo "obs-smoke: gridctl slo shows no availability objective:" >&2
+    cat "$tmp/slo.txt" >&2
+    exit 1
+fi
+
+# Flight recorder: dump must exit clean even when the ring is empty.
+"$tmp/gridctl" -admin "$admin2" dump >"$tmp/dump.txt"
+
+echo "obs-smoke: ok ($(grep -c '^ogsa_' "$tmp/metrics.txt") samples exposed, 2-instance fleet federated)"
